@@ -1,0 +1,150 @@
+// Package banditware is an online hardware-recommendation library: the
+// open-source reproduction of "BanditWare: A Contextual Bandit-based
+// Framework for Hardware Prediction" (Coleman et al., HPDC 2025).
+//
+// BanditWare chooses the best-fitting hardware configuration for each
+// incoming workflow using a decaying contextual ε-greedy multi-armed
+// bandit (the paper's Algorithm 1). It assumes workflow runtime on
+// hardware H_i is linear in the workflow's feature vector x,
+//
+//	R(H_i, x) = wᵢᵀx + bᵢ,
+//
+// learns the per-hardware coefficients online from observed runtimes, and
+// balances exploration against exploitation with an exploration rate ε
+// that decays by a factor α after every observation. Its exploitation
+// step is tolerant: among all hardware whose predicted runtime is within
+//
+//	(1 + ToleranceRatio)·R̂_fastest + ToleranceSeconds
+//
+// it picks the most resource-efficient configuration, trading a bounded
+// slowdown for smaller allocations.
+//
+// # Quick start
+//
+//	hw := banditware.HardwareSet{
+//		{Name: "H0", CPUs: 2, MemoryGB: 16},
+//		{Name: "H1", CPUs: 3, MemoryGB: 24},
+//		{Name: "H2", CPUs: 4, MemoryGB: 16},
+//	}
+//	rec, err := banditware.New(hw, 1, banditware.Options{})
+//	// per workflow:
+//	d, _ := rec.Recommend([]float64{numTasks})
+//	runtime := runWorkflow(hw[d.Arm])      // schedule it, measure it
+//	_ = rec.Observe(d.Arm, []float64{numTasks}, runtime)
+//
+// The internal packages implement every substrate the paper's evaluation
+// needs (dataframes, linear algebra, workload generators, a cluster
+// simulator, the experiment harness); see DESIGN.md for the inventory and
+// cmd/bwbench for the per-figure reproduction runners.
+package banditware
+
+import (
+	"io"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+	"banditware/internal/regress"
+)
+
+// Hardware describes one hardware configuration (a Kubernetes resource
+// request in the paper's deployment): name, CPU cores, memory.
+type Hardware = hardware.Config
+
+// HardwareSet is an ordered set of hardware configurations; slice order
+// is the bandit's arm order.
+type HardwareSet = hardware.Set
+
+// Options are the Algorithm 1 parameters. The zero value selects the
+// paper's experimental settings (α = 0.99, ε₀ = 1, zero tolerances).
+type Options = core.Options
+
+// Decision records one recommendation: the chosen arm, whether it came
+// from exploration, and the per-arm runtime predictions used.
+type Decision = core.Decision
+
+// Model is a learned linear runtime model for one hardware arm.
+type Model = regress.Model
+
+// ParseHardware parses "H0=2x16" / "(2,16)" style hardware descriptions.
+func ParseHardware(s string) (Hardware, error) { return hardware.Parse(s) }
+
+// ParseHardwareSet parses a semicolon- or space-separated hardware list,
+// e.g. "H0=2x16;H1=3x24;H2=4x16".
+func ParseHardwareSet(s string) (HardwareSet, error) { return hardware.ParseSet(s) }
+
+// NDPHardware returns the paper's Experiment 2 hardware set from the
+// National Data Platform: H0=(2,16), H1=(3,24), H2=(4,16).
+func NDPHardware() HardwareSet { return hardware.NDPDefault() }
+
+// Recommender is the BanditWare online recommender (Algorithm 1). It is
+// not safe for concurrent use; guard it with a mutex or shard per stream.
+type Recommender struct {
+	b *core.Bandit
+}
+
+// New constructs a recommender over the hardware set for workflows
+// described by dim-dimensional feature vectors.
+func New(hw HardwareSet, dim int, opts Options) (*Recommender, error) {
+	b, err := core.New(hw, dim, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommender{b: b}, nil
+}
+
+// Recommend returns the hardware arm to run a workflow with the given
+// features on. It consumes exploration randomness but does not learn;
+// pair it with Observe.
+func (r *Recommender) Recommend(features []float64) (Decision, error) {
+	return r.b.Recommend(features)
+}
+
+// Observe records the measured runtime of a workflow on the given arm,
+// refits that arm's model, and decays the exploration rate.
+func (r *Recommender) Observe(arm int, features []float64, runtime float64) error {
+	return r.b.Observe(arm, features, runtime)
+}
+
+// Step runs one full Algorithm 1 iteration: recommend, execute the
+// workflow via run (which must return the measured runtime on the chosen
+// arm), observe.
+func (r *Recommender) Step(features []float64, run func(arm int) float64) (Decision, float64, error) {
+	return r.b.Step(features, run)
+}
+
+// PredictAll returns the current runtime estimate for every arm.
+func (r *Recommender) PredictAll(features []float64) ([]float64, error) {
+	return r.b.PredictAll(features)
+}
+
+// Model returns a snapshot of arm i's learned linear model.
+func (r *Recommender) Model(i int) (Model, error) { return r.b.Model(i) }
+
+// Hardware returns the arm set.
+func (r *Recommender) Hardware() HardwareSet { return r.b.Hardware() }
+
+// Epsilon returns the current exploration probability.
+func (r *Recommender) Epsilon() float64 { return r.b.Epsilon() }
+
+// Round returns how many observations the recommender has absorbed.
+func (r *Recommender) Round() int { return r.b.Round() }
+
+// Save serialises the recommender state (models, stored observations,
+// exploration rate) as JSON.
+func (r *Recommender) Save(w io.Writer) error { return r.b.SaveState(w) }
+
+// Load restores a recommender serialised by Save.
+func Load(rd io.Reader) (*Recommender, error) {
+	b, err := core.LoadState(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommender{b: b}, nil
+}
+
+// TolerantSelect exposes Algorithm 1's exploitation rule for callers that
+// manage their own models: among arms whose predicted runtime is within
+// (1+tr)·min + ts, return the most resource-efficient.
+func TolerantSelect(preds []float64, hw HardwareSet, tr, ts float64) int {
+	return core.TolerantSelect(preds, hw, tr, ts)
+}

@@ -1,0 +1,158 @@
+package banditware
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"banditware/internal/rng"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	hw, err := ParseHardwareSet("H0=2x16;H1=3x24;H2=4x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(hw, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	slopes := []float64{5, 3, 1}
+	for i := 0; i < 200; i++ {
+		x := []float64{r.Uniform(10, 100)}
+		d, err := rec.Recommend(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := slopes[d.Arm]*x[0] + 20 + r.Normal(0, 1)
+		if err := rec.Observe(d.Arm, x, rt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Round() != 200 {
+		t.Fatalf("round = %d", rec.Round())
+	}
+	if rec.Epsilon() >= 1 {
+		t.Fatal("epsilon did not decay")
+	}
+	preds, err := rec.PredictAll([]float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm 2 has the smallest slope: cheapest at large x.
+	if !(preds[2] < preds[0]) {
+		t.Fatalf("learned ordering wrong: %v", preds)
+	}
+	m, err := rec.Model(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-5) > 0.5 {
+		t.Fatalf("arm 0 slope = %v, want ~5", m.Weights[0])
+	}
+
+	// Persistence.
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := back.PredictAll([]float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds {
+		if math.Abs(preds[i]-p2[i]) > 1e-9 {
+			t.Fatal("predictions drifted across Save/Load")
+		}
+	}
+}
+
+func TestStep(t *testing.T) {
+	rec, err := New(NDPHardware(), 1, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, rt, err := rec.Step([]float64{10}, func(arm int) float64 { return float64(10 * (arm + 1)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != float64(10*(d.Arm+1)) {
+		t.Fatalf("runtime %v inconsistent with arm %d", rt, d.Arm)
+	}
+}
+
+func TestTolerantSelectExported(t *testing.T) {
+	hw := NDPHardware()
+	if got := TolerantSelect([]float64{30, 10, 20}, hw, 0, 0); got != 1 {
+		t.Fatalf("TolerantSelect = %d, want 1", got)
+	}
+	// H0 is most efficient; with a wide envelope it should win.
+	if got := TolerantSelect([]float64{30, 10, 20}, hw, 0, 100); got != 0 {
+		t.Fatalf("TolerantSelect with tolerance = %d, want 0", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	c, err := GenerateCycles(CyclesOptions{Seed: 1})
+	if err != nil || len(c.Runs) != 80 {
+		t.Fatalf("cycles: %v, %d runs", err, len(c.Runs))
+	}
+	b, err := GenerateBP3D(BP3DOptions{Seed: 1, NumRuns: 50})
+	if err != nil || len(b.Runs) != 50 {
+		t.Fatalf("bp3d: %v", err)
+	}
+	m, err := GenerateMatMul(MatMulOptions{Seed: 1, RepsSmall: 1, RepsLarge: 1})
+	if err != nil || len(m.Runs) == 0 {
+		t.Fatalf("matmul: %v", err)
+	}
+}
+
+func TestTraceCSVAndFitOffline(t *testing.T) {
+	c, err := GenerateCycles(CyclesOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := WriteTraceCSV(c, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(path, c.FeatureNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := FitOffline(back, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Round() != len(c.Runs) {
+		t.Fatalf("offline fit absorbed %d rounds, want %d", rec.Round(), len(c.Runs))
+	}
+	// Offline-fitted models should roughly recover the generative slopes
+	// (6.0/4.5/3.0/1.5 per arm with only 20 samples each — allow slack).
+	m0, err := rec.Model(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m0.Weights[0]-6) > 1 {
+		t.Fatalf("arm 0 slope from offline fit = %v, want ~6", m0.Weights[0])
+	}
+}
+
+func TestParseHardware(t *testing.T) {
+	h, err := ParseHardware("H9=4x32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "H9" || h.CPUs != 4 || h.MemoryGB != 32 {
+		t.Fatalf("parsed %+v", h)
+	}
+	if _, err := ParseHardware("garbage"); err == nil {
+		t.Fatal("bad hardware should fail")
+	}
+}

@@ -1,0 +1,69 @@
+// LLM: GPU-aware hardware recommendation (the paper's future work).
+//
+// Generates an LLM-inference workload trace over GPU-bearing hardware
+// ({CPU-only, 1, 2, 4 GPUs}), trains BanditWare online, and shows how the
+// recommendation shifts with model size and how the ratio tolerance
+// releases GPUs that small models do not need.
+//
+//	go run ./examples/llm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banditware"
+	"banditware/internal/rng"
+)
+
+func main() {
+	trace, err := banditware.GenerateLLM(banditware.LLMOptions{Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LLM trace: %d runs over %v\n\n", len(trace.Runs), trace.Hardware.Names())
+
+	rec, err := banditware.New(trace.Hardware, trace.Dim(), banditware.Options{
+		Seed:  17,
+		Alpha: 0.97,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Online loop: sample workloads from the trace, observe synthetic
+	// runtimes from the generative model.
+	r := rng.New(19)
+	for i := 0; i < 300; i++ {
+		run := trace.Runs[r.Intn(len(trace.Runs))]
+		d, err := rec.Recommend(run.Features)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt := trace.SampleRuntime(d.Arm, run.Features, r)
+		if err := rec.Observe(d.Arm, run.Features, rt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("trained on %d online rounds (epsilon %.3f)\n\n", rec.Round(), rec.Epsilon())
+
+	fmt.Println("recommendations by model size (prompt 1024, gen 256, batch 4):")
+	fmt.Println("model     fastest        with 15% tolerance")
+	for _, bParams := range []float64{1, 7, 13, 34, 70} {
+		x := []float64{1024, 256, 4, bParams}
+		preds, err := rec.PredictAll(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		strict := banditware.TolerantSelect(preds, trace.Hardware, 0, 0)
+		tolerant := banditware.TolerantSelect(preds, trace.Hardware, 0.15, 0)
+		fmt.Printf("%4.0fB     %-12s   %s\n",
+			bParams, trace.Hardware[strict].Name, trace.Hardware[tolerant].Name)
+	}
+	fmt.Println("\nground truth for comparison:")
+	for _, bParams := range []float64{1, 7, 13, 34, 70} {
+		x := []float64{1024, 256, 4, bParams}
+		best := trace.BestArm(x, 0, 0)
+		fmt.Printf("%4.0fB     %s\n", bParams, trace.Hardware[best].Name)
+	}
+}

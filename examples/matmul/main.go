@@ -1,0 +1,84 @@
+// MatMul: the paper's third workload with the *real* kernel.
+//
+// Runs the actual fully-parallel tiled matrix-squaring kernel at several
+// sizes and worker counts (each worker count modelling a hardware
+// setting's CPU allocation), feeds the measured wall-clock runtimes to
+// BanditWare online, and shows the recommendations shifting from
+// "parallelism doesn't matter" at small sizes to "give me all the cores"
+// at large sizes.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banditware"
+	"banditware/internal/rng"
+	"banditware/internal/workloads"
+)
+
+func main() {
+	// Hardware settings = worker caps for the kernel.
+	hw := banditware.HardwareSet{
+		{Name: "1-core", CPUs: 1, MemoryGB: 8},
+		{Name: "2-core", CPUs: 2, MemoryGB: 16},
+		{Name: "4-core", CPUs: 4, MemoryGB: 16},
+	}
+	rec, err := banditware.New(hw, 1, banditware.Options{Seed: 5, Alpha: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("online loop over real kernel executions (feature = matrix size):")
+	r := rng.New(9)
+	sizes := []int{64, 96, 128, 192, 256, 384, 512}
+	for round := 0; round < 28; round++ {
+		n := sizes[r.Intn(len(sizes))]
+		x := []float64{float64(n)}
+		d, err := rec.Recommend(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := workloads.RunMatMulKernel(workloads.MatMulSpec{
+			Size: n, Sparsity: 0.1, MinValue: -10, MaxValue: 10,
+			Workers: hw[d.Arm].CPUs, Seed: uint64(round),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := res.Elapsed.Seconds()
+		if err := rec.Observe(d.Arm, x, secs); err != nil {
+			log.Fatal(err)
+		}
+		mode := "exploit"
+		if d.Explored {
+			mode = "explore"
+		}
+		fmt.Printf("  round %2d: size %4d on %-7s (%s) -> %8.2f ms\n",
+			round+1, n, hw[d.Arm].Name, mode, secs*1000)
+	}
+
+	fmt.Println("\nlearned runtime models (seconds = w·size + b):")
+	for i := range hw {
+		m, err := rec.Model(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s %.6f·size %+.4f\n", hw[i].Name, m.Weights[0], m.Bias)
+	}
+
+	fmt.Println("\nrecommendations after learning:")
+	for _, n := range []float64{64, 256, 512} {
+		preds, err := rec.PredictAll([]float64{n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pick := banditware.TolerantSelect(preds, hw, 0, 0)
+		// Allow a 20% slowdown in exchange for fewer cores.
+		tolerant := banditware.TolerantSelect(preds, hw, 0.2, 0)
+		fmt.Printf("  size %4.0f: fastest %-7s | 20%%-tolerant %s\n",
+			n, hw[pick].Name, hw[tolerant].Name)
+	}
+}

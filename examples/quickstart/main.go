@@ -1,0 +1,75 @@
+// Quickstart: the smallest complete BanditWare loop.
+//
+// Three hardware settings with different (unknown to the bandit) linear
+// runtime models; workflows described by one feature. The program runs
+// the online recommend → execute → observe loop for 200 workflows and
+// prints the learned models against the ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banditware"
+	"banditware/internal/rng"
+)
+
+func main() {
+	hw := banditware.HardwareSet{
+		{Name: "small", CPUs: 2, MemoryGB: 16},
+		{Name: "medium", CPUs: 4, MemoryGB: 24},
+		{Name: "large", CPUs: 8, MemoryGB: 32},
+	}
+	// Ground truth the bandit has to discover: runtime = slope·x + base.
+	slopes := []float64{8, 4, 2}
+	bases := []float64{30, 90, 200}
+
+	rec, err := banditware.New(hw, 1, banditware.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := rng.New(7)
+	explored := 0
+	for i := 0; i < 200; i++ {
+		x := []float64{r.Uniform(5, 120)} // workflow size
+		d, err := rec.Recommend(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d.Explored {
+			explored++
+		}
+		// "Run" the workflow on the chosen hardware: the measured
+		// runtime is the true model plus noise.
+		runtime := slopes[d.Arm]*x[0] + bases[d.Arm] + r.Normal(0, 5)
+		if err := rec.Observe(d.Arm, x, runtime); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("after %d workflows (%d explored, epsilon now %.3f):\n\n",
+		rec.Round(), explored, rec.Epsilon())
+	fmt.Println("hardware     true model          learned model")
+	for i := range hw {
+		m, err := rec.Model(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %5.2f·x + %6.2f    %5.2f·x + %6.2f\n",
+			hw[i].Name, slopes[i], bases[i], m.Weights[0], m.Bias)
+	}
+
+	fmt.Println("\nrecommendations after learning (exploitation only):")
+	for _, x := range []float64{10, 40, 100} {
+		preds, err := rec.PredictAll([]float64{x})
+		if err != nil {
+			log.Fatal(err)
+		}
+		arm := banditware.TolerantSelect(preds, hw, 0, 0)
+		fmt.Printf("  workflow size %5.1f -> %s (predicted %.0f s)\n",
+			x, hw[arm].Name, preds[arm])
+	}
+}

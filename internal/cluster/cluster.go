@@ -1,0 +1,282 @@
+// Package cluster is the stand-in for the paper's deployment substrate:
+// the National Data Platform's heterogeneous Kubernetes cluster. It is a
+// discrete-event simulator with pools of nodes per hardware class, a
+// per-class FIFO queue, least-loaded placement, and an optional contention
+// model that slows co-located jobs — enough fidelity to exercise the full
+// online loop (arrive → recommend → schedule → run → observe) that
+// BanditWare embeds into.
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"banditware/internal/hardware"
+)
+
+// NodeSpec declares a pool of identical nodes for one hardware class.
+// Class order must match the recommender's arm order.
+type NodeSpec struct {
+	// Config is the hardware setting pods of this class receive.
+	Config hardware.Config
+	// Count is the number of nodes in the pool.
+	Count int
+	// Slots is how many concurrent jobs one node runs.
+	Slots int
+}
+
+// Placement selects how a queued job picks among a class's free nodes.
+type Placement int
+
+const (
+	// LeastLoaded places on the node with the most free slots (spreads
+	// load, minimising contention). The default.
+	LeastLoaded Placement = iota
+	// FirstFit places on the lowest-indexed node with a free slot
+	// (packs load, maximising idle nodes — a consolidation policy).
+	FirstFit
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Nodes is one pool per hardware class (arm order).
+	Nodes []NodeSpec
+	// ContentionFactor inflates a job's runtime by this fraction per
+	// co-located job at start time. 0 disables contention.
+	ContentionFactor float64
+	// Placement selects the within-class node-selection policy.
+	Placement Placement
+}
+
+// Arrival is one incoming workflow.
+type Arrival struct {
+	ID       int
+	Time     float64
+	Features []float64
+}
+
+// Job records one scheduled execution.
+type Job struct {
+	ID       int
+	Features []float64
+	// Arm is the hardware class the job ran on.
+	Arm int
+	// Node is the node index within the class pool.
+	Node int
+	// Nominal is the contention-free runtime; Actual includes contention.
+	Nominal, Actual float64
+	Submit          float64
+	Start           float64
+	End             float64
+}
+
+// Wait returns how long the job queued before starting.
+func (j *Job) Wait() float64 { return j.Start - j.Submit }
+
+// Turnaround returns submit-to-completion latency.
+func (j *Job) Turnaround() float64 { return j.End - j.Submit }
+
+// Metrics summarises one simulation.
+type Metrics struct {
+	Completed   int
+	Makespan    float64
+	MeanWait    float64
+	MaxWait     float64
+	MeanTurn    float64
+	Utilization []float64 // busy slot-time / capacity slot-time, per class
+}
+
+// Selector chooses a hardware class for an arriving workflow.
+type Selector func(x []float64) (int, error)
+
+// Observer receives the measured runtime after a job completes.
+type Observer func(arm int, x []float64, runtime float64) error
+
+// RuntimeFn returns the contention-free runtime of features x on a class.
+type RuntimeFn func(arm int, x []float64) float64
+
+// Cluster is the simulator. Create one per simulation run.
+type Cluster struct {
+	opts    Options
+	classes []*classState
+}
+
+type classState struct {
+	spec  NodeSpec
+	free  []int // free slots per node
+	queue []*Job
+	busy  float64 // accumulated busy slot-seconds
+}
+
+// New validates the options and builds a cluster.
+func New(opts Options) (*Cluster, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("cluster: no node pools")
+	}
+	if opts.ContentionFactor < 0 {
+		return nil, fmt.Errorf("cluster: negative contention factor %v", opts.ContentionFactor)
+	}
+	c := &Cluster{opts: opts}
+	for i, spec := range opts.Nodes {
+		if err := spec.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: pool %d: %w", i, err)
+		}
+		if spec.Count <= 0 || spec.Slots <= 0 {
+			return nil, fmt.Errorf("cluster: pool %d has count %d, slots %d", i, spec.Count, spec.Slots)
+		}
+		cs := &classState{spec: spec, free: make([]int, spec.Count)}
+		for n := range cs.free {
+			cs.free[n] = spec.Slots
+		}
+		c.classes = append(c.classes, cs)
+	}
+	return c, nil
+}
+
+// event kinds.
+const (
+	evArrive = iota
+	evComplete
+)
+
+type event struct {
+	time float64
+	kind int
+	job  *Job
+	seq  int // tie-breaker for deterministic ordering
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// RunOnline simulates the full online loop: each arrival asks sel for a
+// hardware class, runs under the cluster's queueing/contention dynamics
+// with nominal runtime runtimeOf(arm, x), and reports the actual runtime
+// to obs at completion. obs may be nil. Arrivals must be time-ordered.
+func (c *Cluster) RunOnline(arrivals []Arrival, sel Selector, runtimeOf RuntimeFn, obs Observer) (Metrics, []*Job, error) {
+	if sel == nil || runtimeOf == nil {
+		return Metrics{}, nil, errors.New("cluster: nil selector or runtime function")
+	}
+	var h eventHeap
+	seq := 0
+	prev := math.Inf(-1)
+	for _, a := range arrivals {
+		if a.Time < prev {
+			return Metrics{}, nil, fmt.Errorf("cluster: arrivals out of order at id %d", a.ID)
+		}
+		prev = a.Time
+		heap.Push(&h, event{time: a.Time, kind: evArrive, seq: seq, job: &Job{
+			ID: a.ID, Features: a.Features, Submit: a.Time, Arm: -1, Node: -1,
+		}})
+		seq++
+	}
+
+	var done []*Job
+	now := 0.0
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		now = ev.time
+		switch ev.kind {
+		case evArrive:
+			arm, err := sel(ev.job.Features)
+			if err != nil {
+				return Metrics{}, nil, fmt.Errorf("cluster: selector failed for job %d: %w", ev.job.ID, err)
+			}
+			if arm < 0 || arm >= len(c.classes) {
+				return Metrics{}, nil, fmt.Errorf("cluster: selector chose class %d of %d", arm, len(c.classes))
+			}
+			ev.job.Arm = arm
+			ev.job.Nominal = runtimeOf(arm, ev.job.Features)
+			if ev.job.Nominal < 0 || math.IsNaN(ev.job.Nominal) || math.IsInf(ev.job.Nominal, 0) {
+				return Metrics{}, nil, fmt.Errorf("cluster: invalid nominal runtime %v for job %d", ev.job.Nominal, ev.job.ID)
+			}
+			cs := c.classes[arm]
+			cs.queue = append(cs.queue, ev.job)
+			c.dispatch(cs, now, &h, &seq)
+		case evComplete:
+			cs := c.classes[ev.job.Arm]
+			cs.free[ev.job.Node]++
+			cs.busy += ev.job.Actual
+			done = append(done, ev.job)
+			if obs != nil {
+				if err := obs(ev.job.Arm, ev.job.Features, ev.job.Actual); err != nil {
+					return Metrics{}, nil, fmt.Errorf("cluster: observer failed for job %d: %w", ev.job.ID, err)
+				}
+			}
+			c.dispatch(cs, now, &h, &seq)
+		}
+	}
+	return c.metrics(done, now), done, nil
+}
+
+// dispatch starts queued jobs of one class while free slots exist.
+func (c *Cluster) dispatch(cs *classState, now float64, h *eventHeap, seq *int) {
+	for len(cs.queue) > 0 {
+		best := -1
+		switch c.opts.Placement {
+		case FirstFit:
+			for n, f := range cs.free {
+				if f > 0 {
+					best = n
+					break
+				}
+			}
+		default: // LeastLoaded: the node with the most free slots.
+			for n, f := range cs.free {
+				if f > 0 && (best == -1 || f > cs.free[best]) {
+					best = n
+				}
+			}
+		}
+		if best == -1 {
+			return // class saturated; completions will re-dispatch
+		}
+		job := cs.queue[0]
+		cs.queue = cs.queue[1:]
+		cs.free[best]--
+		occupied := cs.spec.Slots - cs.free[best] - 1 // co-located jobs
+		job.Node = best
+		job.Start = now
+		job.Actual = job.Nominal * (1 + c.opts.ContentionFactor*float64(occupied))
+		job.End = now + job.Actual
+		heap.Push(h, event{time: job.End, kind: evComplete, seq: *seq, job: job})
+		*seq++
+	}
+}
+
+func (c *Cluster) metrics(done []*Job, makespan float64) Metrics {
+	m := Metrics{Completed: len(done), Makespan: makespan}
+	if len(done) == 0 {
+		return m
+	}
+	for _, j := range done {
+		w := j.Wait()
+		m.MeanWait += w
+		if w > m.MaxWait {
+			m.MaxWait = w
+		}
+		m.MeanTurn += j.Turnaround()
+	}
+	m.MeanWait /= float64(len(done))
+	m.MeanTurn /= float64(len(done))
+	m.Utilization = make([]float64, len(c.classes))
+	for i, cs := range c.classes {
+		capacity := float64(cs.spec.Count*cs.spec.Slots) * makespan
+		if capacity > 0 {
+			m.Utilization[i] = cs.busy / capacity
+		}
+	}
+	return m
+}

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"banditware/internal/hardware"
+	"banditware/internal/rng"
+)
+
+func twoClassOptions() Options {
+	return Options{
+		Nodes: []NodeSpec{
+			{Config: hardware.Config{Name: "small", CPUs: 2, MemoryGB: 16}, Count: 2, Slots: 2},
+			{Config: hardware.Config{Name: "big", CPUs: 8, MemoryGB: 32}, Count: 1, Slots: 4},
+		},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("no pools should fail")
+	}
+	bad := twoClassOptions()
+	bad.Nodes[0].Count = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero-count pool should fail")
+	}
+	bad = twoClassOptions()
+	bad.Nodes[1].Config.CPUs = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+	bad = twoClassOptions()
+	bad.ContentionFactor = -0.5
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative contention should fail")
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	c, err := New(twoClassOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []Arrival{{ID: 1, Time: 5, Features: []float64{1}}}
+	m, jobs, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return 10 },
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 1 || len(jobs) != 1 {
+		t.Fatalf("completed = %d", m.Completed)
+	}
+	j := jobs[0]
+	if j.Start != 5 || j.End != 15 || j.Wait() != 0 || j.Turnaround() != 10 {
+		t.Fatalf("job timing: %+v", j)
+	}
+	if m.Makespan != 15 {
+		t.Fatalf("makespan = %v, want 15", m.Makespan)
+	}
+}
+
+func TestQueueingWhenSaturated(t *testing.T) {
+	// One class, one node, one slot: jobs serialize.
+	opts := Options{Nodes: []NodeSpec{
+		{Config: hardware.Config{Name: "n", CPUs: 1, MemoryGB: 1}, Count: 1, Slots: 1},
+	}}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []Arrival{
+		{ID: 1, Time: 0, Features: nil},
+		{ID: 2, Time: 0, Features: nil},
+		{ID: 3, Time: 0, Features: nil},
+	}
+	m, jobs, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return 10 },
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != 30 {
+		t.Fatalf("makespan = %v, want 30 (serialized)", m.Makespan)
+	}
+	// FIFO order must hold.
+	starts := map[int]float64{}
+	for _, j := range jobs {
+		starts[j.ID] = j.Start
+	}
+	if !(starts[1] < starts[2] && starts[2] < starts[3]) {
+		t.Fatalf("FIFO violated: %v", starts)
+	}
+	if m.MaxWait != 20 {
+		t.Fatalf("max wait = %v, want 20", m.MaxWait)
+	}
+	// Utilization of the single slot must be 100%.
+	if math.Abs(m.Utilization[0]-1) > 1e-9 {
+		t.Fatalf("utilization = %v, want 1", m.Utilization[0])
+	}
+}
+
+func TestContentionSlowdown(t *testing.T) {
+	opts := Options{
+		Nodes: []NodeSpec{
+			{Config: hardware.Config{Name: "n", CPUs: 4, MemoryGB: 8}, Count: 1, Slots: 2},
+		},
+		ContentionFactor: 0.5,
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []Arrival{
+		{ID: 1, Time: 0},
+		{ID: 2, Time: 0},
+	}
+	_, jobs, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return 10 },
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First job starts alone (no contention); second co-locates with one
+	// running job and is slowed by 50%.
+	var a1, a2 float64
+	for _, j := range jobs {
+		if j.ID == 1 {
+			a1 = j.Actual
+		} else {
+			a2 = j.Actual
+		}
+	}
+	if a1 != 10 || a2 != 15 {
+		t.Fatalf("actual runtimes = %v, %v; want 10, 15", a1, a2)
+	}
+}
+
+func TestNoOvercommitProperty(t *testing.T) {
+	// Property: at no time do more jobs run on a node than it has slots.
+	check := func(seed uint64) bool {
+		opts := Options{Nodes: []NodeSpec{
+			{Config: hardware.Config{Name: "a", CPUs: 2, MemoryGB: 4}, Count: 2, Slots: 2},
+			{Config: hardware.Config{Name: "b", CPUs: 4, MemoryGB: 8}, Count: 1, Slots: 3},
+		}}
+		c, err := New(opts)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		var arrivals []Arrival
+		tm := 0.0
+		for i := 0; i < 60; i++ {
+			tm += r.Exp(1.0)
+			arrivals = append(arrivals, Arrival{ID: i, Time: tm, Features: []float64{r.Float64()}})
+		}
+		sel := func(x []float64) (int, error) { return r.Intn(2), nil }
+		rt := func(arm int, x []float64) float64 { return 0.5 + 3*x[0] }
+		_, jobs, err := c.RunOnline(arrivals, sel, rt, nil)
+		if err != nil || len(jobs) != 60 {
+			return false
+		}
+		// Sweep: for each (class, node), count overlapping intervals.
+		for class := range opts.Nodes {
+			for node := 0; node < opts.Nodes[class].Count; node++ {
+				type pt struct {
+					t     float64
+					delta int
+				}
+				var pts []pt
+				for _, j := range jobs {
+					if j.Arm == class && j.Node == node {
+						pts = append(pts, pt{j.Start, 1}, pt{j.End, -1})
+					}
+				}
+				// Process ends before starts at equal times.
+				for i := range pts {
+					for k := i + 1; k < len(pts); k++ {
+						if pts[k].t < pts[i].t || (pts[k].t == pts[i].t && pts[k].delta < pts[i].delta) {
+							pts[i], pts[k] = pts[k], pts[i]
+						}
+					}
+				}
+				load := 0
+				for _, p := range pts {
+					load += p.delta
+					if load > opts.Nodes[class].Slots {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverReceivesActualRuntimes(t *testing.T) {
+	c, err := New(twoClassOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed []float64
+	obs := func(arm int, x []float64, runtime float64) error {
+		observed = append(observed, runtime)
+		return nil
+	}
+	arrivals := []Arrival{{ID: 1, Time: 0}, {ID: 2, Time: 1}}
+	_, _, err = c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 1, nil },
+		func(arm int, x []float64) float64 { return 7 },
+		obs,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != 2 || observed[0] != 7 {
+		t.Fatalf("observed = %v", observed)
+	}
+}
+
+func TestSelectorErrorPropagates(t *testing.T) {
+	c, _ := New(twoClassOptions())
+	arrivals := []Arrival{{ID: 1, Time: 0}}
+	_, _, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 9, nil }, // out of range
+		func(arm int, x []float64) float64 { return 1 },
+		nil,
+	)
+	if err == nil {
+		t.Fatal("out-of-range class should fail")
+	}
+}
+
+func TestArrivalOrderEnforced(t *testing.T) {
+	c, _ := New(twoClassOptions())
+	arrivals := []Arrival{{ID: 1, Time: 10}, {ID: 2, Time: 5}}
+	_, _, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return 1 },
+		nil,
+	)
+	if err == nil {
+		t.Fatal("out-of-order arrivals should fail")
+	}
+}
+
+func TestInvalidRuntimeRejected(t *testing.T) {
+	c, _ := New(twoClassOptions())
+	arrivals := []Arrival{{ID: 1, Time: 0}}
+	_, _, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return math.NaN() },
+		nil,
+	)
+	if err == nil {
+		t.Fatal("NaN runtime should fail")
+	}
+}
+
+func TestNilCallbacksRejected(t *testing.T) {
+	c, _ := New(twoClassOptions())
+	if _, _, err := c.RunOnline(nil, nil, nil, nil); err == nil {
+		t.Fatal("nil callbacks should fail")
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	// Two nodes, two slots each; four simultaneous jobs must spread 2+2,
+	// not 2 on one node then queue.
+	opts := Options{Nodes: []NodeSpec{
+		{Config: hardware.Config{Name: "n", CPUs: 2, MemoryGB: 4}, Count: 2, Slots: 2},
+	}}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make([]Arrival, 4)
+	for i := range arrivals {
+		arrivals[i] = Arrival{ID: i, Time: 0}
+	}
+	_, jobs, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return 5 },
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[int]int{}
+	for _, j := range jobs {
+		if j.Wait() != 0 {
+			t.Fatalf("job %d queued despite free capacity", j.ID)
+		}
+		perNode[j.Node]++
+	}
+	if perNode[0] != 2 || perNode[1] != 2 {
+		t.Fatalf("placement spread = %v, want 2/2", perNode)
+	}
+}
+
+func TestFirstFitPacks(t *testing.T) {
+	// FirstFit must fill node 0 before touching node 1.
+	opts := Options{
+		Nodes: []NodeSpec{
+			{Config: hardware.Config{Name: "n", CPUs: 2, MemoryGB: 4}, Count: 2, Slots: 2},
+		},
+		Placement: FirstFit,
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []Arrival{{ID: 0, Time: 0}, {ID: 1, Time: 0}}
+	_, jobs, err := c.RunOnline(arrivals,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return 5 },
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Node != 0 {
+			t.Fatalf("FirstFit placed job %d on node %d", j.ID, j.Node)
+		}
+	}
+}
+
+func TestPlacementAffectsContention(t *testing.T) {
+	// Under contention, LeastLoaded (spread) must yield faster runs than
+	// FirstFit (pack) for two simultaneous jobs on a two-node pool.
+	run := func(p Placement) float64 {
+		opts := Options{
+			Nodes: []NodeSpec{
+				{Config: hardware.Config{Name: "n", CPUs: 2, MemoryGB: 4}, Count: 2, Slots: 2},
+			},
+			ContentionFactor: 0.5,
+			Placement:        p,
+		}
+		c, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := c.RunOnline(
+			[]Arrival{{ID: 0, Time: 0}, {ID: 1, Time: 0}},
+			func(x []float64) (int, error) { return 0, nil },
+			func(arm int, x []float64) float64 { return 10 },
+			nil,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Makespan
+	}
+	spread := run(LeastLoaded)
+	packed := run(FirstFit)
+	if spread >= packed {
+		t.Fatalf("spread makespan %v not below packed %v", spread, packed)
+	}
+}
+
+func TestEmptyArrivals(t *testing.T) {
+	c, _ := New(twoClassOptions())
+	m, jobs, err := c.RunOnline(nil,
+		func(x []float64) (int, error) { return 0, nil },
+		func(arm int, x []float64) float64 { return 1 },
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 0 || len(jobs) != 0 {
+		t.Fatal("empty simulation should complete zero jobs")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"banditware/internal/rng"
+)
+
+func TestPredictWithCI(t *testing.T) {
+	b := newTestBandit(t, 1, Options{Seed: 71})
+	// Before any observations: infinite intervals.
+	ivs, err := b.PredictWithCI([]float64{10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range ivs {
+		if !math.IsInf(iv.Lo, -1) || !math.IsInf(iv.Hi, 1) {
+			t.Fatal("untrained arm should report infinite interval")
+		}
+	}
+	// Train arm 0 on y = 3x + 5 with σ = 2.
+	r := rng.New(72)
+	for i := 0; i < 200; i++ {
+		x := []float64{r.Uniform(0, 20)}
+		if err := b.Observe(0, x, 3*x[0]+5+r.Normal(0, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivs, err = b.PredictWithCI([]float64{10}, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ivs[0]
+	truth := 3*10.0 + 5
+	if iv.Lo > truth || iv.Hi < truth {
+		t.Fatalf("95%% interval [%v, %v] misses truth %v", iv.Lo, iv.Hi, truth)
+	}
+	// Interval should be a handful of σ wide, not degenerate or huge.
+	// (The residual tracker includes the large early-round errors, so the
+	// width overestimates σ initially — by 200 rounds it must be sane.)
+	width := iv.Hi - iv.Lo
+	if width < 2 || width > 60 {
+		t.Fatalf("interval width = %v, want O(4σ)", width)
+	}
+	// Untrained arm 1 still infinite.
+	if !math.IsInf(ivs[1].Hi, 1) {
+		t.Fatal("arm 1 should still be untrained")
+	}
+}
+
+func TestPredictWithCIDimError(t *testing.T) {
+	b := newTestBandit(t, 2, Options{})
+	if _, err := b.PredictWithCI([]float64{1}, 0); err != ErrDim {
+		t.Fatal("wrong dim should be ErrDim")
+	}
+}
+
+func TestPredictWithCIShrinksWithData(t *testing.T) {
+	b := newTestBandit(t, 1, Options{Seed: 73})
+	r := rng.New(74)
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			x := []float64{r.Uniform(0, 20)}
+			_ = b.Observe(0, x, 2*x[0]+r.Normal(0, 1))
+		}
+	}
+	feed(10)
+	iv10, _ := b.PredictWithCI([]float64{10}, 0)
+	feed(500)
+	iv500, _ := b.PredictWithCI([]float64{10}, 0)
+	if iv500[0].Hi-iv500[0].Lo >= iv10[0].Hi-iv10[0].Lo {
+		t.Fatalf("interval did not shrink with data: %v -> %v",
+			iv10[0].Hi-iv10[0].Lo, iv500[0].Hi-iv500[0].Lo)
+	}
+}

@@ -1,0 +1,432 @@
+// Package core implements the paper's primary contribution: Algorithm 1,
+// the Decaying Contextual ε-Greedy Strategy with Tolerant Selection.
+//
+// A Bandit maintains one linear runtime model R̂(H_i, x) = wᵢᵀx + bᵢ per
+// hardware arm. For each incoming workflow it either explores (uniformly
+// random arm, probability ε) or exploits via tolerant selection: among all
+// arms whose predicted runtime is within
+//
+//	R_limit = (1 + tolerance_ratio)·R̂(H_fastest, x) + tolerance_seconds
+//
+// it chooses the most resource-efficient arm. After observing the actual
+// runtime it refits the chosen arm's model and decays ε ← α·ε.
+//
+// Per-arm fitting uses recursive least squares, which is algebraically
+// equivalent to the paper's per-round batch least-squares refit (up to the
+// infinitesimal ridge prior) while costing O(d²) per observation. A
+// paper-literal batch refit mode is available for cross-checking
+// (Options.BatchRefit); the equivalence is verified in the tests.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"banditware/internal/hardware"
+	"banditware/internal/regress"
+	"banditware/internal/rng"
+	"banditware/internal/stats"
+)
+
+// Errors returned by the bandit.
+var (
+	ErrDim      = errors.New("core: feature dimension mismatch")
+	ErrArm      = errors.New("core: arm index out of range")
+	ErrBadValue = errors.New("core: non-finite observation")
+)
+
+// Options configures Algorithm 1. The zero value selects the paper's
+// experimental settings (α = 0.99, ε₀ = 1, zero tolerances).
+type Options struct {
+	// Alpha is the multiplicative ε decay factor per observed workflow.
+	// 0 selects the paper's 0.99.
+	Alpha float64
+	// Epsilon0 is the initial exploration probability. Negative values are
+	// rejected; 0 means "use the paper's 1.0" unless ZeroEpsilon is set.
+	Epsilon0 float64
+	// ZeroEpsilon forces ε₀ = 0 (pure exploitation), distinguishing an
+	// intentional zero from the unset zero value.
+	ZeroEpsilon bool
+	// MinEpsilon is a floor on ε (an extension; the paper decays to 0).
+	MinEpsilon float64
+	// ToleranceRatio is the paper's tolerance_ratio (t_r).
+	ToleranceRatio float64
+	// ToleranceSeconds is the paper's tolerance_seconds (t_s).
+	ToleranceSeconds float64
+	// RidgeLambda is the RLS prior weight; 0 selects regress.DefaultLambda.
+	RidgeLambda float64
+	// ForgettingFactor, when in (0, 1), makes the per-arm models discount
+	// old observations exponentially (effective memory ≈ 1/(1−factor)
+	// samples), so the recommender tracks hardware whose performance
+	// drifts over time. 0 (and 1) mean no forgetting — the paper's
+	// stationary setting.
+	ForgettingFactor float64
+	// Seed drives the exploration randomness.
+	Seed uint64
+	// BatchRefit stores every observation and refits the chosen arm by
+	// batch least squares on each Observe — the literal Algorithm 1 line
+	// 11. Slower (O(n·d²) per observe) and numerically equivalent.
+	BatchRefit bool
+	// FeatureScale holds optional per-feature divisors applied before
+	// fitting and prediction. When workload features span many orders of
+	// magnitude (BurnPro3D mixes byte counts ~10¹⁰ with moisture
+	// fractions ~0.3) the unscaled early-round least-squares models
+	// extrapolate wildly; dividing by a rough magnitude (e.g. the
+	// trace's per-feature standard deviation) keeps them tame. Exported
+	// models (Model, SaveState) are always in raw feature space.
+	FeatureScale []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.99
+	}
+	if o.Epsilon0 == 0 && !o.ZeroEpsilon {
+		o.Epsilon0 = 1
+	}
+	return o
+}
+
+// Validate rejects non-sensical parameters.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.Alpha < 0 || o.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v outside [0,1]", o.Alpha)
+	}
+	if o.Epsilon0 < 0 || o.Epsilon0 > 1 {
+		return fmt.Errorf("core: epsilon0 %v outside [0,1]", o.Epsilon0)
+	}
+	if o.MinEpsilon < 0 || o.MinEpsilon > 1 {
+		return fmt.Errorf("core: min epsilon %v outside [0,1]", o.MinEpsilon)
+	}
+	if o.ToleranceRatio < 0 {
+		return fmt.Errorf("core: negative tolerance ratio %v", o.ToleranceRatio)
+	}
+	if o.ToleranceSeconds < 0 {
+		return fmt.Errorf("core: negative tolerance seconds %v", o.ToleranceSeconds)
+	}
+	if o.ForgettingFactor < 0 || o.ForgettingFactor > 1 {
+		return fmt.Errorf("core: forgetting factor %v outside [0,1]", o.ForgettingFactor)
+	}
+	return nil
+}
+
+// arm is the per-hardware state: the online model plus (optionally) the
+// stored observations D_i for batch refitting and introspection.
+type arm struct {
+	rls   *regress.RLS
+	xs    [][]float64
+	ys    []float64
+	model regress.Model // snapshot used for predictions
+
+	// residual variance tracker (squared one-step-ahead prediction
+	// errors) feeding the confidence intervals.
+	resid stats.Welford
+}
+
+// Bandit is the Algorithm 1 recommender. It is not safe for concurrent
+// use; wrap it or shard per goroutine.
+type Bandit struct {
+	opts  Options
+	hw    hardware.Set
+	dim   int
+	eps   float64
+	arms  []*arm
+	rnd   *rng.Source
+	round int
+
+	scaleBuf []float64 // scratch for feature scaling
+}
+
+// scaled returns x divided elementwise by the configured feature scale
+// (or x itself when no scaling is configured). The returned slice is a
+// shared scratch buffer — do not retain it.
+func (b *Bandit) scaled(x []float64) []float64 {
+	if b.opts.FeatureScale == nil {
+		return x
+	}
+	for i, v := range x {
+		b.scaleBuf[i] = v / b.opts.FeatureScale[i]
+	}
+	return b.scaleBuf
+}
+
+// New constructs a bandit over the given hardware set for workflows with
+// dim features.
+func New(hw hardware.Set, dim int, opts Options) (*Bandit, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if dim < 0 {
+		return nil, fmt.Errorf("core: negative feature dimension %d", dim)
+	}
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.FeatureScale != nil {
+		if len(opts.FeatureScale) != dim {
+			return nil, fmt.Errorf("core: feature scale has %d entries, want %d", len(opts.FeatureScale), dim)
+		}
+		for i, s := range opts.FeatureScale {
+			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return nil, fmt.Errorf("core: feature scale[%d] = %v must be positive and finite", i, s)
+			}
+		}
+	}
+	b := &Bandit{
+		opts:     opts,
+		hw:       hw,
+		dim:      dim,
+		eps:      opts.Epsilon0,
+		rnd:      rng.New(opts.Seed),
+		scaleBuf: make([]float64, dim),
+	}
+	forget := opts.ForgettingFactor
+	if forget == 0 {
+		forget = 1
+	}
+	b.arms = make([]*arm, len(hw))
+	for i := range b.arms {
+		rls, err := regress.NewRLSForgetting(dim, opts.RidgeLambda, forget)
+		if err != nil {
+			return nil, err
+		}
+		b.arms[i] = &arm{rls: rls, model: regress.Zero(dim)}
+	}
+	return b, nil
+}
+
+// NumArms returns the number of hardware arms.
+func (b *Bandit) NumArms() int { return len(b.arms) }
+
+// Dim returns the feature dimension.
+func (b *Bandit) Dim() int { return b.dim }
+
+// Epsilon returns the current exploration probability.
+func (b *Bandit) Epsilon() float64 { return b.eps }
+
+// Round returns the number of observations absorbed so far.
+func (b *Bandit) Round() int { return b.round }
+
+// Hardware returns the hardware set (shared; do not mutate).
+func (b *Bandit) Hardware() hardware.Set { return b.hw }
+
+// Model returns a snapshot of arm i's current linear model in raw
+// feature space (feature scaling, if configured, is folded into the
+// weights).
+func (b *Bandit) Model(i int) (regress.Model, error) {
+	if i < 0 || i >= len(b.arms) {
+		return regress.Model{}, ErrArm
+	}
+	m := b.arms[i].model.Clone()
+	if b.opts.FeatureScale != nil {
+		for j := range m.Weights {
+			m.Weights[j] /= b.opts.FeatureScale[j]
+		}
+	}
+	return m, nil
+}
+
+// ArmObservations returns how many observations arm i has absorbed.
+func (b *Bandit) ArmObservations(i int) (int, error) {
+	if i < 0 || i >= len(b.arms) {
+		return 0, ErrArm
+	}
+	return b.arms[i].rls.N(), nil
+}
+
+// PredictAll returns the estimated runtime R̂(H_i, x) for every arm
+// (Algorithm 1, line 5).
+func (b *Bandit) PredictAll(x []float64) ([]float64, error) {
+	if len(x) != b.dim {
+		return nil, ErrDim
+	}
+	sx := b.scaled(x)
+	out := make([]float64, len(b.arms))
+	for i, a := range b.arms {
+		out[i] = a.model.Predict(sx)
+	}
+	return out, nil
+}
+
+// Decision records one recommendation.
+type Decision struct {
+	// Arm is the selected hardware index.
+	Arm int
+	// Explored reports whether the arm came from the ε random branch.
+	Explored bool
+	// Predicted holds the per-arm runtime estimates used.
+	Predicted []float64
+	// Epsilon is the exploration probability at decision time.
+	Epsilon float64
+}
+
+// Recommend runs lines 5–7 of Algorithm 1 for a workflow with features x.
+// It does not change any state except consuming randomness.
+func (b *Bandit) Recommend(x []float64) (Decision, error) {
+	preds, err := b.PredictAll(x)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{Predicted: preds, Epsilon: b.eps}
+	if b.rnd.Float64() < b.eps {
+		d.Arm = b.rnd.Intn(len(b.arms))
+		d.Explored = true
+		return d, nil
+	}
+	d.Arm = TolerantSelect(preds, b.hw, b.opts.ToleranceRatio, b.opts.ToleranceSeconds)
+	return d, nil
+}
+
+// TolerantSelect implements Algorithm 1's exploitation branch: find the
+// minimum predicted runtime, form the tolerance threshold
+// R_limit = (1+tr)·R̂_fastest + ts, and among arms within the threshold
+// return the most resource-efficient. Non-finite predictions are excluded;
+// if every prediction is non-finite, arm 0 is returned.
+//
+// Runtimes are physically non-negative, so the envelope is anchored at
+// max(R̂_fastest, 0): a linear model extrapolating below zero (common when
+// fitting a line to superlinear data at small inputs) must not collapse
+// the tolerance window to nothing.
+func TolerantSelect(preds []float64, hw hardware.Set, tr, ts float64) int {
+	fastest := -1
+	for i, p := range preds {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			continue
+		}
+		if fastest == -1 || p < preds[fastest] {
+			fastest = i
+		}
+	}
+	if fastest == -1 {
+		return 0
+	}
+	base := preds[fastest]
+	if base < 0 {
+		base = 0
+	}
+	limit := (1+tr)*base + ts
+	var candidates []int
+	for i, p := range preds {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			continue
+		}
+		if p <= limit {
+			candidates = append(candidates, i)
+		}
+	}
+	// The fastest arm is within its own envelope except when a negative
+	// prediction shrinks the ratio term below itself; keep it reachable.
+	if len(candidates) == 0 {
+		return fastest
+	}
+	if best := hw.MostEfficient(candidates); best >= 0 {
+		return best
+	}
+	return fastest
+}
+
+// Interval is a symmetric prediction interval.
+type Interval struct {
+	Lo, Mid, Hi float64
+}
+
+// PredictWithCI returns, for every arm, the runtime estimate with an
+// approximate prediction interval Mid ± z·σ̂ᵢ·√(1 + u), where σ̂ᵢ is the
+// arm's one-step-ahead residual standard deviation and u = xᵀ(XᵀX+λI)⁻¹x
+// is the parameter-uncertainty term from the arm's estimator. z <= 0
+// selects 1.96 (~95%). Arms with fewer than two observations report
+// infinite intervals — honest ignorance.
+func (b *Bandit) PredictWithCI(x []float64, z float64) ([]Interval, error) {
+	if len(x) != b.dim {
+		return nil, ErrDim
+	}
+	if z <= 0 {
+		z = 1.96
+	}
+	sx := b.scaled(x)
+	out := make([]Interval, len(b.arms))
+	for i, a := range b.arms {
+		mid := a.model.Predict(sx)
+		out[i].Mid = mid
+		if a.resid.N() < 2 {
+			out[i].Lo = math.Inf(-1)
+			out[i].Hi = math.Inf(1)
+			continue
+		}
+		u := a.rls.Uncertainty(sx)
+		half := z * a.resid.StdDev() * math.Sqrt(1+u)
+		out[i].Lo = mid - half
+		out[i].Hi = mid + half
+	}
+	return out, nil
+}
+
+// Exploit returns the tolerant selection for features x without consuming
+// any exploration randomness — the pure "line 7" decision. Evaluation
+// harnesses use it to measure model quality independent of ε.
+func (b *Bandit) Exploit(x []float64) (int, error) {
+	preds, err := b.PredictAll(x)
+	if err != nil {
+		return 0, err
+	}
+	return TolerantSelect(preds, b.hw, b.opts.ToleranceRatio, b.opts.ToleranceSeconds), nil
+}
+
+// Observe runs lines 9–12 of Algorithm 1: record the actual runtime of the
+// workflow on the chosen arm, refit that arm's model, and decay ε.
+func (b *Bandit) Observe(armIdx int, x []float64, runtime float64) error {
+	if armIdx < 0 || armIdx >= len(b.arms) {
+		return ErrArm
+	}
+	if len(x) != b.dim {
+		return ErrDim
+	}
+	if math.IsNaN(runtime) || math.IsInf(runtime, 0) {
+		return ErrBadValue
+	}
+	a := b.arms[armIdx]
+	sx := b.scaled(x)
+	// One-step-ahead residual, recorded before the model absorbs the
+	// observation (an honest out-of-sample error).
+	a.resid.Add(runtime - a.model.Predict(sx))
+	if err := a.rls.Update(sx, runtime); err != nil {
+		return err
+	}
+	if b.opts.BatchRefit {
+		a.xs = append(a.xs, append([]float64(nil), sx...))
+		a.ys = append(a.ys, runtime)
+		m, err := regress.FitOLS(a.xs, a.ys, b.opts.RidgeLambda)
+		if err != nil {
+			// Degenerate designs (e.g. a single repeated point) fall back
+			// to the online estimate, which is always defined.
+			m = a.rls.Model()
+		}
+		a.model = m
+	} else {
+		a.model = a.rls.Model()
+	}
+	b.round++
+	b.eps *= b.opts.Alpha
+	if b.eps < b.opts.MinEpsilon {
+		b.eps = b.opts.MinEpsilon
+	}
+	return nil
+}
+
+// Step is the full Algorithm 1 loop body for one workflow: recommend, let
+// the caller run the workflow via run (which returns the actual runtime on
+// the chosen hardware), then observe. It returns the decision and runtime.
+func (b *Bandit) Step(x []float64, run func(armIdx int) float64) (Decision, float64, error) {
+	d, err := b.Recommend(x)
+	if err != nil {
+		return Decision{}, 0, err
+	}
+	rt := run(d.Arm)
+	if err := b.Observe(d.Arm, x, rt); err != nil {
+		return d, rt, err
+	}
+	return d, rt, nil
+}

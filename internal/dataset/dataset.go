@@ -1,0 +1,204 @@
+// Package dataset implements the paper's Figure-1 input pipeline: raw
+// application-performance records arrive as one table per hardware setting
+// (ID, runtime, cpu, …); "Retrieve Useful Data" projects the columns the
+// recommender needs; "Merge" combines the per-hardware tables into the
+// single long-form table BanditWare trains on. The package also persists
+// workload traces as CSV and converts between trace and dataframe forms.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"banditware/internal/frame"
+	"banditware/internal/hardware"
+	"banditware/internal/workloads"
+)
+
+// Column names used in the canonical long-form table.
+const (
+	ColID       = "id"
+	ColHardware = "hardware"
+	ColCPUs     = "cpus"
+	ColMemoryGB = "memory_gb"
+	ColRuntime  = "runtime"
+)
+
+// ErrSchema is returned when a table lacks the canonical columns.
+var ErrSchema = errors.New("dataset: table does not match the canonical run schema")
+
+// ToFrame renders a workload trace as the canonical long-form dataframe:
+// id, hardware, cpus, memory_gb, <features...>, runtime.
+func ToFrame(d *workloads.Dataset) (*frame.Frame, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Runs)
+	ids := make([]int64, n)
+	hw := make([]string, n)
+	cpus := make([]int64, n)
+	mem := make([]float64, n)
+	rt := make([]float64, n)
+	feats := make([][]float64, d.Dim())
+	for j := range feats {
+		feats[j] = make([]float64, n)
+	}
+	names := d.Hardware.Names()
+	for i, r := range d.Runs {
+		ids[i] = int64(r.ID)
+		hw[i] = names[r.Arm]
+		cpus[i] = int64(d.Hardware[r.Arm].CPUs)
+		mem[i] = d.Hardware[r.Arm].MemoryGB
+		rt[i] = r.Runtime
+		for j, v := range r.Features {
+			feats[j][i] = v
+		}
+	}
+	cols := []*frame.Column{
+		frame.IntCol(ColID, ids),
+		frame.StringCol(ColHardware, hw),
+		frame.IntCol(ColCPUs, cpus),
+		frame.FloatCol(ColMemoryGB, mem),
+	}
+	for j, name := range d.FeatureNames {
+		cols = append(cols, frame.FloatCol(name, feats[j]))
+	}
+	cols = append(cols, frame.FloatCol(ColRuntime, rt))
+	return frame.New(cols...)
+}
+
+// PerHardwareFrames splits a trace into one frame per hardware setting —
+// the form the raw data arrives in per Figure 1 (a table per Hn).
+func PerHardwareFrames(d *workloads.Dataset) (map[string]*frame.Frame, error) {
+	full, err := ToFrame(d)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*frame.Frame, len(d.Hardware))
+	for _, name := range d.Hardware.Names() {
+		name := name
+		sub := full.Filter(func(r frame.Row) bool { return r.String(ColHardware) == name })
+		out[name] = sub
+	}
+	return out, nil
+}
+
+// Merge is the Figure-1 "Merge" step: it concatenates per-hardware frames
+// (which must share the canonical schema) back into one long-form table,
+// ordered by hardware name then original row order.
+func Merge(perHW map[string]*frame.Frame, order []string) (*frame.Frame, error) {
+	if len(perHW) == 0 {
+		return nil, errors.New("dataset: nothing to merge")
+	}
+	if order == nil {
+		for name := range perHW {
+			order = append(order, name)
+		}
+		sortStrings(order)
+	}
+	var merged *frame.Frame
+	for _, name := range order {
+		f, ok := perHW[name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: merge order references unknown hardware %q", name)
+		}
+		if merged == nil {
+			merged = f
+			continue
+		}
+		var err error
+		merged, err = frame.Concat(merged, f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: merging %q: %w", name, err)
+		}
+	}
+	return merged, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// RetrieveUseful is the Figure-1 "Retrieve Useful Data" step: it projects
+// the canonical table down to the columns a recommender consumes —
+// id, hardware, the named features, and runtime.
+func RetrieveUseful(f *frame.Frame, featureNames []string) (*frame.Frame, error) {
+	cols := append([]string{ColID, ColHardware}, featureNames...)
+	cols = append(cols, ColRuntime)
+	out, err := f.Select(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSchema, err)
+	}
+	return out, nil
+}
+
+// FromFrame reconstructs a workload trace from a canonical long-form
+// table. The hardware set is reconstructed from the hardware/cpus/
+// memory_gb columns; ground-truth closures are absent (Truth and Noise
+// are nil) since a CSV cannot carry them — datasets loaded this way
+// support offline evaluation but not counterfactual simulation.
+func FromFrame(f *frame.Frame, featureNames []string) (*workloads.Dataset, error) {
+	for _, c := range []string{ColID, ColHardware, ColCPUs, ColMemoryGB, ColRuntime} {
+		if _, err := f.Column(c); err != nil {
+			return nil, fmt.Errorf("%w: missing %q", ErrSchema, c)
+		}
+	}
+	d := &workloads.Dataset{
+		App:          "csv",
+		FeatureNames: append([]string(nil), featureNames...),
+	}
+	armIdx := map[string]int{}
+	for i := 0; i < f.NumRows(); i++ {
+		row := f.RowAt(i)
+		hwName := row.String(ColHardware)
+		arm, ok := armIdx[hwName]
+		if !ok {
+			arm = len(d.Hardware)
+			armIdx[hwName] = arm
+			cpus := int(row.Float(ColCPUs))
+			d.Hardware = append(d.Hardware, hardware.Config{
+				Name:     hwName,
+				CPUs:     cpus,
+				MemoryGB: row.Float(ColMemoryGB),
+			})
+		}
+		x := make([]float64, len(featureNames))
+		for j, name := range featureNames {
+			x[j] = row.Float(name)
+		}
+		id, _ := strconv.Atoi(row.String(ColID))
+		d.Runs = append(d.Runs, workloads.Run{
+			ID:       id,
+			Arm:      arm,
+			Features: x,
+			Runtime:  row.Float(ColRuntime),
+		})
+	}
+	if err := d.Hardware.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: reconstructed hardware invalid: %w", err)
+	}
+	return d, nil
+}
+
+// WriteCSV persists a trace to a CSV file in canonical long form.
+func WriteCSV(d *workloads.Dataset, path string) error {
+	f, err := ToFrame(d)
+	if err != nil {
+		return err
+	}
+	return f.WriteCSVFile(path)
+}
+
+// ReadCSV loads a trace from a canonical long-form CSV file.
+func ReadCSV(path string, featureNames []string) (*workloads.Dataset, error) {
+	f, err := frame.ReadCSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(f, featureNames)
+}

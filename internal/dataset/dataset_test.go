@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"banditware/internal/frame"
+	"banditware/internal/workloads"
+)
+
+func cyclesDS(t *testing.T) *workloads.Dataset {
+	t.Helper()
+	d, err := workloads.GenerateCycles(workloads.CyclesOptions{Seed: 1, NumRuns: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestToFrame(t *testing.T) {
+	d := cyclesDS(t)
+	f, err := ToFrame(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != len(d.Runs) {
+		t.Fatalf("frame rows = %d, want %d", f.NumRows(), len(d.Runs))
+	}
+	for _, col := range []string{ColID, ColHardware, ColCPUs, ColMemoryGB, "num_tasks", ColRuntime} {
+		if _, err := f.Column(col); err != nil {
+			t.Fatalf("missing column %q", col)
+		}
+	}
+	// Spot-check alignment of the first run.
+	r0 := f.RowAt(0)
+	if r0.Float(ColRuntime) != d.Runs[0].Runtime {
+		t.Fatal("runtime column misaligned")
+	}
+	if r0.Float("num_tasks") != d.Runs[0].Features[0] {
+		t.Fatal("feature column misaligned")
+	}
+}
+
+func TestToFrameRejectsInvalid(t *testing.T) {
+	d := cyclesDS(t)
+	d.Runs = nil
+	if _, err := ToFrame(d); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+}
+
+func TestPerHardwareFramesAndMerge(t *testing.T) {
+	d := cyclesDS(t)
+	perHW, err := PerHardwareFrames(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perHW) != len(d.Hardware) {
+		t.Fatalf("per-hw frames = %d, want %d", len(perHW), len(d.Hardware))
+	}
+	total := 0
+	for name, f := range perHW {
+		for i := 0; i < f.NumRows(); i++ {
+			if f.RowAt(i).String(ColHardware) != name {
+				t.Fatalf("frame %q contains foreign hardware row", name)
+			}
+		}
+		total += f.NumRows()
+	}
+	if total != len(d.Runs) {
+		t.Fatalf("row conservation: %d != %d", total, len(d.Runs))
+	}
+	merged, err := Merge(perHW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumRows() != len(d.Runs) {
+		t.Fatalf("merged rows = %d, want %d", merged.NumRows(), len(d.Runs))
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(nil, nil); err == nil {
+		t.Fatal("empty merge should fail")
+	}
+	d := cyclesDS(t)
+	perHW, err := PerHardwareFrames(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(perHW, []string{"nope"}); err == nil {
+		t.Fatal("unknown hardware in order should fail")
+	}
+}
+
+func TestRetrieveUseful(t *testing.T) {
+	d := cyclesDS(t)
+	full, err := ToFrame(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	useful, err := RetrieveUseful(full, []string{"num_tasks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := useful.Names()
+	want := []string{ColID, ColHardware, "num_tasks", ColRuntime}
+	if len(names) != len(want) {
+		t.Fatalf("columns = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("columns = %v, want %v", names, want)
+		}
+	}
+	if _, err := RetrieveUseful(full, []string{"bogus"}); !errors.Is(err, ErrSchema) {
+		t.Fatal("unknown feature should be ErrSchema")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := cyclesDS(t)
+	path := filepath.Join(t.TempDir(), "cycles.csv")
+	if err := WriteCSV(d, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(path, d.FeatureNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != len(d.Runs) {
+		t.Fatalf("round trip runs = %d, want %d", len(back.Runs), len(d.Runs))
+	}
+	if len(back.Hardware) != len(d.Hardware) {
+		t.Fatalf("round trip hardware = %d, want %d", len(back.Hardware), len(d.Hardware))
+	}
+	for i := range back.Runs {
+		if back.Runs[i].ID != d.Runs[i].ID {
+			t.Fatalf("run %d id mismatch", i)
+		}
+		if math.Abs(back.Runs[i].Runtime-d.Runs[i].Runtime) > 1e-9 {
+			t.Fatalf("run %d runtime drift", i)
+		}
+		if back.Hardware[back.Runs[i].Arm].Name != d.Hardware[d.Runs[i].Arm].Name {
+			t.Fatalf("run %d arm mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVMissingFile(t *testing.T) {
+	if _, err := ReadCSV("/nonexistent/file.csv", nil); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestFromFrameSchemaErrors(t *testing.T) {
+	f, err := frame.New(frame.IntCol("x", []int64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFrame(f, nil); !errors.Is(err, ErrSchema) {
+		t.Fatal("missing canonical columns should be ErrSchema")
+	}
+}
+
+func TestFromFrameBadHardware(t *testing.T) {
+	f, err := frame.New(
+		frame.IntCol(ColID, []int64{0}),
+		frame.StringCol(ColHardware, []string{"H0"}),
+		frame.IntCol(ColCPUs, []int64{0}), // invalid CPU count
+		frame.FloatCol(ColMemoryGB, []float64{16}),
+		frame.FloatCol(ColRuntime, []float64{10}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFrame(f, nil); err == nil {
+		t.Fatal("invalid reconstructed hardware should fail")
+	}
+}
+
+func TestFigure1Pipeline(t *testing.T) {
+	// End-to-end Figure 1: per-hardware tables → retrieve useful → merge.
+	d, err := workloads.GenerateBP3D(workloads.BP3DOptions{Seed: 2, NumRuns: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHW, err := PerHardwareFrames(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	useful := make(map[string]*frame.Frame, len(perHW))
+	for name, f := range perHW {
+		u, err := RetrieveUseful(f, []string{"area"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		useful[name] = u
+	}
+	merged, err := Merge(useful, d.Hardware.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumRows() != 90 {
+		t.Fatalf("pipeline output rows = %d, want 90", merged.NumRows())
+	}
+	if merged.NumCols() != 4 {
+		t.Fatalf("pipeline output cols = %d, want 4 (id, hardware, area, runtime)", merged.NumCols())
+	}
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"banditware/internal/regress"
+	"banditware/internal/workloads"
+)
+
+// FitSeries holds one arm's predicted-vs-actual overlay along a sweep of
+// the dataset's key feature — the content of the paper's Figures 3 and 6.
+type FitSeries struct {
+	ArmName string
+	// X is the swept feature value (num_tasks for Cycles, area for BP3D).
+	X []float64
+	// Actual is the ground-truth expected runtime.
+	Actual []float64
+	// Predicted is the bandit's learned model evaluated at X.
+	Predicted []float64
+	// FullFit is the batch OLS fit on the whole trace at X (the
+	// "actual fitting" diamonds of Figure 3).
+	FullFit []float64
+}
+
+// FitConfig configures a fit-overlay experiment.
+type FitConfig struct {
+	// Bandit is the online-simulation config; its FinalModels provide the
+	// predicted curves.
+	Bandit BanditConfig
+	// Feature names the swept feature; it must exist in the dataset.
+	Feature string
+	// Lo, Hi, Steps define the sweep grid.
+	Lo, Hi float64
+	Steps  int
+}
+
+// RunFit runs one bandit experiment and evaluates the learned per-arm
+// models along the feature sweep against ground truth and the full-trace
+// OLS fit. For multi-feature datasets the non-swept features are pinned
+// at their trace means.
+func RunFit(cfg FitConfig) ([]FitSeries, *BanditResult, error) {
+	d := cfg.Bandit.Dataset
+	if d == nil {
+		return nil, nil, errors.New("experiment: nil dataset")
+	}
+	fi := d.FeatureIndex(cfg.Feature)
+	if fi < 0 {
+		return nil, nil, fmt.Errorf("experiment: no feature %q", cfg.Feature)
+	}
+	if cfg.Steps < 2 {
+		return nil, nil, fmt.Errorf("experiment: need >= 2 sweep steps, got %d", cfg.Steps)
+	}
+	if cfg.Hi <= cfg.Lo {
+		return nil, nil, fmt.Errorf("experiment: empty sweep [%v, %v]", cfg.Lo, cfg.Hi)
+	}
+	res, err := RunBandit(cfg.Bandit)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Full-trace OLS per arm (the paper's "actual fitting").
+	byArmX, byArmY := d.ByArm()
+	rec, err := regress.FitRecommender(d.Hardware, byArmX, byArmY, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Pin non-swept features at their means.
+	means := featureMeans(d)
+	names := d.Hardware.Names()
+	series := make([]FitSeries, len(d.Hardware))
+	for arm := range series {
+		s := FitSeries{ArmName: names[arm]}
+		for step := 0; step < cfg.Steps; step++ {
+			v := cfg.Lo + (cfg.Hi-cfg.Lo)*float64(step)/float64(cfg.Steps-1)
+			x := append([]float64(nil), means...)
+			x[fi] = v
+			s.X = append(s.X, v)
+			s.Actual = append(s.Actual, d.Truth(arm, x))
+			s.Predicted = append(s.Predicted, res.FinalModels[arm].Predict(x))
+			s.FullFit = append(s.FullFit, rec.Models[arm].Predict(x))
+		}
+		series[arm] = s
+	}
+	return series, res, nil
+}
+
+func featureMeans(d *workloads.Dataset) []float64 {
+	means := make([]float64, d.Dim())
+	if len(d.Runs) == 0 {
+		return means
+	}
+	for _, r := range d.Runs {
+		for j, v := range r.Features {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(len(d.Runs))
+	}
+	return means
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+
+	"banditware/internal/workloads"
+)
+
+func TestRunLinRegPooledBeatsPerArmOnTinySamples(t *testing.T) {
+	// With 25 samples over 3 near-identical arms, per-arm 8-parameter
+	// fits are underdetermined while a pooled fit is not: pooled must
+	// yield a materially smaller median normalised RMSE.
+	d, err := workloads.GenerateBP3D(workloads.BP3DOptions{Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunLinReg(LinRegConfig{
+		Dataset: d, NModels: 25, TrainN: 25,
+		Normalize: true, ScaleFeatures: true, Pooled: true, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perArm, err := RunLinReg(LinRegConfig{
+		Dataset: d, NModels: 25, TrainN: 25,
+		Normalize: true, ScaleFeatures: true, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := pooled.RMSESummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := perArm.RMSESummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Median >= sa.Median {
+		t.Fatalf("pooled median NRMSE %v not below per-arm %v", sp.Median, sa.Median)
+	}
+	// Pooled fits on this trace land in the paper's Figure-5 band.
+	if sp.Median < 0.5 || sp.Median > 1.2 {
+		t.Fatalf("pooled median NRMSE %v outside the plausible band", sp.Median)
+	}
+}
+
+func TestMarkdownRoundsFiltering(t *testing.T) {
+	d, err := workloads.GenerateCycles(workloads.CyclesOptions{Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBandit(BanditConfig{Dataset: d, NRounds: 10, NSim: 2, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range and duplicate picks must be dropped silently.
+	md := MarkdownRounds(res, []int{0, 1, 1, 99, 10})
+	rows := 0
+	for _, line := range splitLines(md) {
+		if len(line) > 0 && line[0] == '|' {
+			rows++
+		}
+	}
+	// Header + separator + two valid picks (1 and 10).
+	if rows != 4 {
+		t.Fatalf("markdown rows = %d, want 4\n%s", rows, md)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"banditware/internal/policy"
+	"banditware/internal/rng"
+	"banditware/internal/stats"
+	"banditware/internal/workloads"
+)
+
+// PolicyFactory builds a fresh policy instance for one simulation.
+// Factories receive a seed so stochastic policies stay reproducible yet
+// independent across simulations.
+type PolicyFactory func(numArms, dim int, seed uint64) (policy.Policy, error)
+
+// SweepConfig configures a policy-comparison sweep — the ablation axis
+// the paper defers to future work ("different and more complex contextual
+// bandit algorithms").
+type SweepConfig struct {
+	Dataset  *workloads.Dataset
+	NRounds  int
+	NSim     int
+	Seed     uint64
+	Policies map[string]PolicyFactory
+}
+
+// SweepRow reports one policy's aggregate behaviour.
+type SweepRow struct {
+	Policy string
+	// FinalAccuracy is the strict best-arm accuracy over the trace after
+	// the last round (mean over simulations).
+	FinalAccuracy float64
+	// MeanRegret is the per-round mean of truth(chosen) − truth(best),
+	// averaged over rounds and simulations — the bandit-literature regret
+	// in seconds.
+	MeanRegret float64
+	// TotalRuntime is the mean cumulative observed runtime across a
+	// simulation (what a user would actually have waited).
+	TotalRuntime float64
+}
+
+// RunSweep runs every policy through the same online protocol and
+// reports accuracy and regret.
+func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
+	if cfg.Dataset == nil {
+		return nil, errors.New("experiment: nil dataset")
+	}
+	if err := cfg.Dataset.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NRounds <= 0 || cfg.NSim <= 0 {
+		return nil, fmt.Errorf("experiment: need positive rounds/sims, got %d/%d", cfg.NRounds, cfg.NSim)
+	}
+	if len(cfg.Policies) == 0 {
+		return nil, errors.New("experiment: no policies to sweep")
+	}
+	d := cfg.Dataset
+	dim := d.Dim()
+	numArms := len(d.Hardware)
+
+	// Deterministic policy order: sort names.
+	names := make([]string, 0, len(cfg.Policies))
+	for n := range cfg.Policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var rows []SweepRow
+	for _, name := range names {
+		factory := cfg.Policies[name]
+		root := rng.New(cfg.Seed)
+		accs := make([]float64, 0, cfg.NSim)
+		regrets := make([]float64, 0, cfg.NSim)
+		totals := make([]float64, 0, cfg.NSim)
+		for sim := 0; sim < cfg.NSim; sim++ {
+			simRng := root.Split()
+			p, err := factory(numArms, dim, simRng.Uint64())
+			if err != nil {
+				return nil, fmt.Errorf("experiment: policy %q: %w", name, err)
+			}
+			var regret, total float64
+			for round := 0; round < cfg.NRounds; round++ {
+				run := d.Runs[simRng.Intn(len(d.Runs))]
+				arm, err := p.Select(run.Features)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: policy %q select: %w", name, err)
+				}
+				rt := d.SampleRuntime(arm, run.Features, simRng)
+				if err := p.Update(arm, run.Features, rt); err != nil {
+					return nil, fmt.Errorf("experiment: policy %q update: %w", name, err)
+				}
+				best := d.BestArm(run.Features, 0, 0)
+				regret += d.Truth(arm, run.Features) - d.Truth(best, run.Features)
+				total += rt
+			}
+			// Final strict accuracy over the trace, using the learned
+			// model's choice rather than the (possibly exploring) Select.
+			choose := p.Select
+			if e, ok := p.(policy.Exploiter); ok {
+				choose = e.Exploit
+			}
+			correct := 0
+			for _, run := range d.Runs {
+				arm, err := choose(run.Features)
+				if err != nil {
+					return nil, err
+				}
+				if arm == d.BestArm(run.Features, 0, 0) {
+					correct++
+				}
+			}
+			accs = append(accs, float64(correct)/float64(len(d.Runs)))
+			regrets = append(regrets, regret/float64(cfg.NRounds))
+			totals = append(totals, total)
+		}
+		rows = append(rows, SweepRow{
+			Policy:        name,
+			FinalAccuracy: stats.Mean(accs),
+			MeanRegret:    stats.Mean(regrets),
+			TotalRuntime:  stats.Mean(totals),
+		})
+	}
+	return rows, nil
+}
+
+// ParamPoint is one cell of a parameter-grid ablation.
+type ParamPoint struct {
+	Label string
+	// FinalAccuracy and FinalRMSE summarise the last round.
+	FinalAccuracy float64
+	FinalRMSE     float64
+	// MeanCost is the mean hardware resource cost of the arms the
+	// tolerant selection picks over the trace after training — the
+	// quantity the tolerance knobs trade runtime against.
+	MeanCost float64
+}
+
+// RunToleranceGrid ablates the (tolerance_ratio × tolerance_seconds)
+// grid: each cell runs the full bandit experiment and reports final
+// accuracy plus the mean resource cost of selected hardware.
+func RunToleranceGrid(base BanditConfig, ratios, seconds []float64) ([]ParamPoint, error) {
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	var out []ParamPoint
+	for _, tr := range ratios {
+		for _, ts := range seconds {
+			cfg := base
+			cfg.Options.ToleranceRatio = tr
+			cfg.Options.ToleranceSeconds = ts
+			res, err := RunBandit(cfg)
+			if err != nil {
+				return nil, err
+			}
+			last := res.Rounds[len(res.Rounds)-1]
+			cost, err := meanSelectedCost(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ParamPoint{
+				Label:         fmt.Sprintf("tr=%g,ts=%g", tr, ts),
+				FinalAccuracy: last.AccMean,
+				FinalRMSE:     last.RMSEMean,
+				MeanCost:      cost,
+			})
+		}
+	}
+	return out, nil
+}
+
+// meanSelectedCost reports the mean hardware cost of the ground-truth
+// tolerant-best arms over the trace: the resource footprint the tolerance
+// settings steer toward.
+func meanSelectedCost(cfg BanditConfig) (float64, error) {
+	d := cfg.Dataset
+	tr, ts := cfg.Options.ToleranceRatio, cfg.Options.ToleranceSeconds
+	total := 0.0
+	for _, run := range d.Runs {
+		best := d.BestArm(run.Features, tr, ts)
+		total += d.Hardware[best].Cost()
+	}
+	return total / float64(len(d.Runs)), nil
+}

@@ -1,0 +1,114 @@
+package frame
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses CSV from r into a frame. The first record is the header.
+// Column types are inferred: a column where every cell parses as int64
+// becomes Int; failing that, float64 becomes Float; otherwise String.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, errors.New("frame: empty csv (no header)")
+	}
+	header := records[0]
+	rows := records[1:]
+	cols := make([]*Column, len(header))
+	for j, name := range header {
+		cells := make([]string, len(rows))
+		for i, rec := range rows {
+			if j >= len(rec) {
+				return nil, fmt.Errorf("frame: row %d has %d fields, want %d", i+1, len(rec), len(header))
+			}
+			cells[i] = rec[j]
+		}
+		cols[j] = inferColumn(name, cells)
+	}
+	return New(cols...)
+}
+
+// ReadCSVFile reads a CSV file by path.
+func ReadCSVFile(path string) (*Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+func inferColumn(name string, cells []string) *Column {
+	isInt, isFloat := true, true
+	for _, s := range cells {
+		if isInt {
+			if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+				isInt = false
+			}
+		}
+		if !isInt && isFloat {
+			if _, err := strconv.ParseFloat(s, 64); err != nil {
+				isFloat = false
+				break
+			}
+		}
+	}
+	switch {
+	case isInt && len(cells) > 0:
+		vals := make([]int64, len(cells))
+		for i, s := range cells {
+			vals[i], _ = strconv.ParseInt(s, 10, 64)
+		}
+		return IntCol(name, vals)
+	case isFloat && len(cells) > 0:
+		vals := make([]float64, len(cells))
+		for i, s := range cells {
+			vals[i], _ = strconv.ParseFloat(s, 64)
+		}
+		return FloatCol(name, vals)
+	default:
+		return StringCol(name, cells)
+	}
+}
+
+// WriteCSV writes the frame as CSV with a header row.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, f.NumCols())
+	for i := 0; i < f.NumRows(); i++ {
+		for j, c := range f.cols {
+			rec[j] = c.format(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the frame to a CSV file by path.
+func (f *Frame) WriteCSVFile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteCSV(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

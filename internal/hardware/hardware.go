@@ -1,0 +1,258 @@
+// Package hardware models the hardware configurations BanditWare chooses
+// among. In the paper a hardware setting is a Kubernetes resource request
+// Hn = (#cpus, memory); the tolerant-selection step of Algorithm 1 breaks
+// ties toward the most *resource-efficient* configuration, so the package
+// also defines the efficiency ordering.
+package hardware
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Config describes one hardware setting.
+type Config struct {
+	// Name is a short identifier such as "H0". Optional; String() falls
+	// back to the resource tuple.
+	Name string
+	// CPUs is the number of CPU cores allocated.
+	CPUs int
+	// MemoryGB is the memory allocation in GiB.
+	MemoryGB float64
+	// GPUs is the number of accelerators allocated (0 for CPU-only
+	// settings — the paper's evaluation; GPU-aware recommendation is the
+	// paper's stated future work, supported here for the LLM workload).
+	GPUs int
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c Config) Validate() error {
+	if c.CPUs <= 0 {
+		return fmt.Errorf("hardware: %s has %d cpus", c.label(), c.CPUs)
+	}
+	if c.MemoryGB <= 0 {
+		return fmt.Errorf("hardware: %s has %g GB memory", c.label(), c.MemoryGB)
+	}
+	if c.GPUs < 0 {
+		return fmt.Errorf("hardware: %s has %d gpus", c.label(), c.GPUs)
+	}
+	return nil
+}
+
+func (c Config) label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.tuple()
+}
+
+func (c Config) tuple() string {
+	mem := strconv.FormatFloat(c.MemoryGB, 'g', -1, 64)
+	s := "(" + strconv.Itoa(c.CPUs) + "," + mem
+	if c.GPUs > 0 {
+		s += "," + strconv.Itoa(c.GPUs) + "gpu"
+	}
+	return s + ")"
+}
+
+// String renders "Name(cpus,mem)" or just the tuple when unnamed.
+func (c Config) String() string {
+	if c.Name != "" {
+		return c.Name + c.tuple()
+	}
+	return c.tuple()
+}
+
+// Cost returns the resource-consumption score used for efficiency
+// comparisons. The paper does not publish NDP's pricing, so we use the
+// common cloud heuristic of 1 CPU ≈ 4 GB of memory, with an accelerator
+// worth ~10 CPUs: cost = cpus + mem/4 + 10·gpus. Lower is more efficient.
+func (c Config) Cost() float64 {
+	return float64(c.CPUs) + c.MemoryGB/4 + 10*float64(c.GPUs)
+}
+
+// MoreEfficient reports whether c consumes strictly fewer resources than o
+// under Cost, breaking ties toward fewer GPUs, then fewer CPUs, then less
+// memory so the ordering is total and deterministic.
+func (c Config) MoreEfficient(o Config) bool {
+	if c.Cost() != o.Cost() {
+		return c.Cost() < o.Cost()
+	}
+	if c.GPUs != o.GPUs {
+		return c.GPUs < o.GPUs
+	}
+	if c.CPUs != o.CPUs {
+		return c.CPUs < o.CPUs
+	}
+	return c.MemoryGB < o.MemoryGB
+}
+
+// Parse parses a config from the form "cpus x memGB" ("2x16"),
+// "(cpus,memGB)" ("(2,16)"), or "name=cpusxmem" ("H0=2x16").
+func Parse(s string) (Config, error) {
+	var c Config
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		c.Name = strings.TrimSpace(s[:i])
+		s = s[i+1:]
+	}
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	var parts []string
+	switch {
+	case strings.ContainsRune(s, ','):
+		parts = strings.Split(s, ",")
+	case strings.ContainsRune(s, 'x'):
+		parts = strings.Split(s, "x")
+	default:
+		return c, fmt.Errorf("hardware: cannot parse %q (want \"2x16\" or \"(2,16)\")", s)
+	}
+	if len(parts) != 2 {
+		return c, fmt.Errorf("hardware: cannot parse %q: want 2 fields, got %d", s, len(parts))
+	}
+	cpus, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return c, fmt.Errorf("hardware: bad cpu count in %q: %w", s, err)
+	}
+	mem, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return c, fmt.Errorf("hardware: bad memory in %q: %w", s, err)
+	}
+	c.CPUs, c.MemoryGB = cpus, mem
+	return c, c.Validate()
+}
+
+// Set is an ordered collection of hardware configurations; index order is
+// the arm order used by the bandit.
+type Set []Config
+
+// ErrEmptySet is returned when an operation needs at least one config.
+var ErrEmptySet = errors.New("hardware: empty hardware set")
+
+// Validate checks every member and rejects duplicate names.
+func (s Set) Validate() error {
+	if len(s) == 0 {
+		return ErrEmptySet
+	}
+	seen := map[string]bool{}
+	for _, c := range s {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if c.Name != "" {
+			if seen[c.Name] {
+				return fmt.Errorf("hardware: duplicate name %q", c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+	return nil
+}
+
+// MostEfficient returns the index of the most resource-efficient member
+// among the given indices (all members when idxs is nil). It returns -1
+// for an empty selection.
+func (s Set) MostEfficient(idxs []int) int {
+	best := -1
+	consider := func(i int) {
+		if i < 0 || i >= len(s) {
+			return
+		}
+		if best == -1 || s[i].MoreEfficient(s[best]) {
+			best = i
+		}
+	}
+	if idxs == nil {
+		for i := range s {
+			consider(i)
+		}
+		return best
+	}
+	for _, i := range idxs {
+		consider(i)
+	}
+	return best
+}
+
+// Names returns the display name of every member ("H<i>" for unnamed).
+func (s Set) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		if c.Name != "" {
+			out[i] = c.Name
+		} else {
+			out[i] = fmt.Sprintf("H%d", i)
+		}
+	}
+	return out
+}
+
+// ParseSet parses a comma-free, semicolon- or space-separated list of
+// configs, e.g. "H0=2x16;H1=3x24;H2=4x16".
+func ParseSet(s string) (Set, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == ' ' })
+	var set Set
+	for _, f := range fields {
+		if f == "" {
+			continue
+		}
+		c, err := Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, c)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// NDPDefault is the hardware set used in the paper's Experiments 2
+// (BP3D): H0=(2,16), H1=(3,24), H2=(4,16) from the open-source NDP.
+func NDPDefault() Set {
+	return Set{
+		{Name: "H0", CPUs: 2, MemoryGB: 16},
+		{Name: "H1", CPUs: 3, MemoryGB: 24},
+		{Name: "H2", CPUs: 4, MemoryGB: 16},
+	}
+}
+
+// MatMulDefault is the five-option hardware set used for the paper's
+// matrix-multiplication experiment (the paper reports a random-guess
+// accuracy of 0.2, i.e. five options, without listing them; these extend
+// the NDP set with two larger configurations).
+func MatMulDefault() Set {
+	return Set{
+		{Name: "H0", CPUs: 2, MemoryGB: 16},
+		{Name: "H1", CPUs: 3, MemoryGB: 24},
+		{Name: "H2", CPUs: 4, MemoryGB: 16},
+		{Name: "H3", CPUs: 8, MemoryGB: 32},
+		{Name: "H4", CPUs: 16, MemoryGB: 64},
+	}
+}
+
+// SyntheticDefault is the four-configuration synthetic hardware set from
+// the paper's Experiment 1 (Cycles).
+func SyntheticDefault() Set {
+	return Set{
+		{Name: "H0", CPUs: 1, MemoryGB: 8},
+		{Name: "H1", CPUs: 2, MemoryGB: 16},
+		{Name: "H2", CPUs: 4, MemoryGB: 24},
+		{Name: "H3", CPUs: 8, MemoryGB: 32},
+	}
+}
+
+// GPUDefault is a GPU-bearing hardware set for the LLM-inference workload
+// (the paper's future-work direction: "enabling us to incorporate GPU
+// information into hardware recommendations").
+func GPUDefault() Set {
+	return Set{
+		{Name: "CPU", CPUs: 16, MemoryGB: 64},
+		{Name: "G1", CPUs: 8, MemoryGB: 32, GPUs: 1},
+		{Name: "G2", CPUs: 8, MemoryGB: 64, GPUs: 2},
+		{Name: "G4", CPUs: 16, MemoryGB: 128, GPUs: 4},
+	}
+}

@@ -1,0 +1,168 @@
+package hardware
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Config{Name: "H0", CPUs: 2, MemoryGB: 16}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{CPUs: 0, MemoryGB: 16}).Validate(); err == nil {
+		t.Fatal("zero cpus should be invalid")
+	}
+	if err := (Config{CPUs: 2, MemoryGB: -1}).Validate(); err == nil {
+		t.Fatal("negative memory should be invalid")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Config{Name: "H1", CPUs: 3, MemoryGB: 24}
+	if got := c.String(); got != "H1(3,24)" {
+		t.Fatalf("String = %q", got)
+	}
+	anon := Config{CPUs: 2, MemoryGB: 16}
+	if got := anon.String(); got != "(2,16)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCost(t *testing.T) {
+	c := Config{CPUs: 2, MemoryGB: 16}
+	if c.Cost() != 6 {
+		t.Fatalf("Cost = %v, want 6", c.Cost())
+	}
+}
+
+func TestMoreEfficient(t *testing.T) {
+	small := Config{CPUs: 2, MemoryGB: 16} // cost 6
+	big := Config{CPUs: 4, MemoryGB: 16}   // cost 8
+	if !small.MoreEfficient(big) || big.MoreEfficient(small) {
+		t.Fatal("efficiency ordering wrong")
+	}
+	// Equal cost: fewer CPUs wins.
+	a := Config{CPUs: 2, MemoryGB: 16} // cost 6
+	b := Config{CPUs: 4, MemoryGB: 8}  // cost 6
+	if !a.MoreEfficient(b) {
+		t.Fatal("tie-break by CPUs failed")
+	}
+	// Identical: neither is more efficient.
+	if a.MoreEfficient(a) {
+		t.Fatal("config more efficient than itself")
+	}
+}
+
+func TestEfficiencyIsStrictOrder(t *testing.T) {
+	// Property: MoreEfficient is asymmetric for distinct configs.
+	check := func(c1, c2 uint8, m1, m2 uint8) bool {
+		a := Config{CPUs: int(c1%16) + 1, MemoryGB: float64(m1%64) + 1}
+		b := Config{CPUs: int(c2%16) + 1, MemoryGB: float64(m2%64) + 1}
+		if a == b {
+			return !a.MoreEfficient(b) && !b.MoreEfficient(a)
+		}
+		return a.MoreEfficient(b) != b.MoreEfficient(a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Config
+	}{
+		{"2x16", Config{CPUs: 2, MemoryGB: 16}},
+		{"(3,24)", Config{CPUs: 3, MemoryGB: 24}},
+		{"H0=2x16", Config{Name: "H0", CPUs: 2, MemoryGB: 16}},
+		{"H2 = (4, 16)", Config{Name: "H2", CPUs: 4, MemoryGB: 16}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "2x", "x16", "0x16", "2x0", "1x2x3"} {
+		if _, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	set, err := ParseSet("H0=2x16;H1=3x24 H2=4x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 || set[2].CPUs != 4 {
+		t.Fatalf("ParseSet = %+v", set)
+	}
+	if _, err := ParseSet(""); err != ErrEmptySet {
+		t.Fatalf("empty set err = %v", err)
+	}
+	if _, err := ParseSet("H0=2x16;H0=3x24"); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate names should fail, got %v", err)
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	if err := (Set{}).Validate(); err != ErrEmptySet {
+		t.Fatal("empty set should be ErrEmptySet")
+	}
+	bad := Set{{Name: "H0", CPUs: 0, MemoryGB: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid member should fail")
+	}
+}
+
+func TestMostEfficient(t *testing.T) {
+	set := NDPDefault() // H0 cost 6, H1 cost 9, H2 cost 8
+	if got := set.MostEfficient(nil); got != 0 {
+		t.Fatalf("MostEfficient(all) = %d, want 0", got)
+	}
+	if got := set.MostEfficient([]int{1, 2}); got != 2 {
+		t.Fatalf("MostEfficient(1,2) = %d, want 2", got)
+	}
+	if got := set.MostEfficient([]int{}); got != -1 {
+		t.Fatal("empty selection should be -1")
+	}
+	// Out-of-range indices are ignored.
+	if got := set.MostEfficient([]int{-1, 99, 1}); got != 1 {
+		t.Fatalf("MostEfficient with junk = %d, want 1", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	set := Set{{Name: "X", CPUs: 1, MemoryGB: 1}, {CPUs: 2, MemoryGB: 2}}
+	names := set.Names()
+	if names[0] != "X" || names[1] != "H1" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestDefaultSets(t *testing.T) {
+	for _, set := range []Set{NDPDefault(), MatMulDefault(), SyntheticDefault()} {
+		if err := set.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(NDPDefault()) != 3 {
+		t.Fatal("NDP default should have 3 configs (paper Experiment 2)")
+	}
+	if len(MatMulDefault()) != 5 {
+		t.Fatal("matmul default should have 5 configs (paper random accuracy 0.2)")
+	}
+	if len(SyntheticDefault()) != 4 {
+		t.Fatal("synthetic default should have 4 configs (paper Figure 3)")
+	}
+}

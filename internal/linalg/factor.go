@@ -1,0 +1,182 @@
+package linalg
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// It returns ErrSingular if a is not positive definite to working precision
+// and ErrShape if a is not square. Only the lower triangle of a is read.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve solves A·x = b for x. It returns ErrShape when len(b) != n.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, ErrShape
+	}
+	n, l := c.n, c.l
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// QR holds a thin Householder QR factorization of an m×n matrix (m >= n):
+// A = Q·R with Q m×n orthonormal and R n×n upper-triangular.
+type QR struct {
+	m, n int
+	// qr stores the Householder vectors below the diagonal and R on/above it.
+	qr   *Matrix
+	tau  []float64
+	rdia []float64
+}
+
+// NewQR factors a (m×n, m >= n) by Householder reflections. It returns
+// ErrShape for m < n and ErrSingular when a diagonal of R underflows to a
+// value that would make back-substitution meaningless.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, ErrShape
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below (and including) the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 || math.IsNaN(norm) {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = qr.At(k, k)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -norm
+	}
+	return &QR{m: m, n: n, qr: qr, tau: tau, rdia: rdia}, nil
+}
+
+// Solve returns the least-squares solution x minimising ‖A·x − b‖₂.
+// It returns ErrShape when len(b) != m and ErrSingular when R has a zero
+// diagonal to working precision.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, ErrShape
+	}
+	m, n, qr := f.m, f.n, f.qr
+	y := CloneVec(b)
+	// Apply Qᵀ to b.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += qr.At(i, k) * y[i]
+		}
+		s = -s / qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		d := f.rdia[i]
+		if math.Abs(d) < 1e-300 {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= qr.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// RCond estimates the reciprocal condition number of R via the ratio of the
+// smallest to largest absolute diagonal (a cheap proxy that is adequate for
+// detecting the near-singular design matrices this package meets).
+func (f *QR) RCond() float64 {
+	min, max := math.Inf(1), 0.0
+	for _, d := range f.rdia {
+		a := math.Abs(d)
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return min / max
+}

@@ -1,0 +1,188 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"banditware/internal/rng"
+)
+
+func TestLUSolveRecovery(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%8)
+		a := randomMatrix(r, n, n)
+		// Diagonal boost keeps random matrices comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(0, 2)
+		}
+		b, _ := MulVec(a, x)
+		lu, err := NewLU(a)
+		if err != nil {
+			return false
+		}
+		got, err := lu.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 3}, {6, 3}})
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lu.Det()-(-6)) > 1e-12 {
+		t.Fatalf("det = %v, want -6", lu.Det())
+	}
+	id := Identity(4)
+	lu, err = NewLU(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lu.Det()-1) > 1e-12 {
+		t.Fatalf("det(I) = %v", lu.Det())
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	r := rng.New(17)
+	a := randomMatrix(r, 5, 5)
+	for i := 0; i < 5; i++ {
+		a.Set(i, i, a.At(i, i)+5)
+	}
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := lu.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := Mul(a, inv)
+	if MaxAbsDiff(prod, Identity(5)) > 1e-8 {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestLUErrors(t *testing.T) {
+	if _, err := NewLU(NewMatrix(2, 3)); err != ErrShape {
+		t.Fatal("non-square should be ErrShape")
+	}
+	singular, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(singular); err != ErrSingular {
+		t.Fatal("singular matrix should be ErrSingular")
+	}
+	ok, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	lu, err := NewLU(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lu.Solve([]float64{1}); err != ErrShape {
+		t.Fatal("short b should be ErrShape")
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 4 + int(seed%10)
+		n := 2 + int((seed>>8)%uint64(m-1))
+		if n > m {
+			n = m
+		}
+		a := randomMatrix(r, m, n)
+		svd, err := NewSVD(a)
+		if err != nil {
+			return false
+		}
+		recon, err := svd.Reconstruct()
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(a, recon) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) has singular values {3, 2}.
+	a, _ := FromRows([][]float64{{3, 0}, {0, 2}})
+	svd, err := NewSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(svd.S[0]-3) > 1e-12 || math.Abs(svd.S[1]-2) > 1e-12 {
+		t.Fatalf("S = %v, want [3 2]", svd.S)
+	}
+	if math.Abs(svd.Cond()-1.5) > 1e-12 {
+		t.Fatalf("cond = %v, want 1.5", svd.Cond())
+	}
+}
+
+func TestSVDOrthogonality(t *testing.T) {
+	r := rng.New(23)
+	a := randomMatrix(r, 12, 5)
+	svd, err := NewSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utu, _ := Mul(svd.U.T(), svd.U)
+	if MaxAbsDiff(utu, Identity(5)) > 1e-9 {
+		t.Fatal("UᵀU != I")
+	}
+	vtv, _ := Mul(svd.V.T(), svd.V)
+	if MaxAbsDiff(vtv, Identity(5)) > 1e-9 {
+		t.Fatal("VᵀV != I")
+	}
+	// Singular values sorted descending.
+	for i := 1; i < len(svd.S); i++ {
+		if svd.S[i] > svd.S[i-1] {
+			t.Fatalf("S not sorted: %v", svd.S)
+		}
+	}
+}
+
+func TestSVDRank(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := NewMatrix(6, 3)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, float64(i+1)*float64(j+1))
+		}
+	}
+	svd, err := NewSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svd.Rank(0); got != 1 {
+		t.Fatalf("rank = %d, want 1", got)
+	}
+	if !math.IsInf(svd.Cond(), 1) {
+		t.Fatal("rank-deficient cond should be +Inf")
+	}
+}
+
+func TestSVDShapeError(t *testing.T) {
+	if _, err := NewSVD(NewMatrix(2, 5)); err != ErrShape {
+		t.Fatal("wide matrix should be ErrShape")
+	}
+}

@@ -1,0 +1,439 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"banditware/internal/rng"
+)
+
+func randomMatrix(r *rng.Source, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, 1)
+	}
+	return m
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0, 3) did not panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("bad matrix: %v", m)
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty rows should error")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	r := rng.New(1)
+	a := randomMatrix(r, 5, 5)
+	id := Identity(5)
+	left, err := Mul(id, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Mul(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(left, a) > 1e-14 || MaxAbsDiff(right, a) > 1e-14 {
+		t.Fatal("identity multiplication changed the matrix")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(got, want) > 1e-14 {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := Mul(a, b); err != ErrShape {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 0) != 3 || at.At(0, 1) != 4 {
+		t.Fatalf("bad transpose: %v", at)
+	}
+	// (Aᵀ)ᵀ == A
+	if MaxAbsDiff(at.T(), a) != 0 {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Sub(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(diff, a) > 1e-14 {
+		t.Fatal("a + b - b != a")
+	}
+	c := a.Clone().Scale(2)
+	if c.At(1, 1) != 8 {
+		t.Fatalf("Scale failed: %v", c)
+	}
+	if _, err := Add(a, NewMatrix(3, 3)); err != ErrShape {
+		t.Fatal("Add shape mismatch should error")
+	}
+	if _, err := Sub(a, NewMatrix(3, 3)); err != ErrShape {
+		t.Fatal("Sub shape mismatch should error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := MulVec(a, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := MulVec(a, []float64{1}); err != ErrShape {
+		t.Fatal("MulVec shape mismatch should error")
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("Dot = %v", Dot(x, y))
+	}
+	z := CloneVec(y)
+	Axpy(2, x, z)
+	if z[0] != 6 || z[2] != 12 {
+		t.Fatalf("Axpy = %v", z)
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-14 {
+		t.Fatalf("Norm2 = %v", Norm2([]float64{3, 4}))
+	}
+	// Overflow guard: huge components must not overflow.
+	if math.IsInf(Norm2([]float64{1e300, 1e300}), 0) {
+		t.Fatal("Norm2 overflowed")
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !VecIsFinite([]float64{1, 2}) {
+		t.Fatal("finite vector misreported")
+	}
+	if VecIsFinite([]float64{1, math.NaN()}) || VecIsFinite([]float64{math.Inf(1)}) {
+		t.Fatal("non-finite vector misreported")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%6)
+		// Build SPD matrix A = GᵀG + I.
+		g := randomMatrix(r, n, n)
+		gt := g.T()
+		a, _ := Mul(gt, g)
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += 1
+		}
+		chol, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		// L·Lᵀ must reconstruct A.
+		l := chol.L()
+		recon, _ := Mul(l, l.T())
+		if MaxAbsDiff(recon, a) > 1e-8 {
+			return false
+		}
+		// Solve against a known x.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(0, 1)
+		}
+		b, _ := MulVec(a, x)
+		got, err := chol.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, -1}})
+	if _, err := NewCholesky(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if _, err := NewCholesky(NewMatrix(2, 3)); err != ErrShape {
+		t.Fatal("non-square should be ErrShape")
+	}
+}
+
+func TestCholeskySolveShape(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 0}, {0, 2}})
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chol.Solve([]float64{1}); err != ErrShape {
+		t.Fatal("wrong-length b should be ErrShape")
+	}
+}
+
+func TestQRLeastSquaresRecovery(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		m, n := 40, 4
+		a := randomMatrix(r, m, n)
+		x := []float64{1.5, -2, 0.5, 3}
+		b, _ := MulVec(a, x)
+		qr, err := NewQR(a)
+		if err != nil {
+			return false
+		}
+		got, err := qr.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRResidualOrthogonality(t *testing.T) {
+	// For a least-squares solution, the residual is orthogonal to the
+	// column space: Aᵀ(b − Ax) ≈ 0.
+	r := rng.New(42)
+	m, n := 50, 3
+	a := randomMatrix(r, m, n)
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.Normal(0, 1)
+	}
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := qr.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Residual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atr, _ := MulVec(a.T(), res)
+	for i, v := range atr {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("residual not orthogonal: (Aᵀr)[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestQRShapeError(t *testing.T) {
+	if _, err := NewQR(NewMatrix(2, 5)); err != ErrShape {
+		t.Fatal("underdetermined QR should be ErrShape")
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	// A column of zeros makes the factorization singular.
+	a := NewMatrix(5, 2)
+	for i := 0; i < 5; i++ {
+		a.Set(i, 0, float64(i+1))
+	}
+	if _, err := NewQR(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLeastSquaresFallback(t *testing.T) {
+	// Duplicate columns: rank deficient; ridge fallback must still return a
+	// finite solution with small residual norm along the column space.
+	a := NewMatrix(10, 2)
+	for i := 0; i < 10; i++ {
+		a.Set(i, 0, float64(i))
+		a.Set(i, 1, float64(i)) // identical column
+	}
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = 2 * float64(i)
+	}
+	x, err := SolveLeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecIsFinite(x) {
+		t.Fatalf("non-finite solution %v", x)
+	}
+	// Prediction must match b even though coefficients are not unique.
+	pred, _ := MulVec(a, x)
+	for i := range b {
+		if math.Abs(pred[i]-b[i]) > 1e-3 {
+			t.Fatalf("fallback prediction off at %d: %v vs %v", i, pred[i], b[i])
+		}
+	}
+}
+
+func TestSolveLeastSquaresShape(t *testing.T) {
+	if _, err := SolveLeastSquares(NewMatrix(3, 2), []float64{1, 2}, 0); err != ErrShape {
+		t.Fatal("mismatched b should be ErrShape")
+	}
+}
+
+func TestBlockedMatchesNaive(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows := 1 + int(seed%40)
+		inner := 1 + int((seed>>8)%40)
+		cols := 1 + int((seed>>16)%40)
+		a := randomMatrix(r, rows, inner)
+		b := randomMatrix(r, inner, cols)
+		naive, _ := Mul(a, b)
+		blocked, err := MulBlocked(a, b, 7) // deliberately odd tile
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(naive, blocked) < 1e-10
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	r := rng.New(5)
+	a := randomMatrix(r, 67, 53)
+	b := randomMatrix(r, 53, 71)
+	serial, _ := Mul(a, b)
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		par, err := MulParallel(a, b, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxAbsDiff(serial, par) > 1e-10 {
+			t.Fatalf("parallel(%d workers) != serial", workers)
+		}
+	}
+}
+
+func TestSquare(t *testing.T) {
+	r := rng.New(6)
+	a := randomMatrix(r, 32, 32)
+	sq, err := Square(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Mul(a, a)
+	if MaxAbsDiff(sq, want) > 1e-10 {
+		t.Fatal("Square != Mul(a, a)")
+	}
+	if _, err := Square(NewMatrix(2, 3), 1); err != ErrShape {
+		t.Fatal("non-square Square should be ErrShape")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	if !a.IsFinite() {
+		t.Fatal("zero matrix should be finite")
+	}
+	a.Set(0, 1, math.NaN())
+	if a.IsFinite() {
+		t.Fatal("NaN matrix misreported as finite")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 4}})
+	if math.Abs(a.FrobeniusNorm()-5) > 1e-14 {
+		t.Fatalf("Frobenius = %v, want 5", a.FrobeniusNorm())
+	}
+}
+
+func BenchmarkMulSerial256(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 256, 256)
+	c := randomMatrix(r, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mul(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulBlocked256(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 256, 256)
+	c := randomMatrix(r, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MulBlocked(a, c, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulParallel256(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 256, 256)
+	c := randomMatrix(r, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MulParallel(a, c, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

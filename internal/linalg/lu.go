@@ -1,0 +1,122 @@
+package linalg
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	n     int
+	lu    *Matrix // L (unit diagonal, below) and U (on/above) packed
+	piv   []int   // row permutation
+	sign  float64 // permutation parity (+1/-1)
+	valid bool
+}
+
+// NewLU factors the square matrix a with partial pivoting. It returns
+// ErrShape for non-square input and ErrSingular when a pivot underflows.
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |value| in column k at/below diagonal.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, piv: piv, sign: sign, valid: true}, nil
+}
+
+// Solve solves A·x = b. It returns ErrShape when len(b) != n.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, ErrShape
+	}
+	n := f.n
+	x := make([]float64, n)
+	// Apply permutation, then forward-substitute L·y = Pb.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	det := f.sign
+	for i := 0; i < f.n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Inverse returns A⁻¹ by solving against the identity columns.
+func (f *LU) Inverse() (*Matrix, error) {
+	n := f.n
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

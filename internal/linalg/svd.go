@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ of an
+// m×n matrix with m >= n: U is m×n with orthonormal columns, S holds the
+// singular values in descending order, V is n×n orthogonal.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// NewSVD computes a thin SVD by one-sided Jacobi rotations: pairs of
+// columns of a working copy of A are repeatedly orthogonalised until
+// convergence; the column norms are then the singular values. One-sided
+// Jacobi is slower than Golub–Kahan but simple, dependency-free, and
+// accurate to high relative precision — ample for the feature-matrix
+// diagnostics this repository uses it for. It returns ErrShape for
+// m < n.
+func NewSVD(a *Matrix) (*SVD, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, ErrShape
+	}
+	u := a.Clone()
+	v := Identity(n)
+
+	const (
+		maxSweeps = 60
+		tol       = 1e-14
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Column inner products.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) {
+					continue
+				}
+				off += apq * apq
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Singular values = column norms of the rotated U; normalise columns.
+	s := make([]float64, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			norm = math.Hypot(norm, u.At(i, j))
+		}
+		s[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)/norm)
+			}
+		}
+	}
+
+	// Sort descending, permuting U and V columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	us := NewMatrix(m, n)
+	vs := NewMatrix(n, n)
+	sorted := make([]float64, n)
+	for jNew, jOld := range idx {
+		sorted[jNew] = s[jOld]
+		for i := 0; i < m; i++ {
+			us.Set(i, jNew, u.At(i, jOld))
+		}
+		for i := 0; i < n; i++ {
+			vs.Set(i, jNew, v.At(i, jOld))
+		}
+	}
+	return &SVD{U: us, S: sorted, V: vs}, nil
+}
+
+// Cond returns the 2-norm condition number σ_max/σ_min (+Inf when
+// rank-deficient).
+func (d *SVD) Cond() float64 {
+	if len(d.S) == 0 {
+		return math.Inf(1)
+	}
+	min := d.S[len(d.S)-1]
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return d.S[0] / min
+}
+
+// Rank returns the numerical rank at the given relative tolerance
+// (0 selects 1e-12).
+func (d *SVD) Rank(rtol float64) int {
+	if rtol <= 0 {
+		rtol = 1e-12
+	}
+	if len(d.S) == 0 {
+		return 0
+	}
+	thresh := d.S[0] * rtol
+	rank := 0
+	for _, v := range d.S {
+		if v > thresh {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ (testing and diagnostics).
+func (d *SVD) Reconstruct() (*Matrix, error) {
+	us := d.U.Clone()
+	for j, sv := range d.S {
+		for i := 0; i < us.Rows; i++ {
+			us.Set(i, j, us.At(i, j)*sv)
+		}
+	}
+	return Mul(us, d.V.T())
+}

@@ -1,0 +1,72 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y. The shorter length governs if
+// they differ (callers are expected to pass equal lengths; the tolerant
+// behaviour avoids bounds panics in hot loops).
+func Dot(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += x[i] * y[i]
+	}
+	return sum
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow for
+// large components.
+func Norm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// ScaleVec multiplies every element of x by a, in place.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// CloneVec returns a copy of x.
+func CloneVec(x []float64) []float64 {
+	return append([]float64(nil), x...)
+}
+
+// VecIsFinite reports whether every element of x is finite.
+func VecIsFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

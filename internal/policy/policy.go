@@ -1,0 +1,455 @@
+// Package policy provides contextual-bandit policies beyond the paper's
+// Algorithm 1, covering the comparison axis the paper lists as future work
+// ("different and more complex contextual bandit algorithms"): LinUCB,
+// linear Thompson sampling, fixed ε-greedy, softmax/Boltzmann, a uniform
+// random baseline, and a ground-truth oracle. All policies minimise
+// runtime and share one interface so the experiment harness can sweep them.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+	"banditware/internal/regress"
+	"banditware/internal/rng"
+	"banditware/internal/stats"
+)
+
+// Errors shared by policies.
+var (
+	ErrDim = errors.New("policy: feature dimension mismatch")
+	ErrArm = errors.New("policy: arm index out of range")
+)
+
+// Policy selects a hardware arm for a workflow context and learns from the
+// observed runtime. Implementations are not safe for concurrent use.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Select returns the arm to run the workflow with features x on.
+	Select(x []float64) (int, error)
+	// Update records the observed runtime of the workflow on arm.
+	Update(arm int, x []float64, runtime float64) error
+}
+
+// Exploiter is an optional Policy extension: Exploit returns the arm the
+// policy's current model considers best, without consuming exploration
+// randomness. Evaluation harnesses prefer it over Select when measuring
+// learned-model accuracy (otherwise residual exploration depresses the
+// score of exploring policies).
+type Exploiter interface {
+	Exploit(x []float64) (int, error)
+}
+
+// linArms is the shared per-arm linear-model state.
+type linArms struct {
+	dim  int
+	arms []*regress.RLS
+}
+
+func newLinArms(numArms, dim int, lambda float64) (*linArms, error) {
+	if numArms < 1 {
+		return nil, errors.New("policy: need at least one arm")
+	}
+	if dim < 0 {
+		return nil, fmt.Errorf("policy: negative dimension %d", dim)
+	}
+	la := &linArms{dim: dim, arms: make([]*regress.RLS, numArms)}
+	for i := range la.arms {
+		rls, err := regress.NewRLS(dim, lambda)
+		if err != nil {
+			return nil, err
+		}
+		la.arms[i] = rls
+	}
+	return la, nil
+}
+
+func (la *linArms) update(arm int, x []float64, runtime float64) error {
+	if arm < 0 || arm >= len(la.arms) {
+		return ErrArm
+	}
+	if len(x) != la.dim {
+		return ErrDim
+	}
+	return la.arms[arm].Update(x, runtime)
+}
+
+func (la *linArms) predictAll(x []float64) ([]float64, error) {
+	if len(x) != la.dim {
+		return nil, ErrDim
+	}
+	out := make([]float64, len(la.arms))
+	for i, a := range la.arms {
+		out[i] = a.Predict(x)
+	}
+	return out, nil
+}
+
+// exploit returns the argmin-prediction arm.
+func (la *linArms) exploit(x []float64) (int, error) {
+	preds, err := la.predictAll(x)
+	if err != nil {
+		return 0, err
+	}
+	return stats.ArgMin(preds), nil
+}
+
+// DecayingEpsilonGreedy adapts the paper's core.Bandit to the Policy
+// interface so Algorithm 1 participates in policy sweeps.
+type DecayingEpsilonGreedy struct {
+	B *core.Bandit
+}
+
+// NewDecayingEpsilonGreedy wraps a new Algorithm 1 bandit.
+func NewDecayingEpsilonGreedy(hw hardware.Set, dim int, opts core.Options) (*DecayingEpsilonGreedy, error) {
+	b, err := core.New(hw, dim, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DecayingEpsilonGreedy{B: b}, nil
+}
+
+// Name implements Policy.
+func (p *DecayingEpsilonGreedy) Name() string { return "decaying-eps-greedy" }
+
+// Select implements Policy.
+func (p *DecayingEpsilonGreedy) Select(x []float64) (int, error) {
+	d, err := p.B.Recommend(x)
+	if err != nil {
+		if errors.Is(err, core.ErrDim) {
+			return 0, ErrDim
+		}
+		return 0, err
+	}
+	return d.Arm, nil
+}
+
+// Exploit implements Exploiter via the bandit's tolerant selection.
+func (p *DecayingEpsilonGreedy) Exploit(x []float64) (int, error) {
+	arm, err := p.B.Exploit(x)
+	if errors.Is(err, core.ErrDim) {
+		return 0, ErrDim
+	}
+	return arm, err
+}
+
+// Update implements Policy.
+func (p *DecayingEpsilonGreedy) Update(arm int, x []float64, runtime float64) error {
+	err := p.B.Observe(arm, x, runtime)
+	switch {
+	case errors.Is(err, core.ErrArm):
+		return ErrArm
+	case errors.Is(err, core.ErrDim):
+		return ErrDim
+	default:
+		return err
+	}
+}
+
+// FixedEpsilonGreedy explores with a constant probability ε and otherwise
+// picks the arm with the minimum predicted runtime. With dim = 0 the
+// per-arm models degenerate to running means and the policy is the classic
+// (non-contextual) ε-greedy of the paper's Figure 2.
+type FixedEpsilonGreedy struct {
+	la  *linArms
+	eps float64
+	rnd *rng.Source
+}
+
+// NewFixedEpsilonGreedy constructs the policy. eps must lie in [0, 1].
+func NewFixedEpsilonGreedy(numArms, dim int, eps float64, seed uint64) (*FixedEpsilonGreedy, error) {
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("policy: epsilon %v outside [0,1]", eps)
+	}
+	la, err := newLinArms(numArms, dim, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &FixedEpsilonGreedy{la: la, eps: eps, rnd: rng.New(seed)}, nil
+}
+
+// Name implements Policy.
+func (p *FixedEpsilonGreedy) Name() string { return fmt.Sprintf("eps-greedy(%.2g)", p.eps) }
+
+// Select implements Policy.
+func (p *FixedEpsilonGreedy) Select(x []float64) (int, error) {
+	preds, err := p.la.predictAll(x)
+	if err != nil {
+		return 0, err
+	}
+	if p.rnd.Float64() < p.eps {
+		return p.rnd.Intn(len(p.la.arms)), nil
+	}
+	return stats.ArgMin(preds), nil
+}
+
+// Exploit implements Exploiter: the arm with minimum predicted runtime.
+func (p *FixedEpsilonGreedy) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
+
+// Update implements Policy.
+func (p *FixedEpsilonGreedy) Update(arm int, x []float64, runtime float64) error {
+	return p.la.update(arm, x, runtime)
+}
+
+// Greedy always exploits (ε = 0). Untrained arms predict zero runtime, so
+// it self-bootstraps by trying each arm once on early rounds.
+type Greedy struct{ la *linArms }
+
+// NewGreedy constructs the policy.
+func NewGreedy(numArms, dim int) (*Greedy, error) {
+	la, err := newLinArms(numArms, dim, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Greedy{la: la}, nil
+}
+
+// Name implements Policy.
+func (p *Greedy) Name() string { return "greedy" }
+
+// Select implements Policy.
+func (p *Greedy) Select(x []float64) (int, error) {
+	preds, err := p.la.predictAll(x)
+	if err != nil {
+		return 0, err
+	}
+	return stats.ArgMin(preds), nil
+}
+
+// Update implements Policy.
+func (p *Greedy) Update(arm int, x []float64, runtime float64) error {
+	return p.la.update(arm, x, runtime)
+}
+
+// Random selects uniformly at random — the paper's "random guess" floor
+// (accuracy 1/3 for BP3D, 1/5 for matmul).
+type Random struct {
+	n   int
+	dim int
+	rnd *rng.Source
+}
+
+// NewRandom constructs the policy.
+func NewRandom(numArms, dim int, seed uint64) (*Random, error) {
+	if numArms < 1 {
+		return nil, errors.New("policy: need at least one arm")
+	}
+	return &Random{n: numArms, dim: dim, rnd: rng.New(seed)}, nil
+}
+
+// Name implements Policy.
+func (p *Random) Name() string { return "random" }
+
+// Select implements Policy.
+func (p *Random) Select(x []float64) (int, error) {
+	if len(x) != p.dim {
+		return 0, ErrDim
+	}
+	return p.rnd.Intn(p.n), nil
+}
+
+// Update implements Policy.
+func (p *Random) Update(arm int, x []float64, runtime float64) error {
+	if arm < 0 || arm >= p.n {
+		return ErrArm
+	}
+	if len(x) != p.dim {
+		return ErrDim
+	}
+	return nil
+}
+
+// LinUCB selects the arm minimising the lower confidence bound
+// R̂(H_i, x) − β·√(xᵀPᵢx): optimism in the face of uncertainty, phrased
+// for runtime minimisation.
+type LinUCB struct {
+	la   *linArms
+	beta float64
+}
+
+// NewLinUCB constructs the policy. beta scales the confidence width; it
+// must be positive.
+func NewLinUCB(numArms, dim int, beta float64) (*LinUCB, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("policy: non-positive beta %v", beta)
+	}
+	la, err := newLinArms(numArms, dim, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &LinUCB{la: la, beta: beta}, nil
+}
+
+// Name implements Policy.
+func (p *LinUCB) Name() string { return fmt.Sprintf("linucb(%.2g)", p.beta) }
+
+// Select implements Policy.
+func (p *LinUCB) Select(x []float64) (int, error) {
+	if len(x) != p.la.dim {
+		return 0, ErrDim
+	}
+	scores := make([]float64, len(p.la.arms))
+	for i, a := range p.la.arms {
+		scores[i] = a.Predict(x) - p.beta*math.Sqrt(a.Uncertainty(x))
+	}
+	return stats.ArgMin(scores), nil
+}
+
+// Exploit implements Exploiter: the arm with minimum mean prediction
+// (no confidence bonus).
+func (p *LinUCB) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
+
+// Update implements Policy.
+func (p *LinUCB) Update(arm int, x []float64, runtime float64) error {
+	return p.la.update(arm, x, runtime)
+}
+
+// LinTS is linear Thompson sampling: per decision it draws one weight
+// vector per arm from the Gaussian posterior N(wᵢ, v²Pᵢ) and picks the arm
+// whose sampled model predicts the smallest runtime.
+type LinTS struct {
+	la  *linArms
+	v   float64
+	rnd *rng.Source
+}
+
+// NewLinTS constructs the policy. v scales the posterior; must be positive.
+func NewLinTS(numArms, dim int, v float64, seed uint64) (*LinTS, error) {
+	if v <= 0 {
+		return nil, fmt.Errorf("policy: non-positive posterior scale %v", v)
+	}
+	la, err := newLinArms(numArms, dim, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &LinTS{la: la, v: v, rnd: rng.New(seed)}, nil
+}
+
+// Name implements Policy.
+func (p *LinTS) Name() string { return fmt.Sprintf("lints(%.2g)", p.v) }
+
+// Select implements Policy.
+func (p *LinTS) Select(x []float64) (int, error) {
+	if len(x) != p.la.dim {
+		return 0, ErrDim
+	}
+	unit := func() float64 { return p.rnd.Normal(0, 1) }
+	scores := make([]float64, len(p.la.arms))
+	for i, a := range p.la.arms {
+		m, err := a.SampleWeights(p.v, unit)
+		if err != nil {
+			return 0, err
+		}
+		scores[i] = m.Predict(x)
+	}
+	return stats.ArgMin(scores), nil
+}
+
+// Exploit implements Exploiter: the arm with minimum posterior-mean
+// prediction.
+func (p *LinTS) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
+
+// Update implements Policy.
+func (p *LinTS) Update(arm int, x []float64, runtime float64) error {
+	return p.la.update(arm, x, runtime)
+}
+
+// Softmax (Boltzmann exploration) selects arm i with probability
+// ∝ exp(−R̂(H_i, x)/τ). Lower temperature τ exploits harder.
+type Softmax struct {
+	la   *linArms
+	temp float64
+	rnd  *rng.Source
+}
+
+// NewSoftmax constructs the policy. temp must be positive.
+func NewSoftmax(numArms, dim int, temp float64, seed uint64) (*Softmax, error) {
+	if temp <= 0 {
+		return nil, fmt.Errorf("policy: non-positive temperature %v", temp)
+	}
+	la, err := newLinArms(numArms, dim, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Softmax{la: la, temp: temp, rnd: rng.New(seed)}, nil
+}
+
+// Name implements Policy.
+func (p *Softmax) Name() string { return fmt.Sprintf("softmax(%.2g)", p.temp) }
+
+// Select implements Policy.
+func (p *Softmax) Select(x []float64) (int, error) {
+	preds, err := p.la.predictAll(x)
+	if err != nil {
+		return 0, err
+	}
+	// Normalise for numerical stability: subtract the min before exp.
+	minPred := stats.Min(preds)
+	weights := make([]float64, len(preds))
+	total := 0.0
+	for i, pr := range preds {
+		weights[i] = math.Exp(-(pr - minPred) / p.temp)
+		total += weights[i]
+	}
+	u := p.rnd.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i, nil
+		}
+	}
+	return len(preds) - 1, nil
+}
+
+// Exploit implements Exploiter: the arm with minimum predicted runtime.
+func (p *Softmax) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
+
+// Update implements Policy.
+func (p *Softmax) Update(arm int, x []float64, runtime float64) error {
+	return p.la.update(arm, x, runtime)
+}
+
+// Oracle knows the true expected runtime per arm and always selects the
+// optimum — the regret-zero reference in policy sweeps.
+type Oracle struct {
+	dim   int
+	n     int
+	truth func(arm int, x []float64) float64
+}
+
+// NewOracle constructs the oracle from the ground-truth expected-runtime
+// function.
+func NewOracle(numArms, dim int, truth func(arm int, x []float64) float64) (*Oracle, error) {
+	if numArms < 1 || truth == nil {
+		return nil, errors.New("policy: oracle needs arms and a truth function")
+	}
+	return &Oracle{dim: dim, n: numArms, truth: truth}, nil
+}
+
+// Name implements Policy.
+func (p *Oracle) Name() string { return "oracle" }
+
+// Select implements Policy.
+func (p *Oracle) Select(x []float64) (int, error) {
+	if len(x) != p.dim {
+		return 0, ErrDim
+	}
+	scores := make([]float64, p.n)
+	for i := range scores {
+		scores[i] = p.truth(i, x)
+	}
+	return stats.ArgMin(scores), nil
+}
+
+// Update implements Policy (the oracle learns nothing).
+func (p *Oracle) Update(arm int, x []float64, runtime float64) error {
+	if arm < 0 || arm >= p.n {
+		return ErrArm
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+	"banditware/internal/rng"
+)
+
+// linearWorld is a 2-arm environment where arm 0 is best below the
+// crossover and arm 1 above it.
+type linearWorld struct {
+	r *rng.Source
+}
+
+func (w *linearWorld) truth(arm int, x []float64) float64 {
+	switch arm {
+	case 0:
+		return 2*x[0] + 10
+	default:
+		return 0.5*x[0] + 40
+	}
+}
+
+func (w *linearWorld) observe(arm int, x []float64) float64 {
+	return w.truth(arm, x) + w.r.Normal(0, 0.5)
+}
+
+// bestArm is arm 0 for x < 20, arm 1 for x > 20.
+func (w *linearWorld) bestArm(x []float64) int {
+	if w.truth(0, x) <= w.truth(1, x) {
+		return 0
+	}
+	return 1
+}
+
+// runPolicy trains p on nTrain random contexts then measures accuracy on a
+// grid.
+func runPolicy(t *testing.T, p Policy, nTrain int, seed uint64) float64 {
+	t.Helper()
+	w := &linearWorld{r: rng.New(seed)}
+	ctx := rng.New(seed + 1)
+	for i := 0; i < nTrain; i++ {
+		x := []float64{ctx.Uniform(0, 50)}
+		arm, err := p.Select(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Update(arm, x, w.observe(arm, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	correct := 0
+	total := 0
+	for v := 1.0; v <= 50; v += 1 {
+		x := []float64{v}
+		arm, err := p.Select(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arm == w.bestArm(x) {
+			correct++
+		}
+		total++
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestDecayingEpsilonGreedyLearns(t *testing.T) {
+	hw := hardware.Set{{Name: "A", CPUs: 1, MemoryGB: 4}, {Name: "B", CPUs: 2, MemoryGB: 8}}
+	p, err := NewDecayingEpsilonGreedy(hw, 1, core.Options{Seed: 1, Alpha: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := runPolicy(t, p, 300, 10); acc < 0.9 {
+		t.Fatalf("accuracy = %v, want >= 0.9", acc)
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestFixedEpsilonGreedyLearns(t *testing.T) {
+	p, err := NewFixedEpsilonGreedy(2, 1, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some residual exploration remains at test time; 0.8 allows ε=0.1.
+	if acc := runPolicy(t, p, 300, 11); acc < 0.8 {
+		t.Fatalf("accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestGreedyLearns(t *testing.T) {
+	p, err := NewGreedy(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := runPolicy(t, p, 300, 12); acc < 0.9 {
+		t.Fatalf("accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestLinUCBLearns(t *testing.T) {
+	p, err := NewLinUCB(2, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := runPolicy(t, p, 300, 13); acc < 0.9 {
+		t.Fatalf("accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestLinTSLearns(t *testing.T) {
+	p, err := NewLinTS(2, 1, 0.5, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := runPolicy(t, p, 300, 14); acc < 0.85 {
+		t.Fatalf("accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestSoftmaxLearns(t *testing.T) {
+	p, err := NewSoftmax(2, 1, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := runPolicy(t, p, 300, 15); acc < 0.8 {
+		t.Fatalf("accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestOracleIsPerfect(t *testing.T) {
+	w := &linearWorld{r: rng.New(16)}
+	p, err := NewOracle(2, 1, w.truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := runPolicy(t, p, 10, 16); acc != 1 {
+		t.Fatalf("oracle accuracy = %v, want 1", acc)
+	}
+}
+
+func TestRandomIsAtChanceLevel(t *testing.T) {
+	p, err := NewRandom(2, 1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &linearWorld{r: rng.New(17)}
+	correct, total := 0, 0
+	ctx := rng.New(18)
+	for i := 0; i < 5000; i++ {
+		x := []float64{ctx.Uniform(0, 50)}
+		arm, err := p.Select(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arm == w.bestArm(x) {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if math.Abs(acc-0.5) > 0.05 {
+		t.Fatalf("random accuracy = %v, want ~0.5", acc)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewFixedEpsilonGreedy(2, 1, 1.5, 0); err == nil {
+		t.Fatal("eps > 1 should fail")
+	}
+	if _, err := NewFixedEpsilonGreedy(0, 1, 0.5, 0); err == nil {
+		t.Fatal("zero arms should fail")
+	}
+	if _, err := NewGreedy(2, -1); err == nil {
+		t.Fatal("negative dim should fail")
+	}
+	if _, err := NewLinUCB(2, 1, 0); err == nil {
+		t.Fatal("beta = 0 should fail")
+	}
+	if _, err := NewLinTS(2, 1, -1, 0); err == nil {
+		t.Fatal("v < 0 should fail")
+	}
+	if _, err := NewSoftmax(2, 1, 0, 0); err == nil {
+		t.Fatal("temp = 0 should fail")
+	}
+	if _, err := NewRandom(0, 1, 0); err == nil {
+		t.Fatal("zero arms should fail")
+	}
+	if _, err := NewOracle(2, 1, nil); err == nil {
+		t.Fatal("nil truth should fail")
+	}
+}
+
+func TestDimErrors(t *testing.T) {
+	policies := []Policy{}
+	if p, err := NewFixedEpsilonGreedy(2, 2, 0.1, 1); err == nil {
+		policies = append(policies, p)
+	}
+	if p, err := NewGreedy(2, 2); err == nil {
+		policies = append(policies, p)
+	}
+	if p, err := NewLinUCB(2, 2, 1); err == nil {
+		policies = append(policies, p)
+	}
+	if p, err := NewLinTS(2, 2, 1, 1); err == nil {
+		policies = append(policies, p)
+	}
+	if p, err := NewSoftmax(2, 2, 1, 1); err == nil {
+		policies = append(policies, p)
+	}
+	if p, err := NewRandom(2, 2, 1); err == nil {
+		policies = append(policies, p)
+	}
+	w := &linearWorld{r: rng.New(1)}
+	if p, err := NewOracle(2, 2, func(arm int, x []float64) float64 { return w.truth(arm, x[:1]) }); err == nil {
+		policies = append(policies, p)
+	}
+	if len(policies) != 7 {
+		t.Fatalf("built %d policies, want 7", len(policies))
+	}
+	for _, p := range policies {
+		if _, err := p.Select([]float64{1}); err != ErrDim {
+			t.Fatalf("%s: Select dim error = %v, want ErrDim", p.Name(), err)
+		}
+		if err := p.Update(0, []float64{1}, 1); err != ErrDim && p.Name() != "oracle" {
+			t.Fatalf("%s: Update dim error = %v, want ErrDim", p.Name(), err)
+		}
+		if err := p.Update(9, []float64{1, 2}, 1); err != ErrArm && p.Name() != "oracle" {
+			t.Fatalf("%s: Update arm error = %v, want ErrArm", p.Name(), err)
+		}
+	}
+}
+
+func TestOracleArmError(t *testing.T) {
+	w := &linearWorld{r: rng.New(1)}
+	p, err := NewOracle(2, 1, w.truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Update(5, []float64{1}, 1); err != ErrArm {
+		t.Fatal("oracle out-of-range arm should be ErrArm")
+	}
+}
+
+func TestNonContextualEpsilonGreedy(t *testing.T) {
+	// dim 0 reduces to the classic multi-armed bandit of the paper's
+	// Figure 2: arms are slot machines with fixed mean payouts.
+	p, err := NewFixedEpsilonGreedy(3, 0, 0.2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := []float64{30, 10, 20} // arm 1 is best (lowest runtime)
+	r := rng.New(78)
+	for i := 0; i < 500; i++ {
+		arm, err := p.Select(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Update(arm, nil, means[arm]+r.Normal(0, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Majority of post-training selections must be arm 1.
+	hits := 0
+	for i := 0; i < 200; i++ {
+		arm, _ := p.Select(nil)
+		if arm == 1 {
+			hits++
+		}
+	}
+	if hits < 140 {
+		t.Fatalf("best-arm selections = %d/200, want >= 140", hits)
+	}
+}
+
+func TestSoftmaxTemperatureExtremes(t *testing.T) {
+	// Very low temperature ⇒ nearly deterministic argmin.
+	p, err := NewSoftmax(2, 1, 1e-6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train arm 0 to look slow, arm 1 fast.
+	for i := 0; i < 20; i++ {
+		_ = p.Update(0, []float64{1}, 100)
+		_ = p.Update(1, []float64{1}, 1)
+	}
+	for i := 0; i < 50; i++ {
+		arm, err := p.Select([]float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arm != 1 {
+			t.Fatalf("cold softmax picked %d", arm)
+		}
+	}
+}

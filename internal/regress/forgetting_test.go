@@ -1,0 +1,117 @@
+package regress
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"banditware/internal/rng"
+)
+
+func TestForgettingTracksDrift(t *testing.T) {
+	// The environment's slope flips halfway; the forgetting estimator
+	// must converge to the new slope, the plain one must stay anchored
+	// between the two.
+	r := rng.New(51)
+	plain, err := NewRLS(1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forget, err := NewRLSForgetting(1, 1e-6, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(slope float64, n int) {
+		for i := 0; i < n; i++ {
+			x := []float64{r.Uniform(0, 10)}
+			y := slope*x[0] + r.Normal(0, 0.05)
+			if err := plain.Update(x, y); err != nil {
+				t.Fatal(err)
+			}
+			if err := forget.Update(x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(2, 200)
+	feed(-3, 200)
+	mF := forget.Model()
+	mP := plain.Model()
+	if math.Abs(mF.Weights[0]-(-3)) > 0.2 {
+		t.Fatalf("forgetting slope = %v, want ~-3", mF.Weights[0])
+	}
+	// The plain estimator averages both regimes.
+	if mP.Weights[0] < -1.5 {
+		t.Fatalf("plain slope = %v converged suspiciously fast", mP.Weights[0])
+	}
+}
+
+func TestForgettingValidation(t *testing.T) {
+	if _, err := NewRLSForgetting(1, 0, 0); err == nil {
+		t.Fatal("forget 0 should fail")
+	}
+	if _, err := NewRLSForgetting(1, 0, 1.5); err == nil {
+		t.Fatal("forget > 1 should fail")
+	}
+}
+
+func TestForgettingOneEqualsPlain(t *testing.T) {
+	a, err := NewRLS(2, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRLSForgetting(2, 1e-4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(52)
+	for i := 0; i < 50; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		y := 3*x[0] - x[1] + 0.5
+		if err := a.Update(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Update(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := []float64{0.3, 0.7}
+	if math.Abs(a.Predict(probe)-b.Predict(probe)) > 1e-12 {
+		t.Fatal("forget=1 differs from plain RLS")
+	}
+}
+
+func TestForgettingJSONRoundTrip(t *testing.T) {
+	rls, err := NewRLSForgetting(1, 1e-4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(53)
+	for i := 0; i < 30; i++ {
+		x := []float64{r.Float64()}
+		if err := rls.Update(x, 4*x[0]+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := json.Marshal(rls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RLS
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.5}
+	if math.Abs(back.Predict(probe)-rls.Predict(probe)) > 1e-12 {
+		t.Fatal("round trip drifted")
+	}
+	// The restored estimator must keep forgetting.
+	for i := 0; i < 100; i++ {
+		if err := back.Update([]float64{0.5}, -10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(back.Predict(probe)-(-10)) > 0.5 {
+		t.Fatalf("restored estimator stopped forgetting: %v", back.Predict(probe))
+	}
+}

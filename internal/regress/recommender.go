@@ -1,0 +1,85 @@
+package regress
+
+import (
+	"fmt"
+
+	"banditware/internal/hardware"
+	"banditware/internal/stats"
+)
+
+// Recommender is the paper's comparison baseline (Figures 5 and 8): one
+// batch-fit linear model per hardware configuration; recommendation is the
+// configuration with the smallest predicted runtime. It is an offline
+// model — it needs a training set up front and never updates.
+type Recommender struct {
+	Hardware hardware.Set
+	Models   []Model
+}
+
+// FitRecommender fits one OLS model per hardware arm. xs[i] and y[i] hold
+// the training rows observed on hardware arm i. Arms with no data get the
+// zero model (predicting zero runtime), mirroring Algorithm 1's
+// initialisation.
+func FitRecommender(hw hardware.Set, xs [][][]float64, y [][]float64, ridge float64) (*Recommender, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if len(xs) != len(hw) || len(y) != len(hw) {
+		return nil, fmt.Errorf("%w: %d arms, %d feature groups, %d target groups",
+			ErrBadInput, len(hw), len(xs), len(y))
+	}
+	rec := &Recommender{Hardware: hw, Models: make([]Model, len(hw))}
+	dim := 0
+	for i := range xs {
+		if len(xs[i]) > 0 {
+			dim = len(xs[i][0])
+			break
+		}
+	}
+	for i := range xs {
+		if len(xs[i]) == 0 {
+			rec.Models[i] = Zero(dim)
+			continue
+		}
+		m, err := FitOLS(xs[i], y[i], ridge)
+		if err != nil {
+			return nil, fmt.Errorf("regress: fitting arm %d: %w", i, err)
+		}
+		rec.Models[i] = m
+	}
+	return rec, nil
+}
+
+// PredictAllArms returns the predicted runtime on every arm for features x.
+func (r *Recommender) PredictAllArms(x []float64) []float64 {
+	out := make([]float64, len(r.Models))
+	for i, m := range r.Models {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Recommend returns the arm index with the smallest predicted runtime.
+func (r *Recommender) Recommend(x []float64) int {
+	return stats.ArgMin(r.PredictAllArms(x))
+}
+
+// EvaluatePooled scores the recommender's runtime predictions over a pooled
+// evaluation set: row i was observed on arm arms[i] with features xs[i] and
+// actual runtime y[i]. The prediction for row i comes from the model of the
+// arm it actually ran on, which is how the paper computes its RMSE/R²
+// distributions.
+func (r *Recommender) EvaluatePooled(arms []int, xs [][]float64, y []float64) (Score, error) {
+	if len(arms) != len(xs) || len(xs) != len(y) || len(xs) == 0 {
+		return Score{}, ErrBadInput
+	}
+	pred := make([]float64, len(xs))
+	for i := range xs {
+		a := arms[i]
+		if a < 0 || a >= len(r.Models) {
+			return Score{}, fmt.Errorf("%w: arm %d out of range", ErrBadInput, a)
+		}
+		pred[i] = r.Models[a].Predict(xs[i])
+	}
+	return scorePred(pred, y)
+}

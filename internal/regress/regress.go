@@ -1,0 +1,119 @@
+// Package regress implements the linear-regression substrate BanditWare is
+// built on: batch ordinary least squares (with a ridge fallback for
+// degenerate designs), an online recursive-least-squares estimator used by
+// the bandit's per-arm models, and the plain linear-regression recommender
+// the paper compares against in Figures 5 and 8.
+//
+// Models follow the paper's assumption R(H_i, x) = wᵢᵀx + bᵢ: every model
+// carries an explicit intercept.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"banditware/internal/linalg"
+	"banditware/internal/stats"
+)
+
+// Errors shared across the package.
+var (
+	ErrNoData   = errors.New("regress: no training data")
+	ErrBadInput = errors.New("regress: non-finite or mismatched input")
+)
+
+// Model is a linear model y = w·x + b.
+type Model struct {
+	Weights []float64 `json:"weights"`
+	Bias    float64   `json:"bias"`
+}
+
+// Predict returns w·x + b. Feature vectors shorter than Weights are
+// zero-padded; longer ones are truncated (callers should pass matching
+// lengths; the tolerance keeps prediction total).
+func (m Model) Predict(x []float64) float64 {
+	return linalg.Dot(m.Weights, x) + m.Bias
+}
+
+// PredictAll applies the model to every row of xs.
+func (m Model) PredictAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Zero returns the all-zero model of the given dimension — the paper's
+// Algorithm 1 initial state (wᵢ ← 0, bᵢ ← 0).
+func Zero(dim int) Model {
+	return Model{Weights: make([]float64, dim)}
+}
+
+// Clone returns a deep copy of m.
+func (m Model) Clone() Model {
+	return Model{Weights: linalg.CloneVec(m.Weights), Bias: m.Bias}
+}
+
+// FitOLS fits y = w·x + b by least squares over rows xs. ridge is the
+// fallback regularisation weight used only when the design is
+// rank-deficient (0 selects a scale-aware default). It returns ErrNoData
+// for an empty sample and ErrBadInput for ragged or non-finite rows.
+func FitOLS(xs [][]float64, y []float64, ridge float64) (Model, error) {
+	if len(xs) == 0 || len(y) == 0 {
+		return Model{}, ErrNoData
+	}
+	if len(xs) != len(y) {
+		return Model{}, fmt.Errorf("%w: %d rows vs %d targets", ErrBadInput, len(xs), len(y))
+	}
+	dim := len(xs[0])
+	// Design matrix with a trailing intercept column of ones.
+	a := linalg.NewMatrix(len(xs), dim+1)
+	for i, x := range xs {
+		if len(x) != dim {
+			return Model{}, fmt.Errorf("%w: ragged row %d", ErrBadInput, i)
+		}
+		if !linalg.VecIsFinite(x) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return Model{}, fmt.Errorf("%w: non-finite value in row %d", ErrBadInput, i)
+		}
+		row := a.Row(i)
+		copy(row, x)
+		row[dim] = 1
+	}
+	// With fewer samples than parameters, QR is undefined; go straight to
+	// the ridge-regularised normal equations.
+	sol, err := linalg.SolveLeastSquares(a, y, ridge)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{Weights: sol[:dim], Bias: sol[dim]}, nil
+}
+
+// Score bundles the quality metrics the paper reports for a model.
+type Score struct {
+	RMSE  float64 `json:"rmse"`
+	NRMSE float64 `json:"nrmse"`
+	MAE   float64 `json:"mae"`
+	R2    float64 `json:"r2"`
+}
+
+// Evaluate scores model m on the given evaluation set.
+func Evaluate(m Model, xs [][]float64, y []float64) (Score, error) {
+	if len(xs) != len(y) || len(xs) == 0 {
+		return Score{}, ErrBadInput
+	}
+	pred := m.PredictAll(xs)
+	return scorePred(pred, y)
+}
+
+func scorePred(pred, y []float64) (Score, error) {
+	rmse, err := stats.RMSE(pred, y)
+	if err != nil {
+		return Score{}, err
+	}
+	nrmse, _ := stats.NRMSE(pred, y)
+	mae, _ := stats.MAE(pred, y)
+	r2, _ := stats.R2(pred, y)
+	return Score{RMSE: rmse, NRMSE: nrmse, MAE: mae, R2: r2}, nil
+}

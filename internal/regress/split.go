@@ -1,0 +1,74 @@
+package regress
+
+import (
+	"math"
+
+	"banditware/internal/rng"
+)
+
+// SampleRows returns k row indices drawn without replacement from [0, n)
+// (all rows shuffled when k >= n).
+func SampleRows(n, k int, r *rng.Source) []int {
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	return r.Sample(n, k)
+}
+
+// TrainTestSplit partitions [0, n) into a train set of size round(n*frac)
+// and the complementary test set, both in random order.
+func TrainTestSplit(n int, frac float64, r *rng.Source) (train, test []int) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	k := int(float64(n)*frac + 0.5)
+	p := r.Perm(n)
+	return p[:k], p[k:]
+}
+
+// Standardize returns (xs−mean)/std per column along with the column means
+// and stds, leaving zero-variance columns untouched (std reported as 1).
+// Used to reproduce the paper's normalised-RMSE reporting.
+func Standardize(xs [][]float64) (out [][]float64, means, stds []float64) {
+	if len(xs) == 0 {
+		return nil, nil, nil
+	}
+	dim := len(xs[0])
+	means = make([]float64, dim)
+	stds = make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		sum := 0.0
+		for _, x := range xs {
+			sum += x[j]
+		}
+		means[j] = sum / float64(len(xs))
+	}
+	for j := 0; j < dim; j++ {
+		ss := 0.0
+		for _, x := range xs {
+			d := x[j] - means[j]
+			ss += d * d
+		}
+		v := ss / float64(len(xs))
+		if v <= 0 {
+			stds[j] = 1
+		} else {
+			stds[j] = math.Sqrt(v)
+		}
+	}
+	out = make([][]float64, len(xs))
+	for i, x := range xs {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = (x[j] - means[j]) / stds[j]
+		}
+		out[i] = row
+	}
+	return out, means, stds
+}

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"banditware/internal/rng"
+)
+
+// BootstrapCI estimates a two-sided percentile confidence interval for the
+// statistic stat over sample xs using nresamples bootstrap resamples.
+// level is the confidence level (e.g. 0.95). The source r drives resampling
+// so results are reproducible.
+func BootstrapCI(xs []float64, stat func([]float64) float64, nresamples int, level float64, r *rng.Source) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if nresamples < 1 {
+		nresamples = 1000
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	vals := make([]float64, nresamples)
+	resample := make([]float64, len(xs))
+	for i := 0; i < nresamples; i++ {
+		for j := range resample {
+			resample[j] = xs[r.Intn(len(xs))]
+		}
+		vals[i] = stat(resample)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha), nil
+}
+
+// MeanCI is a convenience wrapper: bootstrap CI of the mean.
+func MeanCI(xs []float64, nresamples int, level float64, r *rng.Source) (lo, hi float64, err error) {
+	return BootstrapCI(xs, Mean, nresamples, level, r)
+}

@@ -1,0 +1,346 @@
+// Package svgplot renders the repository's figures as standalone SVG
+// files using only the standard library: line charts with optional error
+// bands (the paper's RMSE/accuracy-over-time figures), scatter overlays
+// (the fit figures), and box plots (the linear-regression score
+// distributions).
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette cycles through distinguishable series colours.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// Style selects how a series is drawn.
+type Style int
+
+const (
+	// Lines connects points with a polyline.
+	Lines Style = iota
+	// Points draws markers only.
+	Points
+	// LinesPoints draws both.
+	LinesPoints
+)
+
+// Series is one plotted data series.
+type Series struct {
+	Name string
+	X, Y []float64
+	// YErr, when non-nil, draws a ±error band around the line.
+	YErr  []float64
+	Style Style
+	// Dashed draws the polyline dashed (used for reference lines).
+	Dashed bool
+}
+
+// Plot is a 2-D chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   int
+	series []Series
+	// HLine draws a horizontal reference line (the paper's red full-fit
+	// baseline) when HLineSet.
+	HLine    float64
+	HLineSet bool
+	// Boxes, when non-empty, renders a box plot instead of series.
+	boxes []box
+}
+
+type box struct {
+	label                 string
+	min, q1, med, q3, max float64
+}
+
+// New returns an empty plot with sensible dimensions.
+func New(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, W: 720, H: 480}
+}
+
+// Add appends a data series. Mismatched X/Y lengths are truncated to the
+// shorter; empty series are ignored.
+func (p *Plot) Add(s Series) {
+	n := len(s.X)
+	if len(s.Y) < n {
+		n = len(s.Y)
+	}
+	if n == 0 {
+		return
+	}
+	s.X, s.Y = s.X[:n], s.Y[:n]
+	if s.YErr != nil && len(s.YErr) >= n {
+		s.YErr = s.YErr[:n]
+	} else {
+		s.YErr = nil
+	}
+	p.series = append(p.series, s)
+}
+
+// SetBaseline draws a horizontal reference line at y.
+func (p *Plot) SetBaseline(y float64) {
+	p.HLine = y
+	p.HLineSet = true
+}
+
+// AddBox appends one box to a box plot from a five-number summary.
+func (p *Plot) AddBox(label string, min, q1, med, q3, max float64) {
+	p.boxes = append(p.boxes, box{label, min, q1, med, q3, max})
+}
+
+// Render writes the SVG document.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.boxes) > 0 {
+		return p.renderBoxes(w)
+	}
+	return p.renderSeries(w)
+}
+
+const (
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 55
+)
+
+func (p *Plot) renderSeries(w io.Writer) error {
+	var b strings.Builder
+	xmin, xmax, ymin, ymax := p.bounds()
+	plotW := float64(p.W - marginL - marginR)
+	plotH := float64(p.H - marginT - marginB)
+	sx := func(x float64) float64 { return marginL + plotW*(x-xmin)/(xmax-xmin) }
+	sy := func(y float64) float64 { return float64(p.H-marginB) - plotH*(y-ymin)/(ymax-ymin) }
+
+	p.header(&b)
+	p.axes(&b, xmin, xmax, ymin, ymax, sx, sy)
+
+	if p.HLineSet && p.HLine >= ymin && p.HLine <= ymax {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#d62728" stroke-width="1.5" stroke-dasharray="6,3"/>`+"\n",
+			marginL, sy(p.HLine), p.W-marginR, sy(p.HLine))
+	}
+
+	for i, s := range p.series {
+		color := palette[i%len(palette)]
+		if s.YErr != nil {
+			// Error band polygon: upper path then reversed lower path.
+			var pts []string
+			for j := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j]+s.YErr[j])))
+			}
+			for j := len(s.X) - 1; j >= 0; j-- {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j]-s.YErr[j])))
+			}
+			fmt.Fprintf(&b, `<polygon points="%s" fill="%s" fill-opacity="0.15" stroke="none"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		if s.Style == Lines || s.Style == LinesPoints {
+			var pts []string
+			for j := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+			}
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="5,4"`
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
+		}
+		if s.Style == Points || s.Style == LinesPoints {
+			for j := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+					sx(s.X[j]), sy(s.Y[j]), color)
+			}
+		}
+		// Legend entry.
+		lx := marginL + 10
+		ly := marginT + 16*(i+1)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n", lx, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", lx+16, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (p *Plot) renderBoxes(w io.Writer) error {
+	var b strings.Builder
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, bx := range p.boxes {
+		ymin = math.Min(ymin, bx.min)
+		ymax = math.Max(ymax, bx.max)
+	}
+	ymin, ymax = pad(ymin, ymax)
+	plotW := float64(p.W - marginL - marginR)
+	plotH := float64(p.H - marginT - marginB)
+	sy := func(y float64) float64 { return float64(p.H-marginB) - plotH*(y-ymin)/(ymax-ymin) }
+
+	p.header(&b)
+	p.yAxis(&b, ymin, ymax, sy)
+
+	n := len(p.boxes)
+	slot := plotW / float64(n)
+	boxW := slot * 0.4
+	for i, bx := range p.boxes {
+		cx := float64(marginL) + slot*(float64(i)+0.5)
+		color := palette[i%len(palette)]
+		// Whiskers.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx, sy(bx.min), cx, sy(bx.q1))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx, sy(bx.q3), cx, sy(bx.max))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx-boxW/4, sy(bx.min), cx+boxW/4, sy(bx.min))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx-boxW/4, sy(bx.max), cx+boxW/4, sy(bx.max))
+		// Box.
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.5" stroke="#333"/>`+"\n",
+			cx-boxW/2, sy(bx.q3), boxW, sy(bx.q1)-sy(bx.q3), color)
+		// Median.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000" stroke-width="2"/>`+"\n",
+			cx-boxW/2, sy(bx.med), cx+boxW/2, sy(bx.med))
+		// Label.
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			cx, p.H-marginB+18, escape(bx.label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (p *Plot) header(b *strings.Builder) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", p.W, p.H, p.W, p.H)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", p.W, p.H)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-size="15" font-weight="bold" text-anchor="middle">%s</text>`+"\n", p.W/2, escape(p.Title))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n", p.W/2, p.H-12, escape(p.XLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n", p.H/2, p.H/2, escape(p.YLabel))
+}
+
+func (p *Plot) axes(b *strings.Builder, xmin, xmax, ymin, ymax float64, sx, sy func(float64) float64) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#000"/>`+"\n", marginL, p.H-marginB, p.W-marginR, p.H-marginB)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#000"/>`+"\n", marginL, marginT, marginL, p.H-marginB)
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := sx(t)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#000"/>`+"\n", x, p.H-marginB, x, p.H-marginB+5)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n", x, p.H-marginB+18, fmtTick(t))
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`+"\n", x, marginT, x, p.H-marginB)
+	}
+	p.yAxis(b, ymin, ymax, sy)
+}
+
+func (p *Plot) yAxis(b *strings.Builder, ymin, ymax float64, sy func(float64) float64) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#000"/>`+"\n", marginL, p.H-marginB, p.W-marginR, p.H-marginB)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#000"/>`+"\n", marginL, marginT, marginL, p.H-marginB)
+	for _, t := range ticks(ymin, ymax, 6) {
+		y := sy(t)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#000"/>`+"\n", marginL-5, y, marginL, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n", marginL-8, y, fmtTick(t))
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`+"\n", marginL, y, p.W-marginR, y)
+	}
+}
+
+// bounds computes padded data bounds across all series (and the baseline).
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for j := range s.X {
+			xmin = math.Min(xmin, s.X[j])
+			xmax = math.Max(xmax, s.X[j])
+			lo, hi := s.Y[j], s.Y[j]
+			if s.YErr != nil {
+				lo -= s.YErr[j]
+				hi += s.YErr[j]
+			}
+			ymin = math.Min(ymin, lo)
+			ymax = math.Max(ymax, hi)
+		}
+	}
+	if p.HLineSet {
+		ymin = math.Min(ymin, p.HLine)
+		ymax = math.Max(ymax, p.HLine)
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+	return xmin, xmax, ymin, ymax
+}
+
+// pad widens a degenerate or tight range slightly.
+func pad(lo, hi float64) (float64, float64) {
+	if lo == hi {
+		if lo == 0 {
+			return -1, 1
+		}
+		m := math.Abs(lo) * 0.1
+		return lo - m, hi + m
+	}
+	m := (hi - lo) * 0.05
+	return lo - m, hi + m
+}
+
+// ticks returns ~n nicely-rounded tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	norm := raw / mag
+	var step float64
+	switch {
+	case norm < 1.5:
+		step = mag
+	case norm < 3:
+		step = 2 * mag
+	case norm < 7:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// fmtTick renders a tick value compactly (engineering suffixes for large
+// magnitudes, matching the paper's "1M", "20k" axis style).
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case av >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fk", v/1e3))
+	case av == 0:
+		return "0"
+	case av < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	default:
+		return trimZero(fmt.Sprintf("%.2f", v))
+	}
+}
+
+func trimZero(s string) string {
+	s = strings.Replace(s, ".0M", "M", 1)
+	s = strings.Replace(s, ".0k", "k", 1)
+	if strings.Contains(s, ".") && !strings.ContainsAny(s, "Mk") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	return s
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

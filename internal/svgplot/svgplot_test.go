@@ -1,0 +1,169 @@
+package svgplot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderLineChart(t *testing.T) {
+	p := New("RMSE over time", "round", "rmse")
+	p.Add(Series{
+		Name: "bandit",
+		X:    []float64{1, 2, 3, 4},
+		Y:    []float64{100, 60, 40, 35},
+		YErr: []float64{10, 8, 5, 4},
+	})
+	p.SetBaseline(30)
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "polygon", "RMSE over time", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestRenderPointsAndDashed(t *testing.T) {
+	p := New("fit", "x", "y")
+	p.Add(Series{Name: "actual", X: []float64{1, 2}, Y: []float64{3, 4}, Style: Points})
+	p.Add(Series{Name: "pred", X: []float64{1, 2}, Y: []float64{3.1, 4.1}, Style: LinesPoints, Dashed: true})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("points style missing circles")
+	}
+	if strings.Count(svg, "circle") < 4 {
+		t.Fatal("expected markers for both series")
+	}
+}
+
+func TestRenderBoxPlot(t *testing.T) {
+	p := New("RMSE scores", "", "rmse")
+	p.AddBox("rmse_all", 0.51, 0.65, 0.72, 0.78, 0.85)
+	p.AddBox("rmse_area_only", 0.55, 0.66, 0.70, 0.75, 0.82)
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Count(svg, "<rect") < 3 { // background + 2 boxes
+		t.Fatal("box plot missing boxes")
+	}
+	if !strings.Contains(svg, "rmse_area_only") {
+		t.Fatal("box labels missing")
+	}
+}
+
+func TestEmptySeriesIgnored(t *testing.T) {
+	p := New("empty", "x", "y")
+	p.Add(Series{Name: "none"})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Fatal("empty plot should still render a document")
+	}
+}
+
+func TestMismatchedLengthsTruncated(t *testing.T) {
+	p := New("t", "x", "y")
+	p.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 2}})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	p := New("a < b & c > d", "x", "y")
+	p.Add(Series{Name: "<evil>", X: []float64{0, 1}, Y: []float64{0, 1}})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Contains(svg, "<evil>") {
+		t.Fatal("series name not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; c &gt; d") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(0, 100, 6)
+	if len(ts) < 4 {
+		t.Fatalf("too few ticks: %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	if ts[0] < 0 || ts[len(ts)-1] > 100+1e-9 {
+		t.Fatalf("ticks escape range: %v", ts)
+	}
+	// Degenerate range.
+	if got := ticks(5, 5, 6); len(got) != 2 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		1000000: "1M",
+		20000:   "20k",
+		0:       "0",
+		0.5:     "0.5",
+		3:       "3",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := fmtTick(0.0001); !strings.Contains(got, "e") {
+		t.Fatalf("tiny tick = %q, want scientific", got)
+	}
+}
+
+func TestPad(t *testing.T) {
+	lo, hi := pad(0, 0)
+	if lo >= hi {
+		t.Fatal("pad(0,0) degenerate")
+	}
+	lo, hi = pad(5, 5)
+	if !(lo < 5 && hi > 5) {
+		t.Fatal("pad(5,5) does not straddle")
+	}
+	lo, hi = pad(0, 10)
+	if lo >= 0 || hi <= 10 {
+		t.Fatal("pad(0,10) should widen")
+	}
+}
+
+func TestBoundsWithBaseline(t *testing.T) {
+	p := New("t", "x", "y")
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{5, 6}})
+	p.SetBaseline(100)
+	_, _, ymin, ymax := p.bounds()
+	if ymax < 100 {
+		t.Fatal("bounds ignore baseline")
+	}
+	if ymin > 5 {
+		t.Fatal("bounds ignore series")
+	}
+	if math.IsInf(ymin, 0) || math.IsInf(ymax, 0) {
+		t.Fatal("non-finite bounds")
+	}
+}

@@ -1,0 +1,107 @@
+// Package textplot renders small ASCII charts for terminal output: line
+// charts (experiment curves in the CLI) and horizontal histograms.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line renders series y over implicit x = 1..len(y) as an ASCII chart of
+// the given width and height, with a y-axis scale. A reference value can
+// be overlaid with baseline (NaN disables it).
+func Line(y []float64, width, height int, baseline float64) string {
+	if len(y) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if !math.IsNaN(baseline) {
+		lo = math.Min(lo, baseline)
+		hi = math.Max(hi, baseline)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	if !math.IsNaN(baseline) {
+		r := rowOf(baseline)
+		for c := 0; c < width; c++ {
+			grid[r][c] = '-'
+		}
+	}
+	for i, v := range y {
+		c := 0
+		if len(y) > 1 {
+			c = i * (width - 1) / (len(y) - 1)
+		}
+		grid[rowOf(v)][c] = '*'
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		var label float64
+		switch r {
+		case 0:
+			label = hi
+		case height - 1:
+			label = lo
+		default:
+			label = math.NaN()
+		}
+		if math.IsNaN(label) {
+			b.WriteString(strings.Repeat(" ", 10))
+		} else {
+			fmt.Fprintf(&b, "%9.3g ", label)
+		}
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}
+
+// Histogram renders labelled values as horizontal bars scaled to width.
+func Histogram(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 || width < 4 {
+		return ""
+	}
+	maxV := math.Inf(-1)
+	maxL := 0
+	for i, v := range values {
+		maxV = math.Max(maxV, v)
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(float64(width) * v / maxV))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", maxL, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out := Line([]float64{10, 8, 6, 4, 2}, 40, 8, math.NaN())
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data points rendered")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // height + axis
+		t.Fatalf("lines = %d, want 9", len(lines))
+	}
+	// Max label on first row, min on last grid row.
+	if !strings.Contains(lines[0], "10") {
+		t.Fatalf("first row missing max label: %q", lines[0])
+	}
+	if !strings.Contains(lines[7], "2") {
+		t.Fatalf("last grid row missing min label: %q", lines[7])
+	}
+}
+
+func TestLineBaseline(t *testing.T) {
+	out := Line([]float64{10, 9, 8}, 30, 6, 5)
+	if !strings.Contains(out, "---") {
+		t.Fatal("baseline not drawn")
+	}
+}
+
+func TestLineDegenerate(t *testing.T) {
+	if Line(nil, 40, 8, math.NaN()) != "" {
+		t.Fatal("nil input should render nothing")
+	}
+	if Line([]float64{1}, 2, 8, math.NaN()) != "" {
+		t.Fatal("too-narrow chart should render nothing")
+	}
+	// Constant series must not divide by zero.
+	out := Line([]float64{5, 5, 5}, 30, 5, math.NaN())
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("constant series broke: %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]string{"a", "bb"}, []float64{1, 2}, 20)
+	if !strings.Contains(out, "##") {
+		t.Fatal("bars missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	// The larger value should have the longer bar.
+	if strings.Count(lines[0], "#") >= strings.Count(lines[1], "#") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if Histogram([]string{"a"}, []float64{1, 2}, 20) != "" {
+		t.Fatal("mismatched inputs should render nothing")
+	}
+	if Histogram(nil, nil, 20) != "" {
+		t.Fatal("empty inputs should render nothing")
+	}
+	out := Histogram([]string{"z"}, []float64{0}, 20)
+	if out == "" {
+		t.Fatal("zero values should still render")
+	}
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+
+	"banditware/internal/hardware"
+	"banditware/internal/rng"
+)
+
+// LLMFeatureNames are the features of the LLM-inference workload: the
+// prompt length, the number of tokens to generate, the batch size, and
+// the model's parameter count in billions. This workload implements the
+// paper's stated future work ("additional applications, including large
+// language models (LLMs), enabling us to incorporate GPU information
+// into hardware recommendations").
+var LLMFeatureNames = []string{"prompt_tokens", "gen_tokens", "batch_size", "model_b_params"}
+
+// LLMOptions configures the LLM-inference trace generator.
+type LLMOptions struct {
+	// NumRuns is the trace size. 0 selects 1200.
+	NumRuns int
+	// RelNoise is the multiplicative runtime noise. 0 selects 0.10.
+	RelNoise float64
+	// Seed drives generation.
+	Seed uint64
+	// Hardware overrides the arm set. nil selects hardware.GPUDefault().
+	Hardware hardware.Set
+}
+
+func (o LLMOptions) withDefaults() LLMOptions {
+	if o.NumRuns == 0 {
+		o.NumRuns = 1200
+	}
+	if o.RelNoise == 0 {
+		o.RelNoise = 0.10
+	}
+	if o.Hardware == nil {
+		o.Hardware = hardware.GPUDefault()
+	}
+	return o
+}
+
+// llmCost models autoregressive inference latency:
+//
+//   - prefill: prompt_tokens·batch at full parallel throughput;
+//   - decode: gen_tokens sequential steps, each costing one model pass
+//     over the batch (≈4× less efficient than prefill);
+//   - a CPU-only setting is ~30× slower per parameter-token;
+//   - multi-GPU speedup saturates for small models (tensor-parallel
+//     overheads dominate when layers are thin): efficiency scales with
+//     bParams/(bParams+10);
+//   - each additional GPU adds scheduling/allocation latency, so small
+//     models run *fastest* on few devices — the trade-off the bandit
+//     must discover;
+//   - models that do not fit in accelerator memory (2 GB/B-param fp16
+//     vs 16 GB per GPU) spill and pay 8×.
+func llmCost(hw hardware.Config, prompt, gen, batch, bParams float64) float64 {
+	// Seconds per (billion parameters × 1k tokens) on one GPU.
+	const gpuRate = 0.010
+	const cpuPenalty = 30.0
+	rate := gpuRate
+	eff := 1.0
+	if hw.GPUs == 0 {
+		rate = gpuRate * cpuPenalty
+		// CPU decoding parallelises poorly; more cores help a little.
+		eff = 1 + 0.05*float64(hw.CPUs-1)
+	} else {
+		scale := bParams / (bParams + 10) // multi-GPU efficiency saturation
+		eff = 1 + 0.75*float64(hw.GPUs-1)*scale
+	}
+	needGB := 2 * bParams
+	haveGB := 16 * float64(hw.GPUs)
+	spill := 1.0
+	if hw.GPUs > 0 && needGB > haveGB {
+		spill = 8
+	}
+	prefill := rate * bParams * (prompt / 1000) * batch / eff
+	decode := rate * bParams * (gen / 1000) * batch * 4 / eff
+	overhead := 2.0 + 0.5*float64(hw.GPUs) // model load + per-device allocation
+	return (prefill+decode)*spill + overhead
+}
+
+// GenerateLLM synthesises an LLM-inference trace over GPU-bearing
+// hardware.
+func GenerateLLM(opts LLMOptions) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if err := opts.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NumRuns < 0 {
+		return nil, fmt.Errorf("workloads: negative run count %d", opts.NumRuns)
+	}
+	hw := opts.Hardware
+	truth := func(arm int, x []float64) float64 {
+		if arm < 0 || arm >= len(hw) || len(x) < 4 {
+			return 0
+		}
+		return llmCost(hw[arm], x[0], x[1], x[2], x[3])
+	}
+	relNoise := opts.RelNoise
+	noise := func(arm int, x []float64) float64 {
+		return relNoise*truth(arm, x) + 0.5
+	}
+	r := rng.New(opts.Seed)
+	d := &Dataset{
+		App:          "llm",
+		Hardware:     hw,
+		FeatureNames: append([]string(nil), LLMFeatureNames...),
+		Truth:        truth,
+		Noise:        noise,
+	}
+	models := []float64{1, 3, 7, 13, 34, 70} // billions of parameters
+	for i := 0; i < opts.NumRuns; i++ {
+		x := []float64{
+			float64(64 + r.Intn(3968)),   // prompt_tokens: 64–4031
+			float64(16 + r.Intn(2032)),   // gen_tokens: 16–2047
+			float64(int(1) << r.Intn(5)), // batch_size: 1,2,4,8,16
+			models[r.Intn(len(models))],  // model size
+		}
+		arm := i % len(hw)
+		d.Runs = append(d.Runs, Run{
+			ID:       i,
+			Arm:      arm,
+			Features: x,
+			Runtime:  d.SampleRuntime(arm, x, r),
+		})
+	}
+	return d, d.Validate()
+}

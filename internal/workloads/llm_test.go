@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"testing"
+
+	"banditware/internal/hardware"
+)
+
+func TestGenerateLLMDefaults(t *testing.T) {
+	d, err := GenerateLLM(LLMOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Runs) != 1200 {
+		t.Fatalf("runs = %d, want 1200", len(d.Runs))
+	}
+	if len(d.Hardware) != 4 {
+		t.Fatalf("hardware = %d, want 4", len(d.Hardware))
+	}
+	if d.Dim() != 4 {
+		t.Fatalf("features = %d, want 4", d.Dim())
+	}
+	if d.Hardware[0].GPUs != 0 || d.Hardware[3].GPUs != 4 {
+		t.Fatal("GPU set misconfigured")
+	}
+}
+
+func TestLLMGPUWinsOnBigModels(t *testing.T) {
+	d, err := GenerateLLM(LLMOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 7B model (fits in one GPU): CPU must be far slower than the GPU.
+	xFit := []float64{1024, 512, 4, 7}
+	cpu := d.Truth(0, xFit)
+	g1 := d.Truth(1, xFit)
+	if cpu < 3*g1 {
+		t.Fatalf("CPU %v not clearly slower than 1 GPU %v", cpu, g1)
+	}
+	// A 70B model spills everywhere, but more GPUs still help.
+	xBig := []float64{1024, 512, 4, 70}
+	if g4, g1 := d.Truth(3, xBig), d.Truth(1, xBig); g4 >= g1 {
+		t.Fatalf("4 GPUs %v not faster than 1 GPU %v on a 70B model", g4, g1)
+	}
+}
+
+func TestLLMSmallModelEfficiency(t *testing.T) {
+	d, err := GenerateLLM(LLMOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1B model fits everywhere; with a tolerance, the tolerant best arm
+	// should be cheaper than the strict-fastest arm's cost, never more
+	// expensive.
+	x := []float64{256, 64, 1, 1}
+	strict := d.BestArm(x, 0, 0)
+	tolerant := d.BestArm(x, 0.2, 5)
+	if d.Hardware[tolerant].Cost() > d.Hardware[strict].Cost() {
+		t.Fatalf("tolerance raised cost: %v -> %v",
+			d.Hardware[strict], d.Hardware[tolerant])
+	}
+}
+
+func TestLLMSpillPenalty(t *testing.T) {
+	d, err := GenerateLLM(LLMOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 13B model needs ~26 GB of weights: it fits on 2 GPUs (32 GB) but
+	// spills on 1 GPU (16 GB). With a generation-heavy batch the 8×
+	// spill penalty must dwarf the ~1.75× throughput ratio.
+	x13 := []float64{512, 2000, 8, 13}
+	g1 := d.Truth(1, x13)
+	g2 := d.Truth(2, x13)
+	if g1 < 2*g2 {
+		t.Fatalf("spill penalty not visible: 1 GPU %v vs 2 GPUs %v", g1, g2)
+	}
+}
+
+func TestLLMOptionsValidation(t *testing.T) {
+	if _, err := GenerateLLM(LLMOptions{NumRuns: -1}); err == nil {
+		t.Fatal("negative runs should fail")
+	}
+	bad := hardware.Set{{Name: "X", CPUs: 0, MemoryGB: 1}}
+	if _, err := GenerateLLM(LLMOptions{Hardware: bad}); err == nil {
+		t.Fatal("invalid hardware should fail")
+	}
+}

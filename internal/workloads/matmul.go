@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"fmt"
+
+	"banditware/internal/hardware"
+	"banditware/internal/rng"
+)
+
+// MatMulFeatureNames are the matrix-squaring workload features: the matrix
+// size (paper: "the most highly correlated input parameter with runtime"),
+// the sparsity (ratio of zeros), and the value-generation bounds (which,
+// per the paper, "do not significantly impact the runtime").
+var MatMulFeatureNames = []string{"size", "sparsity", "min_value", "max_value"}
+
+// MatMulOptions configures the matrix-multiplication trace generator
+// (Experiment 3). The zero value reproduces the paper's dataset shape:
+// 2520 runs, 1800 of them with size < 5000 (sub-minute runtimes where the
+// five hardware settings are nearly indistinguishable) and 720 with
+// size ≥ 5000 (up to ~half-hour runtimes with clear core-count
+// separation).
+type MatMulOptions struct {
+	// RepsSmall is the number of repetitions per (small size, hardware)
+	// cell. 0 selects 30 (12 sizes × 5 hw × 30 = 1800 runs).
+	RepsSmall int
+	// RepsLarge is the number of repetitions per (large size, hardware)
+	// cell. 0 selects 24 (6 sizes × 5 hw × 24 = 720 runs).
+	RepsLarge int
+	// RelNoise is the multiplicative runtime noise. 0 selects 0.08.
+	RelNoise float64
+	// Seed drives generation.
+	Seed uint64
+	// Hardware overrides the arm set. nil selects hardware.MatMulDefault().
+	Hardware hardware.Set
+}
+
+func (o MatMulOptions) withDefaults() MatMulOptions {
+	if o.RepsSmall == 0 {
+		o.RepsSmall = 30
+	}
+	if o.RepsLarge == 0 {
+		o.RepsLarge = 24
+	}
+	if o.RelNoise == 0 {
+		o.RelNoise = 0.08
+	}
+	if o.Hardware == nil {
+		o.Hardware = hardware.MatMulDefault()
+	}
+	return o
+}
+
+// matMulSmallSizes and matMulLargeSizes tile the paper's 100–12500 size
+// range with the published small/large split at 5000. The small sizes
+// are bottom-heavy, matching the paper's observation that most sub-5000
+// runs finish within seconds and are effectively hardware-insensitive.
+var matMulSmallSizes = []int{100, 200, 300, 400, 500, 650, 800, 1000, 1250, 1500, 2000, 3000}
+var matMulLargeSizes = []int{5000, 6500, 8000, 9500, 11000, 12500}
+
+// matmulCost is the noise-free runtime model of the tiled parallel
+// squaring kernel: cubic flops with a mild super-cubic memory-pressure
+// term, divided by a size-dependent effective parallel speedup, plus a
+// constant scheduling overhead.
+//
+// The parallel speedup saturates for small matrices — goroutine fan-out
+// and tile-boundary overheads swamp the gain below a couple thousand
+// rows — which is exactly why the paper finds hardware choice nearly
+// irrelevant for size < 5000 and clearly separable above it.
+//
+// Calibration against the paper: on the slowest setting (2 cores) a
+// size-5000 squaring takes ~1 min ("maximum of 1 minute for runs with
+// size < 5000") and a size-12500 squaring ~22 min ("approaches 30
+// minutes"). The 16-core setting does size-12500 in ~3 min.
+// matmulSetupSeconds is the per-arm pod scheduling overhead. It is
+// deliberately NOT monotone in the configuration size: in a real
+// Kubernetes cluster pod start-up time depends on image caches, node
+// placement, and allocation shape rather than on requested resources.
+// For second-scale runs this overhead dominates, so which arm is
+// "fastest" for small matrices carries no structure a size-based linear
+// model can learn — reproducing the paper's Figure-9 finding that
+// full-dataset best-arm accuracy stays near 0.3 while the tolerance
+// knobs (Figures 11–12) recover resource-efficient selections.
+var matmulSetupSeconds = []float64{1.3, 0.9, 1.6, 1.1, 1.4}
+
+func matmulCost(arm, cpus int, size, sparsity float64) float64 {
+	const (
+		c       = 0.62e-9 // seconds per effective flop-pair
+		beta    = 8e-5    // memory-pressure growth per matrix row
+		perCore = 0.85    // marginal core efficiency at full scaling
+		halfN   = 2500.0  // size where parallel efficiency reaches ~50%
+	)
+	// Parallel efficiency ramps with problem size: s(n) = n²/(n²+halfN²).
+	s := size * size / (size*size + halfN*halfN)
+	eff := 1 + perCore*float64(cpus-1)*s
+	work := c * size * size * size * (1 + beta*size)
+	// Sparse inputs skip some multiply-adds in the inner loop.
+	work *= 1 - 0.3*sparsity
+	setup := matmulSetupSeconds[arm%len(matmulSetupSeconds)]
+	return work/eff + setup
+}
+
+// GenerateMatMul synthesises the matrix-squaring trace dataset.
+func GenerateMatMul(opts MatMulOptions) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if err := opts.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.RepsSmall < 0 || opts.RepsLarge < 0 {
+		return nil, fmt.Errorf("workloads: negative repetition counts %d/%d",
+			opts.RepsSmall, opts.RepsLarge)
+	}
+	hw := opts.Hardware
+	truth := func(arm int, x []float64) float64 {
+		if arm < 0 || arm >= len(hw) || len(x) < 2 {
+			return 0
+		}
+		return matmulCost(arm, hw[arm].CPUs, x[0], x[1])
+	}
+	// Additive term: pod scheduling jitter, which dominates (and hides
+	// the hardware differences of) second-scale runs.
+	relNoise := opts.RelNoise
+	noise := func(arm int, x []float64) float64 {
+		return relNoise*truth(arm, x) + 1.2
+	}
+
+	r := rng.New(opts.Seed)
+	d := &Dataset{
+		App:          "matmul",
+		Hardware:     hw,
+		FeatureNames: append([]string(nil), MatMulFeatureNames...),
+		Truth:        truth,
+		Noise:        noise,
+	}
+	id := 0
+	emit := func(size int, reps int) {
+		for arm := range hw {
+			for rep := 0; rep < reps; rep++ {
+				lo := r.Uniform(-100, 0)
+				hi := r.Uniform(1, 100)
+				x := []float64{
+					float64(size),
+					r.Uniform(0, 0.9), // sparsity
+					lo,
+					hi,
+				}
+				d.Runs = append(d.Runs, Run{
+					ID:       id,
+					Arm:      arm,
+					Features: x,
+					Runtime:  d.SampleRuntime(arm, x, r),
+				})
+				id++
+			}
+		}
+	}
+	for _, s := range matMulSmallSizes {
+		emit(s, opts.RepsSmall)
+	}
+	for _, s := range matMulLargeSizes {
+		emit(s, opts.RepsLarge)
+	}
+	return d, d.Validate()
+}
+
+// MatMulSubset filters a matmul dataset to the paper's "realistic"
+// secondary dataset: size >= minSize (the paper uses 5000).
+func MatMulSubset(d *Dataset, minSize float64) *Dataset {
+	sizeIdx := d.FeatureIndex("size")
+	if sizeIdx < 0 {
+		return d
+	}
+	return d.Filter(func(r Run) bool { return r.Features[sizeIdx] >= minSize })
+}

@@ -1,0 +1,107 @@
+package banditware
+
+import (
+	"io"
+	"sync"
+
+	"banditware/internal/core"
+)
+
+// Interval is a prediction interval for one arm.
+type Interval = core.Interval
+
+// PredictWithCI returns per-arm runtime estimates with approximate
+// prediction intervals (z <= 0 selects 1.96 ≈ 95%). Arms that have not
+// observed at least two runs report infinite intervals.
+func (r *Recommender) PredictWithCI(features []float64, z float64) ([]Interval, error) {
+	return r.b.PredictWithCI(features, z)
+}
+
+// Exploit returns the tolerant selection for the features without
+// consuming exploration randomness — use it to serve read-only
+// recommendations (dashboards, dry runs) that must not perturb learning.
+func (r *Recommender) Exploit(features []float64) (int, error) {
+	return r.b.Exploit(features)
+}
+
+// SafeRecommender wraps a Recommender with a mutex so a single instance
+// can serve concurrent request handlers. All methods have the same
+// semantics as Recommender's.
+type SafeRecommender struct {
+	mu  sync.Mutex
+	rec *Recommender
+}
+
+// NewSafe constructs a concurrency-safe recommender.
+func NewSafe(hw HardwareSet, dim int, opts Options) (*SafeRecommender, error) {
+	rec, err := New(hw, dim, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeRecommender{rec: rec}, nil
+}
+
+// WrapSafe wraps an existing Recommender. The caller must not use the
+// wrapped Recommender directly afterwards.
+func WrapSafe(rec *Recommender) *SafeRecommender {
+	return &SafeRecommender{rec: rec}
+}
+
+// Recommend is the mutex-guarded Recommender.Recommend.
+func (s *SafeRecommender) Recommend(features []float64) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Recommend(features)
+}
+
+// Observe is the mutex-guarded Recommender.Observe.
+func (s *SafeRecommender) Observe(arm int, features []float64, runtime float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Observe(arm, features, runtime)
+}
+
+// Exploit is the mutex-guarded Recommender.Exploit.
+func (s *SafeRecommender) Exploit(features []float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Exploit(features)
+}
+
+// PredictAll is the mutex-guarded Recommender.PredictAll.
+func (s *SafeRecommender) PredictAll(features []float64) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.PredictAll(features)
+}
+
+// PredictWithCI is the mutex-guarded Recommender.PredictWithCI.
+func (s *SafeRecommender) PredictWithCI(features []float64, z float64) ([]Interval, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.PredictWithCI(features, z)
+}
+
+// Epsilon is the mutex-guarded Recommender.Epsilon.
+func (s *SafeRecommender) Epsilon() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Epsilon()
+}
+
+// Round is the mutex-guarded Recommender.Round.
+func (s *SafeRecommender) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Round()
+}
+
+// Hardware returns the arm set (immutable after construction).
+func (s *SafeRecommender) Hardware() HardwareSet { return s.rec.Hardware() }
+
+// Save is the mutex-guarded Recommender.Save.
+func (s *SafeRecommender) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Save(w)
+}
