@@ -32,10 +32,19 @@
 //	runtime := runWorkflow(hw[d.Arm])      // schedule it, measure it
 //	_ = rec.Observe(d.Arm, []float64{numTasks}, runtime)
 //
+// Recommender is single-stream and not concurrency-safe. For serving —
+// many applications, concurrent requests, recommendations issued long
+// before their runtimes are observed — use Service: a sharded registry
+// of named recommender streams with decision tickets, batch operations,
+// whole-service snapshots, and an HTTP front-end (ServiceHandler,
+// mounted by `banditware serve`). SafeRecommender remains as the
+// lock-guarded single-stream shim.
+//
 // The internal packages implement every substrate the paper's evaluation
 // needs (dataframes, linear algebra, workload generators, a cluster
-// simulator, the experiment harness); see DESIGN.md for the inventory and
-// cmd/bwbench for the per-figure reproduction runners.
+// simulator, the experiment harness, the serving layer); see DESIGN.md
+// for the inventory and cmd/bwbench for the per-figure reproduction
+// runners.
 package banditware
 
 import (

@@ -12,6 +12,7 @@ package banditware
 
 import (
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"banditware/internal/core"
@@ -487,4 +488,113 @@ func BenchmarkParallelMatMulKernel(b *testing.B) {
 
 func floatName(prefix string, v float64) string {
 	return prefix + "=" + strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// --- serving-path throughput ----------------------------------------
+
+// newBenchService builds a service with n identically configured
+// streams named s0..s{n-1}, pre-trained with a few observations so the
+// recommend path exercises fitted models.
+func newBenchService(b *testing.B, n int) *Service {
+	b.Helper()
+	hw := NDPHardware()
+	svc := NewService(ServiceOptions{})
+	for i := 0; i < n; i++ {
+		name := "s" + strconv.Itoa(i)
+		if err := svc.CreateStream(name, StreamConfig{Hardware: hw, Dim: 1, Options: Options{Seed: uint64(i + 1)}}); err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j <= 8; j++ {
+			if err := svc.ObserveDirect(name, j%len(hw), []float64{float64(j)}, float64(3*j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return svc
+}
+
+// BenchmarkServiceRecommendParallel measures concurrent serving
+// throughput on the sharded multi-stream service: every goroutine owns
+// one stream (round-robin) and does full recommend→observe ticket round
+// trips. With streams=1 all goroutines contend on one stream lock — the
+// mutex-wrapper regime; more streams spread the load across per-stream
+// locks. Compare against BenchmarkSafeRecommenderParallel.
+func BenchmarkServiceRecommendParallel(b *testing.B) {
+	for _, streams := range []int{1, 4, 16} {
+		b.Run("streams="+strconv.Itoa(streams), func(b *testing.B) {
+			svc := newBenchService(b, streams)
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				name := "s" + strconv.Itoa(int(next.Add(1)-1)%streams)
+				x := []float64{42}
+				for pb.Next() {
+					t, err := svc.Recommend(name, x)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := svc.Observe(t.ID, 100); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSafeRecommenderParallel is the single-stream global-lock
+// baseline: one SafeRecommender (the historical "wrap it in a mutex"
+// scaling story) hammered by every goroutine.
+func BenchmarkSafeRecommenderParallel(b *testing.B) {
+	safe, err := NewSafe(NDPHardware(), 1, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 1; j <= 8; j++ {
+		if err := safe.Observe(j%3, []float64{float64(j)}, float64(3*j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := []float64{42}
+		for pb.Next() {
+			d, err := safe.Recommend(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := safe.Observe(d.Arm, x, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceRecommendBatch measures the amortisation of taking the
+// stream lock once per batch instead of once per decision.
+func BenchmarkServiceRecommendBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 128} {
+		b.Run("size="+strconv.Itoa(size), func(b *testing.B) {
+			svc := newBenchService(b, 1)
+			xs := make([][]float64, size)
+			for i := range xs {
+				xs[i] = []float64{float64(i + 1)}
+			}
+			obs := make([]TicketObservation, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tks, err := svc.RecommendBatch("s0", xs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, t := range tks {
+					obs[j] = TicketObservation{TicketID: t.ID, Runtime: 100}
+				}
+				if _, err := svc.ObserveBatch(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size), "decisions/op")
+		})
+	}
 }

@@ -6,13 +6,18 @@
 //	banditware init      -state state.json -hardware "H0=2x16;H1=3x24" -dim D
 //	banditware recommend -state state.json -features 1,2,...
 //	banditware observe   -state state.json -arm K -features 1,2,... -runtime S
+//	banditware serve     [-port P] [-state svc.json] [-snapshot 30s] [-ttl 1h] [-pending N] [-create name:dim:hwspec]
 //	banditware kernel    -size N [-workers W] [-sparsity F]
 //
 // generate synthesises one of the paper's workload traces; simulate runs
 // the online experiment and renders the round-by-round RMSE/accuracy in
 // the terminal; init/recommend/observe manage a persistent recommender
-// over JSON state (the deployment loop); kernel executes the real tiled
-// parallel matrix-squaring workload and reports the measured runtime.
+// over JSON state (the single-stream deployment loop); serve runs the
+// concurrent multi-stream HTTP service — stream management under
+// /v1/streams, decision-ticket recommend/observe (single and batch)
+// under /v1/streams/{name}/..., and /v1/stats — with optional periodic
+// state snapshots; kernel executes the real tiled parallel
+// matrix-squaring workload and reports the measured runtime.
 package main
 
 import (
@@ -48,6 +53,8 @@ func main() {
 		err = cmdRecommend(os.Args[2:])
 	case "observe":
 		err = cmdObserve(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "kernel":
 		err = cmdKernel(os.Args[2:])
 	case "describe":
@@ -74,6 +81,10 @@ commands:
   init       create a fresh recommender state file
   recommend  recommend hardware for a workflow (reads state)
   observe    record an observed runtime (updates state)
+  serve      run the concurrent multi-stream HTTP recommender service
+             (-port, -addr, -state snapshot file, -snapshot interval,
+              -ttl ticket expiry, -pending ledger capacity,
+              -create name:dim:hwspec to register streams at startup)
   kernel     run the real parallel matrix-squaring workload
   describe   summarise a trace CSV (per-column statistics)`)
 }

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"banditware"
+)
+
+// cmdServe runs the HTTP/JSON serving layer: a multi-stream Service
+// behind the /v1 API (see banditware.ServiceHandler for the routes).
+// Streams come from three places: a state snapshot (-state, loaded at
+// startup when the file exists), -create flags, and the POST /v1/streams
+// endpoint at runtime. With -state set, the service snapshots itself to
+// the file on shutdown and every -snapshot interval (atomically, via a
+// temp file and rename).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "", "listen address (host:port; default uses -port)")
+	port := fs.Int("port", 8080, "listen port (ignored when -addr is set)")
+	state := fs.String("state", "", "service snapshot file: loaded at startup if present, saved on shutdown")
+	snapshot := fs.Duration("snapshot", 0, "periodic snapshot interval, e.g. 30s (0 = only on shutdown; needs -state)")
+	pending := fs.Int("pending", 0, "default per-stream pending-ticket capacity (0 = 4096)")
+	ttl := fs.Duration("ttl", 0, "default pending-ticket expiry (0 = never)")
+	var creates []string
+	fs.Func("create", "create a stream at startup as name:dim:hwspec, e.g. jobs:1:\"H0=2x16;H1=3x24\" (repeatable)", func(v string) error {
+		creates = append(creates, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapshot > 0 && *state == "" {
+		return fmt.Errorf("serve: -snapshot needs -state")
+	}
+
+	opts := banditware.ServiceOptions{MaxPending: *pending, TicketTTL: *ttl}
+	svc, err := loadOrNewService(*state, opts)
+	if err != nil {
+		return err
+	}
+	for _, spec := range creates {
+		name, cfg, err := parseCreateSpec(spec)
+		if err != nil {
+			return err
+		}
+		if err := svc.CreateStream(name, cfg); err != nil {
+			return fmt.Errorf("serve: -create %q: %w", spec, err)
+		}
+	}
+
+	listenAddr := *addr
+	if listenAddr == "" {
+		listenAddr = fmt.Sprintf(":%d", *port)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{
+		Handler:           banditware.ServiceHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+	fmt.Printf("banditware serve: listening on %s (%d streams)\n", ln.Addr(), svc.NumStreams())
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *snapshot > 0 {
+		ticker = time.NewTicker(*snapshot)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			if err := saveServiceAtomic(svc, *state); err != nil {
+				fmt.Fprintf(os.Stderr, "banditware serve: snapshot: %v\n", err)
+			}
+		case err := <-errc:
+			if errors.Is(err, http.ErrServerClosed) {
+				err = nil
+			}
+			return err
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := server.Shutdown(shutdownCtx)
+			cancel()
+			if *state != "" {
+				if serr := saveServiceAtomic(svc, *state); serr != nil {
+					err = errors.Join(err, serr)
+				} else {
+					fmt.Printf("banditware serve: state saved to %s\n", *state)
+				}
+			}
+			return err
+		}
+	}
+}
+
+// parseCreateSpec parses "name:dim:hwspec" (hwspec may itself contain
+// ':'-free "H0=2x16;H1=3x24" fields; split on the first two colons).
+func parseCreateSpec(spec string) (string, banditware.StreamConfig, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return "", banditware.StreamConfig{}, fmt.Errorf("serve: bad -create %q (want name:dim:hwspec)", spec)
+	}
+	var dim int
+	if _, err := fmt.Sscanf(parts[1], "%d", &dim); err != nil {
+		return "", banditware.StreamConfig{}, fmt.Errorf("serve: bad dim in -create %q: %w", spec, err)
+	}
+	set, err := banditware.ParseHardwareSet(parts[2])
+	if err != nil {
+		return "", banditware.StreamConfig{}, err
+	}
+	return parts[0], banditware.StreamConfig{Hardware: set, Dim: dim}, nil
+}
+
+func loadOrNewService(path string, opts banditware.ServiceOptions) (*banditware.Service, error) {
+	if path == "" {
+		return banditware.NewService(opts), nil
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return banditware.NewService(opts), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	svc, err := banditware.LoadServiceOptions(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	return svc, nil
+}
+
+// saveServiceAtomic snapshots to a temp file in the target directory and
+// renames it into place, so a crash mid-write never corrupts the state.
+func saveServiceAtomic(svc *banditware.Service, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := svc.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Flush to stable storage before the rename: rename metadata can hit
+	// disk before the data does, which would make a crash leave an empty
+	// or truncated state file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

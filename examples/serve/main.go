@@ -1,0 +1,127 @@
+// Command serve demonstrates the BanditWare serving layer end to end:
+// it starts the HTTP service in-process on a loopback port, creates two
+// independent recommender streams over the wire (a BP3D-style stream on
+// NDP hardware and a matmul-style stream on a five-option set), then
+// hammers both concurrently with recommend → run → observe round trips,
+// exactly as National Data Platform applications would. Each stream
+// learns its own synthetic runtime surface; the demo finishes by
+// printing /v1/stats and each stream's exploit-mode choice.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+
+	"banditware"
+	"banditware/internal/rng"
+)
+
+func main() {
+	svc := banditware.NewService(banditware.ServiceOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, banditware.ServiceHandler(svc))
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service listening on %s\n\n", base)
+
+	// Create two streams over the wire, like two NDP applications
+	// registering themselves.
+	post(base+"/v1/streams", map[string]any{
+		"name": "bp3d", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16", "dim": 1, "seed": 1,
+	})
+	post(base+"/v1/streams", map[string]any{
+		"name": "matmul", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16;H3=8x32;H4=16x64",
+		"dim": 1, "seed": 2, "tolerance_ratio": 0.05,
+	})
+
+	// Per-stream ground truth: runtime = slope[arm]·x + intercept + noise.
+	truth := map[string][]float64{
+		"bp3d":   {5, 3, 1},
+		"matmul": {8, 6, 4, 2, 1},
+	}
+
+	// Drive both streams from concurrent clients.
+	const clientsPerStream, rounds = 4, 50
+	var wg sync.WaitGroup
+	for stream, slopes := range truth {
+		for c := 0; c < clientsPerStream; c++ {
+			wg.Add(1)
+			go func(stream string, slopes []float64, seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				noise := rng.New(uint64(seed) + 100)
+				for i := 0; i < rounds; i++ {
+					x := 10 + 90*r.Float64()
+					var t banditware.Ticket
+					post(base+"/v1/streams/"+stream+"/recommend",
+						map[string]any{"features": []float64{x}}, &t)
+					runtime := slopes[t.Arm]*x + 20 + noise.Normal(0, 1)
+					post(base+"/v1/observe",
+						map[string]any{"ticket": t.ID, "runtime": runtime})
+				}
+			}(stream, slopes, int64(len(stream)*10+c))
+		}
+	}
+	wg.Wait()
+
+	var stats banditware.ServiceStats
+	get(base+"/v1/stats", &stats)
+	fmt.Println("stream     rounds  epsilon  pending  issued  observed")
+	for _, s := range stats.Streams {
+		fmt.Printf("%-10s %6d  %7.3f  %7d  %6d  %8d\n",
+			s.Name, s.Round, s.Epsilon, s.Pending, s.Issued, s.Observed)
+	}
+
+	// Both streams should now exploit their cheapest-slope arm for a
+	// large workflow.
+	fmt.Println()
+	for stream, slopes := range truth {
+		var t banditware.Ticket
+		post(base+"/v1/streams/"+stream+"/recommend",
+			map[string]any{"features": []float64{80}}, &t)
+		fmt.Printf("%s: recommends %s for x=80 (best slope is arm %d)\n",
+			stream, t.Hardware, len(slopes)-1)
+	}
+}
+
+// post sends a JSON body and decodes the JSON response into out (if any).
+func post(url string, body any, out ...any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, e["error"])
+	}
+	if len(out) > 0 {
+		if err := json.NewDecoder(resp.Body).Decode(out[0]); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module banditware
+
+go 1.24

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+)
+
+// NewHandler returns the HTTP/JSON front-end for a service:
+//
+//	GET    /v1/healthz                          liveness probe
+//	GET    /v1/stats                            service-wide stats
+//	GET    /v1/streams                          list streams
+//	POST   /v1/streams                          create a stream
+//	GET    /v1/streams/{name}                   inspect one stream (+models)
+//	DELETE /v1/streams/{name}                   remove a stream
+//	POST   /v1/streams/{name}/recommend         issue one decision ticket
+//	POST   /v1/streams/{name}/recommend/batch   issue many tickets atomically
+//	POST   /v1/streams/{name}/observe           redeem a ticket / direct observe
+//	POST   /v1/streams/{name}/observe/batch     redeem many tickets
+//	POST   /v1/observe                          redeem a ticket (stream from ID)
+//
+// All bodies are JSON. Errors are {"error": "..."} with conventional
+// status codes (404 unknown stream/ticket, 410 expired ticket, 409
+// duplicate stream, 400 bad input).
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("GET /v1/streams", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats().Streams)
+	})
+	mux.HandleFunc("POST /v1/streams", func(w http.ResponseWriter, r *http.Request) {
+		handleCreateStream(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/streams/{name}", func(w http.ResponseWriter, r *http.Request) {
+		handleInspectStream(svc, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/streams/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.RemoveStream(r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("name")})
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/recommend", func(w http.ResponseWriter, r *http.Request) {
+		handleRecommend(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/recommend/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleRecommendBatch(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/observe", func(w http.ResponseWriter, r *http.Request) {
+		handleObserve(svc, w, r, r.PathValue("name"))
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/observe/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleObserveBatch(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		handleObserve(svc, w, r, "")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps service errors onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrStreamNotFound), errors.Is(err, ErrTicketNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTicketExpired):
+		code = http.StatusGone
+	case errors.Is(err, ErrStreamExists):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// maxBodyBytes bounds request bodies (a batch of 10k 64-feature
+// observations fits with room to spare) so one oversized POST cannot
+// exhaust server memory.
+const maxBodyBytes = 16 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, map[string]string{"error": "malformed request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// hardwareDTO is the wire form of one hardware configuration.
+type hardwareDTO struct {
+	Name     string  `json:"name,omitempty"`
+	CPUs     int     `json:"cpus"`
+	MemoryGB float64 `json:"memory_gb"`
+	GPUs     int     `json:"gpus,omitempty"`
+}
+
+type createStreamRequest struct {
+	Name string `json:"name"`
+	// Hardware is the arm set as structured objects; HardwareSpec is the
+	// CLI string form ("H0=2x16;H1=3x24"). Exactly one must be given.
+	Hardware     []hardwareDTO `json:"hardware,omitempty"`
+	HardwareSpec string        `json:"hardware_spec,omitempty"`
+	Dim          int           `json:"dim"`
+
+	// Algorithm 1 options; zero values select the paper's defaults.
+	// Epsilon0 is a pointer so an explicit 0 (pure exploitation) is
+	// distinguishable from "unset".
+	Alpha            float64  `json:"alpha,omitempty"`
+	Epsilon0         *float64 `json:"epsilon0,omitempty"`
+	MinEpsilon       float64  `json:"min_epsilon,omitempty"`
+	ToleranceRatio   float64  `json:"tolerance_ratio,omitempty"`
+	ToleranceSeconds float64  `json:"tolerance_seconds,omitempty"`
+	ForgettingFactor float64  `json:"forgetting_factor,omitempty"`
+	Seed             uint64   `json:"seed,omitempty"`
+
+	// Ledger overrides (0 = service defaults).
+	MaxPending       int     `json:"max_pending,omitempty"`
+	TicketTTLSeconds float64 `json:"ticket_ttl_seconds,omitempty"`
+}
+
+func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req createStreamRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var set hardware.Set
+	switch {
+	case len(req.Hardware) > 0 && req.HardwareSpec != "":
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give hardware or hardware_spec, not both"})
+		return
+	case len(req.Hardware) > 0:
+		for _, h := range req.Hardware {
+			set = append(set, hardware.Config{Name: h.Name, CPUs: h.CPUs, MemoryGB: h.MemoryGB, GPUs: h.GPUs})
+		}
+	case req.HardwareSpec != "":
+		var err error
+		set, err = hardware.ParseSet(req.HardwareSpec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "hardware or hardware_spec is required"})
+		return
+	}
+	opts := core.Options{
+		Alpha:            req.Alpha,
+		MinEpsilon:       req.MinEpsilon,
+		ToleranceRatio:   req.ToleranceRatio,
+		ToleranceSeconds: req.ToleranceSeconds,
+		ForgettingFactor: req.ForgettingFactor,
+		Seed:             req.Seed,
+	}
+	if req.Epsilon0 != nil {
+		opts.Epsilon0 = *req.Epsilon0
+		opts.ZeroEpsilon = *req.Epsilon0 == 0
+	}
+	err := svc.CreateStream(req.Name, StreamConfig{
+		Hardware:   set,
+		Dim:        req.Dim,
+		Options:    opts,
+		MaxPending: req.MaxPending,
+		TicketTTL:  time.Duration(req.TicketTTLSeconds * float64(time.Second)),
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := svc.StreamInfo(req.Name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// modelDTO is the wire form of one arm's learned linear model.
+type modelDTO struct {
+	Hardware string    `json:"hardware"`
+	Weights  []float64 `json:"weights"`
+	Bias     float64   `json:"bias"`
+}
+
+func handleInspectStream(svc *Service, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := svc.StreamInfo(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	hw, err := svc.Hardware(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	models := make([]modelDTO, len(hw))
+	for i := range hw {
+		m, err := svc.Model(name, i)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		models[i] = modelDTO{Hardware: hw[i].String(), Weights: m.Weights, Bias: m.Bias}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		StreamInfo
+		Models []modelDTO `json:"models"`
+	}{info, models})
+}
+
+type recommendRequest struct {
+	Features []float64 `json:"features"`
+}
+
+func handleRecommend(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	t, err := svc.Recommend(r.PathValue("name"), req.Features)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+type recommendBatchRequest struct {
+	Batch [][]float64 `json:"batch"`
+}
+
+func handleRecommendBatch(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req recommendBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ts, err := svc.RecommendBatch(r.PathValue("name"), req.Batch)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]Ticket{"tickets": ts})
+}
+
+type observeRequest struct {
+	// Ticket path: the decision ticket to redeem.
+	Ticket string `json:"ticket,omitempty"`
+	// Direct path (requires a stream-scoped URL): the arm/features the
+	// caller tracked itself. Arm is a pointer so arm 0 is expressible.
+	Arm      *int      `json:"arm,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+
+	Runtime float64 `json:"runtime"`
+}
+
+// handleObserve serves both observe endpoints. streamName is "" for the
+// top-level /v1/observe (ticket-only; the stream comes from the ticket
+// ID) and the path stream for /v1/streams/{name}/observe, where it must
+// match a ticket's stream and enables the direct arm+features form.
+func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamName string) {
+	var req observeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Ticket != "":
+		if streamName != "" {
+			owner, _, err := ParseTicketID(req.Ticket)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			if owner != streamName {
+				writeJSON(w, http.StatusBadRequest, map[string]string{
+					"error": fmt.Sprintf("ticket %q belongs to stream %q, not %q", req.Ticket, owner, streamName),
+				})
+				return
+			}
+		}
+		if err := svc.Observe(req.Ticket, req.Runtime); err != nil {
+			writeError(w, err)
+			return
+		}
+	case req.Arm != nil && streamName != "":
+		if err := svc.ObserveDirect(streamName, *req.Arm, req.Features, req.Runtime); err != nil {
+			writeError(w, err)
+			return
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "observe needs a ticket, or arm+features on a stream URL"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "observed"})
+}
+
+type observeBatchRequest struct {
+	Observations []TicketObservation `json:"observations"`
+}
+
+type observeBatchResponse struct {
+	Applied int      `json:"applied"`
+	Errors  []string `json:"errors,omitempty"`
+}
+
+func handleObserveBatch(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req observeBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	name := r.PathValue("name")
+	for _, o := range req.Observations {
+		owner, _, err := ParseTicketID(o.TicketID)
+		if err == nil && owner != name {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("ticket %q belongs to stream %q, not %q", o.TicketID, owner, name),
+			})
+			return
+		}
+	}
+	applied, err := svc.ObserveBatch(req.Observations)
+	resp := observeBatchResponse{Applied: applied}
+	if err != nil {
+		for _, e := range flattenJoined(err) {
+			resp.Errors = append(resp.Errors, e.Error())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flattenJoined unwraps an errors.Join result into its parts.
+func flattenJoined(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"container/list"
+	"time"
+)
+
+// pendingTicket is one issued-but-unobserved recommendation held in a
+// stream's ledger: everything needed to complete the observation later
+// without the client echoing its features back.
+type pendingTicket struct {
+	id       string
+	seq      uint64
+	arm      int
+	features []float64
+	issuedAt time.Time
+}
+
+// ledger is the bounded pending-decision ledger of one stream. Issue and
+// completion of a recommendation are decoupled in real deployments — a
+// workflow's runtime arrives minutes or hours after the hardware choice —
+// so every tracked Recommend deposits a ticket here and Observe redeems
+// it. The ledger is bounded two ways:
+//
+//   - capacity: when a stream holds cap pending tickets, issuing another
+//     evicts the oldest (clients that never report runtimes cannot grow
+//     memory without bound);
+//   - ttl: tickets older than ttl expire and can no longer be redeemed
+//     (a runtime observed hours late would describe a model revision that
+//     no longer exists).
+//
+// Expiry is lazy: expired tickets are dropped from the front of the FIFO
+// on the next issue/take/len call that observes them. The ledger is not
+// goroutine-safe; the owning stream's mutex guards it.
+type ledger struct {
+	cap     int           // max pending tickets; > 0 always
+	ttl     time.Duration // 0 = tickets never expire
+	byID    map[string]*list.Element
+	fifo    *list.List // *pendingTicket values, oldest at front
+	evicted uint64
+	expired uint64
+}
+
+func newLedger(capacity int, ttl time.Duration) *ledger {
+	if capacity <= 0 {
+		capacity = defaultMaxPending
+	}
+	return &ledger{
+		cap:  capacity,
+		ttl:  ttl,
+		byID: make(map[string]*list.Element),
+		fifo: list.New(),
+	}
+}
+
+func (l *ledger) len() int { return len(l.byID) }
+
+func (l *ledger) remove(e *list.Element) *pendingTicket {
+	p := e.Value.(*pendingTicket)
+	l.fifo.Remove(e)
+	delete(l.byID, p.id)
+	return p
+}
+
+// sweep drops expired tickets. Tickets are issued in time order, so only
+// the front of the FIFO can be stale; stop at the first fresh one.
+func (l *ledger) sweep(now time.Time) {
+	if l.ttl <= 0 {
+		return
+	}
+	for e := l.fifo.Front(); e != nil; e = l.fifo.Front() {
+		if now.Sub(e.Value.(*pendingTicket).issuedAt) <= l.ttl {
+			return
+		}
+		l.remove(e)
+		l.expired++
+	}
+}
+
+// add deposits a freshly issued ticket, evicting the oldest pending
+// tickets if the ledger is at capacity.
+func (l *ledger) add(p *pendingTicket, now time.Time) {
+	l.sweep(now)
+	for len(l.byID) >= l.cap {
+		l.remove(l.fifo.Front())
+		l.evicted++
+	}
+	l.byID[p.id] = l.fifo.PushBack(p)
+}
+
+// take redeems a ticket: removes and returns it. A ticket can be taken
+// exactly once; a second take (or a take after eviction) reports
+// ErrTicketNotFound, and a take past the ttl reports ErrTicketExpired.
+func (l *ledger) take(id string, now time.Time) (*pendingTicket, error) {
+	// Look up before sweeping so redeeming an expired ticket reports
+	// ErrTicketExpired rather than being swept into ErrTicketNotFound.
+	e, ok := l.byID[id]
+	if !ok {
+		l.sweep(now)
+		return nil, ErrTicketNotFound
+	}
+	p := e.Value.(*pendingTicket)
+	l.remove(e)
+	l.sweep(now)
+	if l.ttl > 0 && now.Sub(p.issuedAt) > l.ttl {
+		l.expired++
+		return nil, ErrTicketExpired
+	}
+	return p, nil
+}
+
+// restore re-inserts a ticket during snapshot load, bypassing eviction
+// and expiry (the snapshot already reflects both).
+func (l *ledger) restore(p *pendingTicket) {
+	l.byID[p.id] = l.fifo.PushBack(p)
+}
+
+// snapshotPending returns the pending tickets oldest-first.
+func (l *ledger) snapshotPending() []*pendingTicket {
+	out := make([]*pendingTicket, 0, l.fifo.Len())
+	for e := l.fifo.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*pendingTicket))
+	}
+	return out
+}

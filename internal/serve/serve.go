@@ -1,0 +1,631 @@
+// Package serve implements the BanditWare serving layer: a concurrent,
+// multi-tenant registry of named recommender streams, each an independent
+// Algorithm 1 bandit with its own hardware set, feature dimension, and
+// options. It models the paper's deployment behind the National Data
+// Platform, where many applications submit workflows concurrently and a
+// recommendation is issued long before its runtime is observed.
+//
+// Three design points:
+//
+//   - Sharding. Streams live in a fixed array of registry shards (keyed
+//     by a hash of the stream name), each with its own read-write mutex,
+//     and every stream carries its own lock — so requests to independent
+//     streams never contend, and registry lookups only share a shard-read
+//     lock.
+//
+//   - Decision tickets. Recommend returns a ticket (ID + chosen arm +
+//     predictions) and parks the features in a bounded pending-decision
+//     ledger; Observe(ticketID, runtime) joins the stored features and
+//     arm automatically, so clients carry one opaque string between
+//     submission and completion instead of echoing feature vectors.
+//     Tickets evict oldest-first past the ledger capacity and expire
+//     after a TTL — see ledger.go.
+//
+//   - Snapshots. Save serialises every stream (model state, ε, round
+//     counters, and pending tickets) into one versioned JSON envelope
+//     taken at a single point in time; Load also accepts the legacy
+//     single-recommender state format, restoring it as stream "default".
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+	"banditware/internal/regress"
+)
+
+// Errors reported by the service.
+var (
+	ErrStreamExists   = errors.New("serve: stream already exists")
+	ErrStreamNotFound = errors.New("serve: stream not found")
+	ErrBadStreamName  = errors.New("serve: invalid stream name")
+	ErrTicketNotFound = errors.New("serve: ticket not found (never issued, already observed, or evicted)")
+	ErrTicketExpired  = errors.New("serve: ticket expired")
+	ErrBadTicket      = errors.New("serve: malformed ticket id")
+)
+
+const (
+	// defaultMaxPending bounds each stream's pending-decision ledger when
+	// neither the service nor the stream sets a capacity.
+	defaultMaxPending = 4096
+	// numShards is the registry shard count (power of two).
+	numShards = 16
+)
+
+// ServiceOptions configures service-wide defaults.
+type ServiceOptions struct {
+	// MaxPending is the default per-stream pending-ticket capacity.
+	// 0 selects defaultMaxPending.
+	MaxPending int
+	// TicketTTL is the default pending-ticket lifetime. 0 = no expiry.
+	TicketTTL time.Duration
+	// Now overrides the clock (tests inject a fake). nil = time.Now.
+	Now func() time.Time
+}
+
+// StreamConfig describes one recommender stream.
+type StreamConfig struct {
+	// Hardware is the stream's arm set.
+	Hardware hardware.Set
+	// Dim is the workflow feature dimension.
+	Dim int
+	// Options are the Algorithm 1 parameters for this stream.
+	Options core.Options
+	// MaxPending overrides the service default ledger capacity (0 = inherit).
+	MaxPending int
+	// TicketTTL overrides the service default ticket lifetime (0 = inherit).
+	TicketTTL time.Duration
+}
+
+// Ticket records one issued recommendation. The ID redeems it via
+// Observe; everything else is informational for the client.
+type Ticket struct {
+	ID        string    `json:"id"`
+	Stream    string    `json:"stream"`
+	Arm       int       `json:"arm"`
+	Hardware  string    `json:"hardware"`
+	Explored  bool      `json:"explored"`
+	Predicted []float64 `json:"predicted"`
+	Epsilon   float64   `json:"epsilon"`
+	IssuedAt  time.Time `json:"issued_at"`
+}
+
+// TicketObservation pairs a ticket with its measured runtime for
+// ObserveBatch.
+type TicketObservation struct {
+	TicketID string  `json:"ticket"`
+	Runtime  float64 `json:"runtime"`
+}
+
+// StreamInfo is a point-in-time summary of one stream.
+type StreamInfo struct {
+	Name     string   `json:"name"`
+	Hardware []string `json:"hardware"`
+	Dim      int      `json:"dim"`
+	Round    int      `json:"round"`
+	Epsilon  float64  `json:"epsilon"`
+	Pending  int      `json:"pending"`
+	Issued   uint64   `json:"issued"`
+	Observed uint64   `json:"observed"`
+	Evicted  uint64   `json:"evicted"`
+	Expired  uint64   `json:"expired"`
+}
+
+// Stats summarises the whole service.
+type Stats struct {
+	Streams       []StreamInfo `json:"streams"`
+	TotalIssued   uint64       `json:"total_issued"`
+	TotalObserved uint64       `json:"total_observed"`
+	TotalPending  int          `json:"total_pending"`
+}
+
+// stream is one registered recommender: a bandit plus its pending-ticket
+// ledger, guarded by its own mutex so independent streams never contend.
+type stream struct {
+	name string
+	// armLabels caches Hardware()[i].String() — rendered on every issued
+	// ticket, so not worth re-formatting per request.
+	armLabels []string
+
+	mu       sync.Mutex
+	bandit   *core.Bandit
+	ledger   *ledger
+	nextSeq  uint64
+	issued   uint64
+	observed uint64
+}
+
+type registryShard struct {
+	mu      sync.RWMutex
+	streams map[string]*stream
+}
+
+// Service is a concurrent multi-stream recommender registry. The zero
+// value is not usable; construct with NewService or Load.
+type Service struct {
+	opts   ServiceOptions
+	shards [numShards]registryShard
+}
+
+// NewService constructs an empty service.
+func NewService(opts ServiceOptions) *Service {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = defaultMaxPending
+	}
+	s := &Service{opts: opts}
+	for i := range s.shards {
+		s.shards[i].streams = make(map[string]*stream)
+	}
+	return s
+}
+
+func (s *Service) now() time.Time { return s.opts.Now() }
+
+func (s *Service) shardFor(name string) *registryShard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &s.shards[h.Sum32()&(numShards-1)]
+}
+
+// ValidStreamName reports whether name can identify a stream: 1–128
+// characters from [A-Za-z0-9._-], excluding "." and "..". The charset
+// keeps names safe inside ticket IDs (no '#') and URL paths (no '/');
+// the dot exclusions keep them from being swallowed by HTTP path
+// cleaning, which would make such streams unreachable over the API.
+func ValidStreamName(name string) bool {
+	if name == "" || len(name) > 128 || name == "." || name == ".." {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CreateStream registers a new stream under name.
+func (s *Service) CreateStream(name string, cfg StreamConfig) error {
+	b, err := core.New(cfg.Hardware, cfg.Dim, cfg.Options)
+	if err != nil {
+		return err
+	}
+	return s.adopt(name, b, cfg.MaxPending, cfg.TicketTTL)
+}
+
+// AdoptBandit registers an already-constructed bandit as a stream —
+// the bridge from the single-recommender API (WrapSafe) and from
+// snapshot restore. The caller must not use the bandit directly
+// afterwards.
+func (s *Service) AdoptBandit(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
+	return s.adopt(name, b, maxPending, ttl)
+}
+
+func (s *Service) adopt(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
+	if !ValidStreamName(name) {
+		return fmt.Errorf("%w: %q", ErrBadStreamName, name)
+	}
+	if maxPending <= 0 {
+		maxPending = s.opts.MaxPending
+	}
+	if ttl <= 0 {
+		ttl = s.opts.TicketTTL
+	}
+	st := &stream{name: name, bandit: b, ledger: newLedger(maxPending, ttl)}
+	st.armLabels = make([]string, len(b.Hardware()))
+	for i, hw := range b.Hardware() {
+		st.armLabels[i] = hw.String()
+	}
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.streams[name]; ok {
+		return fmt.Errorf("%w: %q", ErrStreamExists, name)
+	}
+	sh.streams[name] = st
+	return nil
+}
+
+// RemoveStream unregisters a stream, dropping its model state and any
+// pending tickets.
+func (s *Service) RemoveStream(name string) error {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.streams[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrStreamNotFound, name)
+	}
+	delete(sh.streams, name)
+	return nil
+}
+
+func (s *Service) stream(name string) (*stream, error) {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	st, ok := sh.streams[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrStreamNotFound, name)
+	}
+	return st, nil
+}
+
+// allStreams returns every registered stream sorted by name.
+func (s *Service) allStreams() []*stream {
+	var out []*stream
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, st := range sh.streams {
+			out = append(out, st)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// StreamNames returns the registered stream names, sorted.
+func (s *Service) StreamNames() []string {
+	streams := s.allStreams()
+	names := make([]string, len(streams))
+	for i, st := range streams {
+		names[i] = st.name
+	}
+	return names
+}
+
+// NumStreams returns the number of registered streams.
+func (s *Service) NumStreams() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.streams)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// --- ticket ids ------------------------------------------------------
+
+// ticketID renders "stream#sequence". Stream names cannot contain '#'
+// (ValidStreamName), so the split is unambiguous.
+func ticketID(stream string, seq uint64) string {
+	return stream + "#" + strconv.FormatUint(seq, 16)
+}
+
+// ParseTicketID splits a ticket ID into its stream name and sequence.
+func ParseTicketID(id string) (stream string, seq uint64, err error) {
+	i := strings.LastIndexByte(id, '#')
+	if i <= 0 || i == len(id)-1 {
+		return "", 0, fmt.Errorf("%w: %q", ErrBadTicket, id)
+	}
+	seq, err = strconv.ParseUint(id[i+1:], 16, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: %q", ErrBadTicket, id)
+	}
+	return id[:i], seq, nil
+}
+
+// --- serving path ----------------------------------------------------
+
+// recommendLocked issues one decision. With track set it deposits a
+// pending ticket in the ledger; untracked decisions (the classic
+// arm+features Observe flow) consume exploration randomness identically
+// but leave no ledger state. Callers hold st.mu.
+func (st *stream) recommendLocked(now time.Time, x []float64, track bool) (Ticket, error) {
+	d, err := st.bandit.Recommend(x)
+	if err != nil {
+		return Ticket{}, err
+	}
+	t := Ticket{
+		Stream:    st.name,
+		Arm:       d.Arm,
+		Hardware:  st.armLabels[d.Arm],
+		Explored:  d.Explored,
+		Predicted: d.Predicted,
+		Epsilon:   d.Epsilon,
+		IssuedAt:  now,
+	}
+	if track {
+		seq := st.nextSeq
+		st.nextSeq++
+		t.ID = ticketID(st.name, seq)
+		st.ledger.add(&pendingTicket{
+			id:       t.ID,
+			seq:      seq,
+			arm:      d.Arm,
+			features: append([]float64(nil), x...),
+			issuedAt: now,
+		}, now)
+		st.issued++
+	}
+	return t, nil
+}
+
+// Recommend issues a decision ticket for one workflow on the named
+// stream. The features are retained in the stream's pending ledger until
+// Observe redeems the ticket (or it is evicted/expired).
+func (s *Service) Recommend(name string, x []float64) (Ticket, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return Ticket{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.recommendLocked(s.now(), x, true)
+}
+
+// RecommendUntracked issues a decision without a ticket, for callers
+// that keep their own features and complete via ObserveDirect (the
+// single-recommender compatibility path). It consumes exploration
+// randomness exactly like Recommend.
+func (s *Service) RecommendUntracked(name string, x []float64) (core.Decision, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.Recommend(x)
+}
+
+// RecommendBatch issues one ticket per feature vector, atomically: the
+// stream lock is held once for the whole batch, so no concurrent request
+// interleaves, and a dimension error anywhere rejects the entire batch
+// before any ticket is issued.
+func (s *Service) RecommendBatch(name string, xs [][]float64) ([]Ticket, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, x := range xs {
+		if len(x) != st.bandit.Dim() {
+			return nil, fmt.Errorf("serve: batch item %d: %w (got %d, want %d)",
+				i, core.ErrDim, len(x), st.bandit.Dim())
+		}
+	}
+	now := s.now()
+	out := make([]Ticket, len(xs))
+	for i, x := range xs {
+		t, err := st.recommendLocked(now, x, true)
+		if err != nil {
+			return nil, fmt.Errorf("serve: batch item %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// observeTicketLocked redeems a ticket and trains the bandit. Callers
+// hold st.mu.
+func (st *stream) observeTicketLocked(now time.Time, id string, runtime float64) error {
+	if math.IsNaN(runtime) || math.IsInf(runtime, 0) {
+		// Reject before redeeming so a bogus runtime does not burn the
+		// ticket.
+		return core.ErrBadValue
+	}
+	p, err := st.ledger.take(id, now)
+	if err != nil {
+		return fmt.Errorf("%w (ticket %q)", err, id)
+	}
+	if err := st.bandit.Observe(p.arm, p.features, runtime); err != nil {
+		return err
+	}
+	st.observed++
+	return nil
+}
+
+// Observe redeems a decision ticket with the workflow's measured runtime:
+// the arm and features stored at Recommend time are joined automatically,
+// the stream's model for that arm is refit, and ε decays. Each ticket can
+// be observed exactly once.
+func (s *Service) Observe(ticketID string, runtime float64) error {
+	name, _, err := ParseTicketID(ticketID)
+	if err != nil {
+		return err
+	}
+	st, err := s.stream(name)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.observeTicketLocked(s.now(), ticketID, runtime)
+}
+
+// ObserveBatch redeems many tickets, grouping by stream so each stream's
+// lock is taken once. Failed observations do not abort the rest; the
+// returned count is the number applied and the error (if any) joins one
+// error per failed item.
+func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
+	// Group indices by stream, preserving input order within a stream.
+	byStream := make(map[string][]int)
+	var errs []error
+	for i, o := range obs {
+		name, _, err := ParseTicketID(o.TicketID)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+			continue
+		}
+		byStream[name] = append(byStream[name], i)
+	}
+	applied := 0
+	for name, idxs := range byStream {
+		st, err := s.stream(name)
+		if err != nil {
+			for _, i := range idxs {
+				errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+			}
+			continue
+		}
+		st.mu.Lock()
+		now := s.now()
+		for _, i := range idxs {
+			if err := st.observeTicketLocked(now, obs[i].TicketID, obs[i].Runtime); err != nil {
+				errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+				continue
+			}
+			applied++
+		}
+		st.mu.Unlock()
+	}
+	return applied, errors.Join(errs...)
+}
+
+// ObserveDirect trains the named stream from an (arm, features, runtime)
+// triple the caller tracked itself — the classic single-recommender
+// Observe, bypassing the ticket ledger.
+func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float64) error {
+	st, err := s.stream(name)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.bandit.Observe(arm, x, runtime); err != nil {
+		return err
+	}
+	st.observed++
+	return nil
+}
+
+// --- read-only per-stream queries ------------------------------------
+
+// Exploit returns the tolerant selection for x on the named stream
+// without consuming exploration randomness or ledger space.
+func (s *Service) Exploit(name string, x []float64) (int, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.Exploit(x)
+}
+
+// PredictAll returns the per-arm runtime estimates for x on the named
+// stream.
+func (s *Service) PredictAll(name string, x []float64) ([]float64, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.PredictAll(x)
+}
+
+// PredictWithCI returns per-arm estimates with prediction intervals.
+func (s *Service) PredictWithCI(name string, x []float64, z float64) ([]core.Interval, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.PredictWithCI(x, z)
+}
+
+// Model returns a snapshot of one arm's learned linear model.
+func (s *Service) Model(name string, arm int) (regress.Model, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return regress.Model{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.Model(arm)
+}
+
+// Hardware returns the named stream's arm set.
+func (s *Service) Hardware(name string) (hardware.Set, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return nil, err
+	}
+	return st.bandit.Hardware(), nil
+}
+
+// Epsilon returns the named stream's current exploration probability.
+func (s *Service) Epsilon(name string) (float64, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.Epsilon(), nil
+}
+
+// Round returns how many observations the named stream has absorbed.
+func (s *Service) Round(name string) (int, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.Round(), nil
+}
+
+func (st *stream) infoLocked() StreamInfo {
+	return StreamInfo{
+		Name:     st.name,
+		Hardware: st.bandit.Hardware().Names(),
+		Dim:      st.bandit.Dim(),
+		Round:    st.bandit.Round(),
+		Epsilon:  st.bandit.Epsilon(),
+		Pending:  st.ledger.len(),
+		Issued:   st.issued,
+		Observed: st.observed,
+		Evicted:  st.ledger.evicted,
+		Expired:  st.ledger.expired,
+	}
+}
+
+// StreamInfo returns a point-in-time summary of one stream.
+func (s *Service) StreamInfo(name string) (StreamInfo, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.infoLocked(), nil
+}
+
+// Stats summarises every stream (sorted by name) plus service totals.
+// Each stream is summarised under its own lock; streams created or
+// removed concurrently may or may not appear.
+func (s *Service) Stats() Stats {
+	out := Stats{Streams: []StreamInfo{}} // [] not null in JSON when empty
+	for _, st := range s.allStreams() {
+		st.mu.Lock()
+		info := st.infoLocked()
+		st.mu.Unlock()
+		out.Streams = append(out.Streams, info)
+		out.TotalIssued += info.Issued
+		out.TotalObserved += info.Observed
+		out.TotalPending += info.Pending
+	}
+	return out
+}

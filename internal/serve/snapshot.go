@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"banditware/internal/core"
+)
+
+// Snapshot wire format. Version 1 wraps each stream's bandit state (the
+// legacy core format, embedded verbatim as raw JSON) together with its
+// ledger configuration, counters, and pending tickets.
+const (
+	snapshotFormat  = "banditware-service"
+	snapshotVersion = 1
+)
+
+type pendingSnap struct {
+	ID         string    `json:"id"`
+	Seq        uint64    `json:"seq"`
+	Arm        int       `json:"arm"`
+	Features   []float64 `json:"features"`
+	IssuedAtNS int64     `json:"issued_at_ns"`
+}
+
+type streamSnap struct {
+	Name       string          `json:"name"`
+	Bandit     json.RawMessage `json:"bandit"`
+	MaxPending int             `json:"max_pending"`
+	TicketTTL  time.Duration   `json:"ticket_ttl_ns"`
+	NextSeq    uint64          `json:"next_seq"`
+	Issued     uint64          `json:"issued"`
+	Observed   uint64          `json:"observed"`
+	Evicted    uint64          `json:"evicted"`
+	Expired    uint64          `json:"expired"`
+	Pending    []pendingSnap   `json:"pending,omitempty"`
+}
+
+type serviceSnap struct {
+	Format  string       `json:"format"`
+	Version int          `json:"version"`
+	SavedAt time.Time    `json:"saved_at"`
+	Streams []streamSnap `json:"streams"`
+}
+
+// Save serialises the whole service — every stream's models, ε, round
+// counter, ledger counters, and pending tickets — into one versioned
+// JSON envelope. The snapshot is a consistent point in time: all stream
+// locks are held (in name order) while state is captured, so no
+// observation is split across the cut. Streams registered while Save
+// runs may be missed; removal of captured streams is not.
+func (s *Service) Save(w io.Writer) error {
+	streams := s.allStreams() // sorted by name: fixed lock order
+	snap := serviceSnap{
+		Format:  snapshotFormat,
+		Version: snapshotVersion,
+		SavedAt: s.now(),
+		Streams: make([]streamSnap, 0, len(streams)),
+	}
+	for _, st := range streams {
+		st.mu.Lock()
+	}
+	var err error
+	for _, st := range streams {
+		var ss streamSnap
+		ss, err = st.snapshotLocked()
+		if err != nil {
+			break
+		}
+		snap.Streams = append(snap.Streams, ss)
+	}
+	for i := len(streams) - 1; i >= 0; i-- {
+		streams[i].mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+func (st *stream) snapshotLocked() (streamSnap, error) {
+	var buf bytes.Buffer
+	if err := st.bandit.SaveState(&buf); err != nil {
+		return streamSnap{}, fmt.Errorf("serve: snapshotting stream %q: %w", st.name, err)
+	}
+	ss := streamSnap{
+		Name:       st.name,
+		Bandit:     json.RawMessage(buf.Bytes()),
+		MaxPending: st.ledger.cap,
+		TicketTTL:  st.ledger.ttl,
+		NextSeq:    st.nextSeq,
+		Issued:     st.issued,
+		Observed:   st.observed,
+		Evicted:    st.ledger.evicted,
+		Expired:    st.ledger.expired,
+	}
+	for _, p := range st.ledger.snapshotPending() {
+		ss.Pending = append(ss.Pending, pendingSnap{
+			ID:         p.id,
+			Seq:        p.seq,
+			Arm:        p.arm,
+			Features:   p.features,
+			IssuedAtNS: p.issuedAt.UnixNano(),
+		})
+	}
+	return ss, nil
+}
+
+// SaveStream serialises one stream in the legacy single-recommender
+// format (core.SaveState), loadable by both the single-recommender
+// loader and Load. Ticket-ledger state and counters are not part of
+// that format; use Save for a full snapshot.
+func (s *Service) SaveStream(name string, w io.Writer) error {
+	st, err := s.stream(name)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bandit.SaveState(w)
+}
+
+// Load restores a service from a snapshot written by Save. For backward
+// compatibility it also accepts the legacy single-recommender state
+// format (core.SaveState / Recommender.Save): such state is restored as
+// a single stream named "default".
+func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("serve: decoding snapshot: %w", err)
+	}
+	s := NewService(opts)
+	if probe.Format == "" {
+		// Legacy single-recommender state.
+		b, err := core.LoadState(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading legacy recommender state: %w", err)
+		}
+		if err := s.AdoptBandit("default", b, 0, 0); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if probe.Format != snapshotFormat {
+		return nil, fmt.Errorf("serve: unknown snapshot format %q", probe.Format)
+	}
+	var snap serviceSnap
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("serve: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
+	}
+	for _, ss := range snap.Streams {
+		b, err := core.LoadState(bytes.NewReader(ss.Bandit))
+		if err != nil {
+			return nil, fmt.Errorf("serve: restoring stream %q: %w", ss.Name, err)
+		}
+		if err := s.AdoptBandit(ss.Name, b, ss.MaxPending, ss.TicketTTL); err != nil {
+			return nil, err
+		}
+		st, err := s.stream(ss.Name)
+		if err != nil {
+			return nil, err
+		}
+		st.nextSeq = ss.NextSeq
+		st.issued = ss.Issued
+		st.observed = ss.Observed
+		st.ledger.evicted = ss.Evicted
+		st.ledger.expired = ss.Expired
+		pend := append([]pendingSnap(nil), ss.Pending...)
+		sort.Slice(pend, func(i, j int) bool { return pend[i].Seq < pend[j].Seq })
+		for _, p := range pend {
+			st.ledger.restore(&pendingTicket{
+				id:       p.ID,
+				seq:      p.Seq,
+				arm:      p.Arm,
+				features: p.Features,
+				issuedAt: time.Unix(0, p.IssuedAtNS),
+			})
+		}
+	}
+	return s, nil
+}

@@ -2,7 +2,6 @@ package banditware
 
 import (
 	"io"
-	"sync"
 
 	"banditware/internal/core"
 )
@@ -24,84 +23,91 @@ func (r *Recommender) Exploit(features []float64) (int, error) {
 	return r.b.Exploit(features)
 }
 
-// SafeRecommender wraps a Recommender with a mutex so a single instance
-// can serve concurrent request handlers. All methods have the same
-// semantics as Recommender's.
+// safeStream is the stream name backing a SafeRecommender.
+const safeStream = "default"
+
+// SafeRecommender is a concurrency-safe single-stream recommender with
+// the same method set and semantics as Recommender. It is a thin shim
+// over a one-stream Service: historically it wrapped a Recommender with
+// one global mutex, and the locking story is unchanged (all methods
+// serialise on the stream's lock), but migrating to the multi-stream
+// Service is now just s.Service().CreateStream(...).
 type SafeRecommender struct {
-	mu  sync.Mutex
-	rec *Recommender
+	svc *Service
 }
 
 // NewSafe constructs a concurrency-safe recommender.
 func NewSafe(hw HardwareSet, dim int, opts Options) (*SafeRecommender, error) {
-	rec, err := New(hw, dim, opts)
-	if err != nil {
+	svc := NewService(ServiceOptions{})
+	if err := svc.CreateStream(safeStream, StreamConfig{Hardware: hw, Dim: dim, Options: opts}); err != nil {
 		return nil, err
 	}
-	return &SafeRecommender{rec: rec}, nil
+	return &SafeRecommender{svc: svc}, nil
 }
 
 // WrapSafe wraps an existing Recommender. The caller must not use the
 // wrapped Recommender directly afterwards.
 func WrapSafe(rec *Recommender) *SafeRecommender {
-	return &SafeRecommender{rec: rec}
+	svc := NewService(ServiceOptions{})
+	// Adopting a valid bandit under a fixed valid name cannot fail.
+	if err := svc.AdoptBandit(safeStream, rec.b, 0, 0); err != nil {
+		panic("banditware: WrapSafe: " + err.Error())
+	}
+	return &SafeRecommender{svc: svc}
 }
 
-// Recommend is the mutex-guarded Recommender.Recommend.
+// Service returns the underlying one-stream Service (stream "default"),
+// the migration path to multi-stream serving, decision tickets, and the
+// HTTP front-end.
+func (s *SafeRecommender) Service() *Service { return s.svc }
+
+// Recommend is the lock-guarded Recommender.Recommend. It leaves no
+// pending-ticket state; pair it with Observe.
 func (s *SafeRecommender) Recommend(features []float64) (Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.Recommend(features)
+	return s.svc.RecommendUntracked(safeStream, features)
 }
 
-// Observe is the mutex-guarded Recommender.Observe.
+// Observe is the lock-guarded Recommender.Observe.
 func (s *SafeRecommender) Observe(arm int, features []float64, runtime float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.Observe(arm, features, runtime)
+	return s.svc.ObserveDirect(safeStream, arm, features, runtime)
 }
 
-// Exploit is the mutex-guarded Recommender.Exploit.
+// Exploit is the lock-guarded Recommender.Exploit.
 func (s *SafeRecommender) Exploit(features []float64) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.Exploit(features)
+	return s.svc.Exploit(safeStream, features)
 }
 
-// PredictAll is the mutex-guarded Recommender.PredictAll.
+// PredictAll is the lock-guarded Recommender.PredictAll.
 func (s *SafeRecommender) PredictAll(features []float64) ([]float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.PredictAll(features)
+	return s.svc.PredictAll(safeStream, features)
 }
 
-// PredictWithCI is the mutex-guarded Recommender.PredictWithCI.
+// PredictWithCI is the lock-guarded Recommender.PredictWithCI.
 func (s *SafeRecommender) PredictWithCI(features []float64, z float64) ([]Interval, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.PredictWithCI(features, z)
+	return s.svc.PredictWithCI(safeStream, features, z)
 }
 
-// Epsilon is the mutex-guarded Recommender.Epsilon.
+// Epsilon is the lock-guarded Recommender.Epsilon.
 func (s *SafeRecommender) Epsilon() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.Epsilon()
+	eps, _ := s.svc.Epsilon(safeStream)
+	return eps
 }
 
-// Round is the mutex-guarded Recommender.Round.
+// Round is the lock-guarded Recommender.Round.
 func (s *SafeRecommender) Round() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.Round()
+	n, _ := s.svc.Round(safeStream)
+	return n
 }
 
 // Hardware returns the arm set (immutable after construction).
-func (s *SafeRecommender) Hardware() HardwareSet { return s.rec.Hardware() }
+func (s *SafeRecommender) Hardware() HardwareSet {
+	hw, _ := s.svc.Hardware(safeStream)
+	return hw
+}
 
-// Save is the mutex-guarded Recommender.Save.
+// Save writes the legacy single-recommender state format (the same
+// bytes Recommender.Save writes), so state saved through either API
+// loads through both Load and LoadService.
 func (s *SafeRecommender) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec.Save(w)
+	return s.svc.SaveStream(safeStream, w)
 }

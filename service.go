@@ -1,0 +1,83 @@
+package banditware
+
+import (
+	"io"
+	"net/http"
+
+	"banditware/internal/serve"
+)
+
+// Service is the concurrent multi-stream serving layer: a registry of
+// named recommender streams (one per application or workflow class,
+// each with its own hardware set, feature dimension, and options),
+// sharded with per-stream locks so independent streams never contend.
+//
+// Recommend returns a decision Ticket held in a bounded pending ledger;
+// Observe(ticketID, runtime) joins the stored features and arm
+// automatically — modeling real deployments where a recommendation is
+// issued long before its runtime is observed. See DESIGN.md §Service
+// and ServiceHandler for the HTTP front-end (`banditware serve`).
+type Service = serve.Service
+
+// ServiceOptions configures service-wide defaults (ledger capacity,
+// ticket TTL, clock).
+type ServiceOptions = serve.ServiceOptions
+
+// StreamConfig describes one recommender stream: hardware set, feature
+// dimension, Algorithm 1 options, and ledger overrides.
+type StreamConfig = serve.StreamConfig
+
+// Ticket records one issued recommendation; its ID redeems it via
+// Service.Observe.
+type Ticket = serve.Ticket
+
+// TicketObservation pairs a ticket ID with a measured runtime for
+// Service.ObserveBatch.
+type TicketObservation = serve.TicketObservation
+
+// StreamInfo is a point-in-time summary of one stream.
+type StreamInfo = serve.StreamInfo
+
+// ServiceStats summarises every stream plus service totals.
+type ServiceStats = serve.Stats
+
+// Service errors, re-exported for errors.Is checks.
+var (
+	ErrStreamExists   = serve.ErrStreamExists
+	ErrStreamNotFound = serve.ErrStreamNotFound
+	ErrBadStreamName  = serve.ErrBadStreamName
+	ErrTicketNotFound = serve.ErrTicketNotFound
+	ErrTicketExpired  = serve.ErrTicketExpired
+	ErrBadTicket      = serve.ErrBadTicket
+)
+
+// NewService constructs an empty serving layer. Register streams with
+// CreateStream, then drive them with Recommend/Observe (ticket flow),
+// RecommendBatch/ObserveBatch, or ObserveDirect (caller-tracked flow).
+func NewService(opts ServiceOptions) *Service { return serve.NewService(opts) }
+
+// LoadService restores a service from a snapshot written by
+// Service.Save. It also accepts the legacy single-recommender format
+// written by Recommender.Save, restoring it as stream "default".
+func LoadService(r io.Reader) (*Service, error) {
+	return serve.Load(r, ServiceOptions{})
+}
+
+// LoadServiceOptions is LoadService with explicit service defaults
+// (ledger capacity, TTL, clock) applied to the restored streams'
+// unset fields.
+func LoadServiceOptions(r io.Reader, opts ServiceOptions) (*Service, error) {
+	return serve.Load(r, opts)
+}
+
+// ServiceHandler returns the HTTP/JSON front-end for a service: stream
+// management under /v1/streams, the recommend/observe serving path
+// (single and batch), and /v1/stats. `banditware serve` mounts exactly
+// this handler.
+func ServiceHandler(svc *Service) http.Handler { return serve.NewHandler(svc) }
+
+// ParseTicketID splits a decision-ticket ID into its stream name and
+// per-stream sequence number.
+func ParseTicketID(id string) (stream string, seq uint64, err error) {
+	return serve.ParseTicketID(id)
+}

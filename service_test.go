@@ -1,0 +1,262 @@
+package banditware
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"banditware/internal/rng"
+)
+
+func serviceHW(t *testing.T) HardwareSet {
+	t.Helper()
+	hw, err := ParseHardwareSet("H0=2x16;H1=3x24;H2=4x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}
+
+// TestServicePublicRoundTrip drives the full public serving flow: two
+// streams, ticket recommend/observe, batch ops, stats, snapshot.
+func TestServicePublicRoundTrip(t *testing.T) {
+	hw := serviceHW(t)
+	svc := NewService(ServiceOptions{})
+	for name, seed := range map[string]uint64{"bp3d": 1, "matmul": 2} {
+		if err := svc.CreateStream(name, StreamConfig{Hardware: hw, Dim: 1, Options: Options{Seed: seed}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rng.New(5)
+	slopes := []float64{5, 3, 1}
+	for i := 0; i < 100; i++ {
+		for _, name := range []string{"bp3d", "matmul"} {
+			x := r.Uniform(10, 100)
+			tk, err := svc.Recommend(name, []float64{x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Observe(tk.ID, slopes[tk.Arm]*x+20); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stats := svc.Stats()
+	if stats.TotalObserved != 200 || stats.TotalPending != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Both streams learned the cheapest-slope arm.
+	for _, name := range []string{"bp3d", "matmul"} {
+		arm, err := svc.Exploit(name, []float64{80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arm != 2 {
+			t.Fatalf("stream %s exploits arm %d, want 2", name, arm)
+		}
+	}
+	// Batch path.
+	tks, err := svc.RecommendBatch("bp3d", [][]float64{{10}, {20}})
+	if err != nil || len(tks) != 2 {
+		t.Fatalf("batch: %v", err)
+	}
+	applied, err := svc.ObserveBatch([]TicketObservation{
+		{TicketID: tks[0].ID, Runtime: 70},
+		{TicketID: tks[1].ID, Runtime: 120},
+	})
+	if err != nil || applied != 2 {
+		t.Fatalf("observe batch: %d, %v", applied, err)
+	}
+	// Snapshot round trip preserves model state.
+	var buf bytes.Buffer
+	if err := svc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadService(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"bp3d", "matmul"} {
+		want, _ := svc.PredictAll(name, []float64{42})
+		got, err := back.PredictAll(name, []float64{42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12 {
+				t.Fatalf("stream %s predictions drifted across snapshot", name)
+			}
+		}
+	}
+}
+
+// TestServiceLoadsLegacyRecommenderState: a state file written by the
+// original single-recommender Save loads as a one-stream service.
+func TestServiceLoadsLegacyRecommenderState(t *testing.T) {
+	rec, err := New(serviceHW(t), 1, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 25; i++ {
+		x := []float64{float64(i)}
+		d, err := rec.Recommend(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Observe(d.Arm, x, 3*x[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := LoadService(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.StreamInfo("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Round != 25 {
+		t.Fatalf("round = %d, want 25", info.Round)
+	}
+}
+
+// TestSafeRecommenderShim: the mutex-era API keeps its exact semantics
+// on top of the Service, including the legacy save format.
+func TestSafeRecommenderShim(t *testing.T) {
+	hw := serviceHW(t)
+	safe, err := NewSafe(hw, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	slopes := []float64{5, 3, 1}
+	for i := 0; i < 150; i++ {
+		x := []float64{r.Uniform(10, 100)}
+		d, err := safe.Recommend(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.Observe(d.Arm, x, slopes[d.Arm]*x[0]+20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if safe.Round() != 150 {
+		t.Fatalf("round = %d", safe.Round())
+	}
+	if safe.Epsilon() >= 1 {
+		t.Fatal("epsilon did not decay")
+	}
+	if len(safe.Hardware()) != 3 {
+		t.Fatalf("hardware = %v", safe.Hardware())
+	}
+	if arm, err := safe.Exploit([]float64{80}); err != nil || arm != 2 {
+		t.Fatalf("exploit = %d, %v", arm, err)
+	}
+	if ci, err := safe.PredictWithCI([]float64{50}, 0); err != nil || len(ci) != 3 {
+		t.Fatalf("ci = %v, %v", ci, err)
+	}
+	// Recommend leaves no pending tickets behind.
+	if info, err := safe.Service().StreamInfo("default"); err != nil || info.Pending != 0 {
+		t.Fatalf("shim leaked tickets: %+v, %v", info, err)
+	}
+
+	// Save writes the legacy format: loadable by the single-recommender
+	// loader with identical predictions.
+	var buf bytes.Buffer
+	if err := safe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := safe.PredictAll([]float64{60})
+	got, err := rec.PredictAll([]float64{60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatal("predictions drifted through legacy save")
+		}
+	}
+
+	// WrapSafe adopts an existing recommender.
+	wrapped := WrapSafe(rec)
+	if wrapped.Round() != 150 {
+		t.Fatalf("wrapped round = %d", wrapped.Round())
+	}
+	if _, err := wrapped.Recommend([]float64{10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceConcurrentStreams hammers several public-API streams from
+// many goroutines at once (run with -race; the shim equivalent lives in
+// integration_test.go as TestSafeRecommenderConcurrent).
+func TestServiceConcurrentStreams(t *testing.T) {
+	hw := serviceHW(t)
+	svc := NewService(ServiceOptions{})
+	streams := []string{"a", "b", "c", "d"}
+	for i, name := range streams {
+		if err := svc.CreateStream(name, StreamConfig{Hardware: hw, Dim: 1, Options: Options{Seed: uint64(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines, iters = 16, 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := streams[g%len(streams)]
+			for i := 0; i < iters; i++ {
+				x := []float64{float64(i%40 + 1)}
+				tk, err := svc.Recommend(name, x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := svc.Observe(tk.ID, 2*x[0]+float64(tk.Arm)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	stats := svc.Stats()
+	if stats.TotalObserved != goroutines*iters {
+		t.Fatalf("observed %d, want %d", stats.TotalObserved, goroutines*iters)
+	}
+	for _, info := range stats.Streams {
+		if info.Round != (goroutines/len(streams))*iters {
+			t.Fatalf("stream %s round = %d", info.Name, info.Round)
+		}
+	}
+}
+
+// TestServiceErrorsExported: the re-exported sentinels match what the
+// service returns.
+func TestServiceErrorsExported(t *testing.T) {
+	svc := NewService(ServiceOptions{})
+	if _, err := svc.Recommend("ghost", []float64{1}); !errors.Is(err, ErrStreamNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := svc.Observe("bad ticket", 1); !errors.Is(err, ErrBadTicket) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := svc.CreateStream("x/y", StreamConfig{Hardware: serviceHW(t), Dim: 1}); !errors.Is(err, ErrBadStreamName) {
+		t.Fatalf("err = %v", err)
+	}
+	stream, seq, err := ParseTicketID("jobs#2a")
+	if err != nil || stream != "jobs" || seq != 42 {
+		t.Fatalf("ParseTicketID = %q, %d, %v", stream, seq, err)
+	}
+}
