@@ -37,8 +37,27 @@
 // before their runtimes are observed — use Service: a sharded registry
 // of named recommender streams with decision tickets, batch operations,
 // whole-service snapshots, and an HTTP front-end (ServiceHandler,
-// mounted by `banditware serve`). SafeRecommender remains as the
-// lock-guarded single-stream shim.
+// mounted by `banditware serve`; docs/API.md is the route reference).
+// SafeRecommender remains as the lock-guarded single-stream shim.
+//
+// # Policy selection
+//
+// Streams are policy-agnostic: StreamConfig.Policy picks the decision
+// policy per stream — the paper's Algorithm 1 by default, or LinUCB,
+// linear Thompson sampling, fixed ε-greedy, greedy, softmax, and a
+// uniform-random baseline (the paper's "more complex contextual bandit
+// algorithms" future-work axis), all persisted through the same
+// versioned snapshots:
+//
+//	_ = svc.CreateStream("matmul", banditware.StreamConfig{
+//		Hardware: hw, Dim: 1,
+//		Policy:   banditware.PolicySpec{Type: banditware.PolicyLinUCB, Beta: 1.5},
+//	})
+//
+// A stream can additionally carry shadow policies (Service.AttachShadow)
+// that see all traffic but never serve, accumulating agreement and
+// regret counters — live A/B evaluation of a candidate policy before
+// switching a stream over.
 //
 // The internal packages implement every substrate the paper's evaluation
 // needs (dataframes, linear algebra, workload generators, a cluster

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -33,7 +34,7 @@ func cmdServe(args []string) error {
 	pending := fs.Int("pending", 0, "default per-stream pending-ticket capacity (0 = 4096)")
 	ttl := fs.Duration("ttl", 0, "default pending-ticket expiry (0 = never)")
 	var creates []string
-	fs.Func("create", "create a stream at startup as name:dim:hwspec, e.g. jobs:1:\"H0=2x16;H1=3x24\" (repeatable)", func(v string) error {
+	fs.Func("create", "create a stream at startup as name:dim:hwspec[:policy], e.g. jobs:1:\"H0=2x16;H1=3x24\" or jobs:1:\"H0=2x16;H1=3x24\":linucb,beta=2 (repeatable)", func(v string) error {
 		creates = append(creates, v)
 		return nil
 	})
@@ -113,22 +114,73 @@ func cmdServe(args []string) error {
 	}
 }
 
-// parseCreateSpec parses "name:dim:hwspec" (hwspec may itself contain
-// ':'-free "H0=2x16;H1=3x24" fields; split on the first two colons).
+// parseCreateSpec parses "name:dim:hwspec[:policy]". Hardware names may
+// themselves contain ':', so the remainder after "name:dim:" is first
+// tried as a whole hardware spec (the PR-1 form); only when that fails
+// is it split at its last colon into hwspec and policy token.
 func parseCreateSpec(spec string) (string, banditware.StreamConfig, error) {
 	parts := strings.SplitN(spec, ":", 3)
 	if len(parts) != 3 {
-		return "", banditware.StreamConfig{}, fmt.Errorf("serve: bad -create %q (want name:dim:hwspec)", spec)
+		return "", banditware.StreamConfig{}, fmt.Errorf("serve: bad -create %q (want name:dim:hwspec[:policy])", spec)
 	}
-	var dim int
-	if _, err := fmt.Sscanf(parts[1], "%d", &dim); err != nil {
+	dim, err := strconv.Atoi(parts[1])
+	if err != nil {
 		return "", banditware.StreamConfig{}, fmt.Errorf("serve: bad dim in -create %q: %w", spec, err)
 	}
-	set, err := banditware.ParseHardwareSet(parts[2])
-	if err != nil {
-		return "", banditware.StreamConfig{}, err
+	rest := parts[2]
+	cfg := banditware.StreamConfig{Dim: dim}
+	set, hwErr := banditware.ParseHardwareSet(rest)
+	if hwErr != nil {
+		i := strings.LastIndex(rest, ":")
+		if i < 0 {
+			return "", banditware.StreamConfig{}, hwErr
+		}
+		set, hwErr = banditware.ParseHardwareSet(rest[:i])
+		if hwErr != nil {
+			return "", banditware.StreamConfig{}, hwErr
+		}
+		pol, err := parsePolicyToken(rest[i+1:])
+		if err != nil {
+			return "", banditware.StreamConfig{}, fmt.Errorf("serve: bad policy in -create %q: %w", spec, err)
+		}
+		cfg.Policy = pol
 	}
-	return parts[0], banditware.StreamConfig{Hardware: set, Dim: dim}, nil
+	cfg.Hardware = set
+	return parts[0], cfg, nil
+}
+
+// parsePolicyToken parses the CLI policy form "type[,key=value...]",
+// e.g. "linucb", "linucb,beta=2", "softmax,temp=0.5,seed=7". Keys:
+// beta, eps[ilon], temp[erature], scale (lints posterior scale), seed.
+func parsePolicyToken(tok string) (banditware.PolicySpec, error) {
+	fields := strings.Split(tok, ",")
+	spec := banditware.PolicySpec{Type: strings.TrimSpace(fields[0])}
+	for _, kv := range fields[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("bad parameter %q (want key=value)", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var ferr error
+		switch k {
+		case "beta":
+			spec.Beta, ferr = strconv.ParseFloat(v, 64)
+		case "eps", "epsilon":
+			spec.Epsilon, ferr = strconv.ParseFloat(v, 64)
+		case "temp", "temperature":
+			spec.Temperature, ferr = strconv.ParseFloat(v, 64)
+		case "scale", "posterior_scale":
+			spec.PosteriorScale, ferr = strconv.ParseFloat(v, 64)
+		case "seed":
+			spec.Seed, ferr = strconv.ParseUint(v, 10, 64)
+		default:
+			return spec, fmt.Errorf("unknown policy parameter %q", k)
+		}
+		if ferr != nil {
+			return spec, fmt.Errorf("bad value for %q: %w", k, ferr)
+		}
+	}
+	return spec, nil
 }
 
 func loadOrNewService(path string, opts banditware.ServiceOptions) (*banditware.Service, error) {

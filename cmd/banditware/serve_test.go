@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"banditware"
+)
+
+func TestParseCreateSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		name    string
+		dim     int
+		arms    int
+		policy  string
+		beta    float64
+		wantErr bool
+	}{
+		// PR-1 forms keep working, including ':' inside hardware names.
+		{spec: "jobs:1:H0=2x16;H1=3x24", name: "jobs", dim: 1, arms: 2},
+		{spec: "jobs:2:rack:0=2x16;rack:1=3x24", name: "jobs", dim: 2, arms: 2},
+		// Policy suffix, with and without parameters.
+		{spec: "ucb:1:H0=2x16;H1=3x24:linucb", name: "ucb", dim: 1, arms: 2, policy: "linucb"},
+		{spec: "ucb:1:H0=2x16:linucb,beta=2.5,seed=7", name: "ucb", dim: 1, arms: 1, policy: "linucb", beta: 2.5},
+		// Colon-bearing names combine with a policy via the last colon.
+		{spec: "j:1:rack:0=2x16:softmax,temp=0.5", name: "j", dim: 1, arms: 1, policy: "softmax"},
+		{spec: "jobs", wantErr: true},
+		{spec: "jobs:x:H0=2x16", wantErr: true},
+		{spec: "jobs:1:H0=2x16:linucb,beta=oops", wantErr: true},
+		{spec: "jobs:1:notahardware", wantErr: true},
+	}
+	for _, c := range cases {
+		name, cfg, err := parseCreateSpec(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseCreateSpec(%q) accepted", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCreateSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if name != c.name || cfg.Dim != c.dim || len(cfg.Hardware) != c.arms ||
+			cfg.Policy.Type != c.policy || cfg.Policy.Beta != c.beta {
+			t.Errorf("parseCreateSpec(%q) = %q, %+v", c.spec, name, cfg)
+		}
+		// Every accepted spec must actually create a stream.
+		svc := banditware.NewService(banditware.ServiceOptions{})
+		if err := svc.CreateStream(name, cfg); err != nil {
+			t.Errorf("CreateStream from %q: %v", c.spec, err)
+		}
+	}
+}
+
+func TestParsePolicyToken(t *testing.T) {
+	spec, err := parsePolicyToken("lints,scale=0.5,seed=3")
+	if err != nil || spec.Type != "lints" || spec.PosteriorScale != 0.5 || spec.Seed != 3 {
+		t.Fatalf("parsePolicyToken = %+v, %v", spec, err)
+	}
+	if _, err := parsePolicyToken("linucb,unknown=1"); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if _, err := parsePolicyToken("linucb,beta"); err == nil {
+		t.Fatal("missing value accepted")
+	}
+}

@@ -1,11 +1,14 @@
 // Command serve demonstrates the BanditWare serving layer end to end:
 // it starts the HTTP service in-process on a loopback port, creates two
-// independent recommender streams over the wire (a BP3D-style stream on
-// NDP hardware and a matmul-style stream on a five-option set), then
-// hammers both concurrently with recommend → run → observe round trips,
-// exactly as National Data Platform applications would. Each stream
-// learns its own synthetic runtime surface; the demo finishes by
-// printing /v1/stats and each stream's exploit-mode choice.
+// independent recommender streams over the wire — a BP3D-style stream
+// running the paper's Algorithm 1 and a matmul-style stream running
+// LinUCB (the serving layer is policy-agnostic) — and attaches a LinUCB
+// shadow to the Algorithm 1 stream, so the two policies can be A/B
+// compared on the same live traffic without the shadow ever serving.
+// Both streams are then hammered concurrently with recommend → run →
+// observe round trips, exactly as National Data Platform applications
+// would. The demo finishes by printing /v1/stats, each stream's
+// exploit-mode choice, and the shadow's evaluation counters.
 package main
 
 import (
@@ -33,13 +36,22 @@ func main() {
 	fmt.Printf("service listening on %s\n\n", base)
 
 	// Create two streams over the wire, like two NDP applications
-	// registering themselves.
+	// registering themselves. "bp3d" runs the paper's Algorithm 1;
+	// "matmul" opts into LinUCB via the policy field.
 	post(base+"/v1/streams", map[string]any{
 		"name": "bp3d", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16", "dim": 1, "seed": 1,
 	})
 	post(base+"/v1/streams", map[string]any{
 		"name": "matmul", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16;H3=8x32;H4=16x64",
-		"dim": 1, "seed": 2, "tolerance_ratio": 0.05,
+		"dim": 1, "seed": 2,
+		"policy": map[string]any{"type": "linucb", "beta": 1.5},
+	})
+
+	// Attach a LinUCB shadow to the Algorithm 1 stream: it sees every
+	// context and observation but never serves, and its agreement/regret
+	// counters answer "what if we switched bp3d to LinUCB?".
+	post(base+"/v1/streams/bp3d/shadows", map[string]any{
+		"name": "linucb-candidate", "policy": map[string]any{"type": "linucb"},
 	})
 
 	// Per-stream ground truth: runtime = slope[arm]·x + intercept + noise.
@@ -74,10 +86,10 @@ func main() {
 
 	var stats banditware.ServiceStats
 	get(base+"/v1/stats", &stats)
-	fmt.Println("stream     rounds  epsilon  pending  issued  observed")
+	fmt.Println("stream     policy      rounds  epsilon  pending  issued  observed")
 	for _, s := range stats.Streams {
-		fmt.Printf("%-10s %6d  %7.3f  %7d  %6d  %8d\n",
-			s.Name, s.Round, s.Epsilon, s.Pending, s.Issued, s.Observed)
+		fmt.Printf("%-10s %-10s  %6d  %7.3f  %7d  %6d  %8d\n",
+			s.Name, s.Policy, s.Round, s.Epsilon, s.Pending, s.Issued, s.Observed)
 	}
 
 	// Both streams should now exploit their cheapest-slope arm for a
@@ -89,6 +101,24 @@ func main() {
 			map[string]any{"features": []float64{80}}, &t)
 		fmt.Printf("%s: recommends %s for x=80 (best slope is arm %d)\n",
 			stream, t.Hardware, len(slopes)-1)
+	}
+
+	// The shadow's live A/B verdict on bp3d: how often the candidate
+	// agreed with Algorithm 1, its replay-estimated mean runtime on
+	// agreed rounds, and the model-estimated regret of switching
+	// (negative = the candidate's choices look faster).
+	var shadows struct {
+		Shadows []banditware.ShadowInfo `json:"shadows"`
+	}
+	get(base+"/v1/streams/bp3d/shadows", &shadows)
+	fmt.Println()
+	for _, sh := range shadows.Shadows {
+		meanMatched := 0.0
+		if sh.Agreements > 0 {
+			meanMatched = sh.MatchedRuntimeTotal / float64(sh.Agreements)
+		}
+		fmt.Printf("bp3d shadow %q (%s): %d/%d agreements, replay mean runtime %.1fs, est. regret %+.1fs\n",
+			sh.Name, sh.Policy, sh.Agreements, sh.Observations, meanMatched, sh.EstimatedRegret)
 	}
 }
 

@@ -44,6 +44,21 @@ type Exploiter interface {
 	Exploit(x []float64) (int, error)
 }
 
+// Predictor is an optional Policy extension exposing the per-arm runtime
+// estimates the policy's current models produce for a context. The
+// serving layer renders these on decision tickets; policies without a
+// predictive model (Random) do not implement it.
+type Predictor interface {
+	PredictAll(x []float64) ([]float64, error)
+}
+
+// ArmModeler is an optional Policy extension exposing one arm's learned
+// linear model (weights and bias), mirroring core.Bandit.Model for the
+// serving layer's stream-inspection endpoint.
+type ArmModeler interface {
+	ArmModel(arm int) (regress.Model, error)
+}
+
 // linArms is the shared per-arm linear-model state.
 type linArms struct {
 	dim  int
@@ -98,6 +113,32 @@ func (la *linArms) exploit(x []float64) (int, error) {
 	return stats.ArgMin(preds), nil
 }
 
+// armModel returns arm i's current model snapshot.
+func (la *linArms) armModel(i int) (regress.Model, error) {
+	if i < 0 || i >= len(la.arms) {
+		return regress.Model{}, ErrArm
+	}
+	return la.arms[i].Model(), nil
+}
+
+// restoreArms replaces the per-arm estimators with restored ones,
+// validating the count and dimension.
+func (la *linArms) restoreArms(arms []*regress.RLS) error {
+	if len(arms) != len(la.arms) {
+		return fmt.Errorf("policy: state has %d arms, want %d", len(arms), len(la.arms))
+	}
+	for i, a := range arms {
+		if a == nil {
+			return fmt.Errorf("policy: state arm %d missing estimator", i)
+		}
+		if a.Dim() != la.dim {
+			return fmt.Errorf("%w: state arm %d has dim %d, want %d", ErrDim, i, a.Dim(), la.dim)
+		}
+	}
+	la.arms = arms
+	return nil
+}
+
 // DecayingEpsilonGreedy adapts the paper's core.Bandit to the Policy
 // interface so Algorithm 1 participates in policy sweeps.
 type DecayingEpsilonGreedy struct {
@@ -150,14 +191,33 @@ func (p *DecayingEpsilonGreedy) Update(arm int, x []float64, runtime float64) er
 	}
 }
 
+// PredictAll implements Predictor via the wrapped bandit's models.
+func (p *DecayingEpsilonGreedy) PredictAll(x []float64) ([]float64, error) {
+	preds, err := p.B.PredictAll(x)
+	if errors.Is(err, core.ErrDim) {
+		return nil, ErrDim
+	}
+	return preds, err
+}
+
+// ArmModel implements ArmModeler via the wrapped bandit's models.
+func (p *DecayingEpsilonGreedy) ArmModel(arm int) (regress.Model, error) {
+	m, err := p.B.Model(arm)
+	if errors.Is(err, core.ErrArm) {
+		return regress.Model{}, ErrArm
+	}
+	return m, err
+}
+
 // FixedEpsilonGreedy explores with a constant probability ε and otherwise
 // picks the arm with the minimum predicted runtime. With dim = 0 the
 // per-arm models degenerate to running means and the policy is the classic
 // (non-contextual) ε-greedy of the paper's Figure 2.
 type FixedEpsilonGreedy struct {
-	la  *linArms
-	eps float64
-	rnd *rng.Source
+	la   *linArms
+	eps  float64
+	seed uint64
+	rnd  *rng.Source
 }
 
 // NewFixedEpsilonGreedy constructs the policy. eps must lie in [0, 1].
@@ -169,7 +229,7 @@ func NewFixedEpsilonGreedy(numArms, dim int, eps float64, seed uint64) (*FixedEp
 	if err != nil {
 		return nil, err
 	}
-	return &FixedEpsilonGreedy{la: la, eps: eps, rnd: rng.New(seed)}, nil
+	return &FixedEpsilonGreedy{la: la, eps: eps, seed: seed, rnd: rng.New(seed)}, nil
 }
 
 // Name implements Policy.
@@ -189,6 +249,12 @@ func (p *FixedEpsilonGreedy) Select(x []float64) (int, error) {
 
 // Exploit implements Exploiter: the arm with minimum predicted runtime.
 func (p *FixedEpsilonGreedy) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
+
+// PredictAll implements Predictor.
+func (p *FixedEpsilonGreedy) PredictAll(x []float64) ([]float64, error) { return p.la.predictAll(x) }
+
+// ArmModel implements ArmModeler.
+func (p *FixedEpsilonGreedy) ArmModel(arm int) (regress.Model, error) { return p.la.armModel(arm) }
 
 // Update implements Policy.
 func (p *FixedEpsilonGreedy) Update(arm int, x []float64, runtime float64) error {
@@ -220,6 +286,15 @@ func (p *Greedy) Select(x []float64) (int, error) {
 	return stats.ArgMin(preds), nil
 }
 
+// Exploit implements Exploiter (Select already exploits).
+func (p *Greedy) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
+
+// PredictAll implements Predictor.
+func (p *Greedy) PredictAll(x []float64) ([]float64, error) { return p.la.predictAll(x) }
+
+// ArmModel implements ArmModeler.
+func (p *Greedy) ArmModel(arm int) (regress.Model, error) { return p.la.armModel(arm) }
+
 // Update implements Policy.
 func (p *Greedy) Update(arm int, x []float64, runtime float64) error {
 	return p.la.update(arm, x, runtime)
@@ -228,9 +303,10 @@ func (p *Greedy) Update(arm int, x []float64, runtime float64) error {
 // Random selects uniformly at random — the paper's "random guess" floor
 // (accuracy 1/3 for BP3D, 1/5 for matmul).
 type Random struct {
-	n   int
-	dim int
-	rnd *rng.Source
+	n    int
+	dim  int
+	seed uint64
+	rnd  *rng.Source
 }
 
 // NewRandom constructs the policy.
@@ -238,7 +314,7 @@ func NewRandom(numArms, dim int, seed uint64) (*Random, error) {
 	if numArms < 1 {
 		return nil, errors.New("policy: need at least one arm")
 	}
-	return &Random{n: numArms, dim: dim, rnd: rng.New(seed)}, nil
+	return &Random{n: numArms, dim: dim, seed: seed, rnd: rng.New(seed)}, nil
 }
 
 // Name implements Policy.
@@ -303,6 +379,12 @@ func (p *LinUCB) Select(x []float64) (int, error) {
 // (no confidence bonus).
 func (p *LinUCB) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
 
+// PredictAll implements Predictor (mean predictions, no confidence bonus).
+func (p *LinUCB) PredictAll(x []float64) ([]float64, error) { return p.la.predictAll(x) }
+
+// ArmModel implements ArmModeler.
+func (p *LinUCB) ArmModel(arm int) (regress.Model, error) { return p.la.armModel(arm) }
+
 // Update implements Policy.
 func (p *LinUCB) Update(arm int, x []float64, runtime float64) error {
 	return p.la.update(arm, x, runtime)
@@ -312,9 +394,10 @@ func (p *LinUCB) Update(arm int, x []float64, runtime float64) error {
 // vector per arm from the Gaussian posterior N(wᵢ, v²Pᵢ) and picks the arm
 // whose sampled model predicts the smallest runtime.
 type LinTS struct {
-	la  *linArms
-	v   float64
-	rnd *rng.Source
+	la   *linArms
+	v    float64
+	seed uint64
+	rnd  *rng.Source
 }
 
 // NewLinTS constructs the policy. v scales the posterior; must be positive.
@@ -326,7 +409,7 @@ func NewLinTS(numArms, dim int, v float64, seed uint64) (*LinTS, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LinTS{la: la, v: v, rnd: rng.New(seed)}, nil
+	return &LinTS{la: la, v: v, seed: seed, rnd: rng.New(seed)}, nil
 }
 
 // Name implements Policy.
@@ -353,6 +436,12 @@ func (p *LinTS) Select(x []float64) (int, error) {
 // prediction.
 func (p *LinTS) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
 
+// PredictAll implements Predictor (posterior-mean predictions).
+func (p *LinTS) PredictAll(x []float64) ([]float64, error) { return p.la.predictAll(x) }
+
+// ArmModel implements ArmModeler.
+func (p *LinTS) ArmModel(arm int) (regress.Model, error) { return p.la.armModel(arm) }
+
 // Update implements Policy.
 func (p *LinTS) Update(arm int, x []float64, runtime float64) error {
 	return p.la.update(arm, x, runtime)
@@ -363,6 +452,7 @@ func (p *LinTS) Update(arm int, x []float64, runtime float64) error {
 type Softmax struct {
 	la   *linArms
 	temp float64
+	seed uint64
 	rnd  *rng.Source
 }
 
@@ -375,7 +465,7 @@ func NewSoftmax(numArms, dim int, temp float64, seed uint64) (*Softmax, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Softmax{la: la, temp: temp, rnd: rng.New(seed)}, nil
+	return &Softmax{la: la, temp: temp, seed: seed, rnd: rng.New(seed)}, nil
 }
 
 // Name implements Policy.
@@ -408,6 +498,12 @@ func (p *Softmax) Select(x []float64) (int, error) {
 
 // Exploit implements Exploiter: the arm with minimum predicted runtime.
 func (p *Softmax) Exploit(x []float64) (int, error) { return p.la.exploit(x) }
+
+// PredictAll implements Predictor.
+func (p *Softmax) PredictAll(x []float64) ([]float64, error) { return p.la.predictAll(x) }
+
+// ArmModel implements ArmModeler.
+func (p *Softmax) ArmModel(arm int) (regress.Model, error) { return p.la.armModel(arm) }
 
 // Update implements Policy.
 func (p *Softmax) Update(arm int, x []float64, runtime float64) error {

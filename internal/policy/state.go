@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"banditware/internal/core"
+	"banditware/internal/regress"
+)
+
+// Canonical policy type identifiers, used in State.Type and by the
+// serving layer's policy dispatch. They name the algorithm family, not
+// the parameterisation (Name() carries the parameters).
+const (
+	TypeDecayingEpsGreedy = "decaying-eps-greedy"
+	TypeEpsGreedy         = "eps-greedy"
+	TypeGreedy            = "greedy"
+	TypeRandom            = "random"
+	TypeLinUCB            = "linucb"
+	TypeLinTS             = "lints"
+	TypeSoftmax           = "softmax"
+)
+
+// Snapshot/restore errors.
+var (
+	// ErrNoSnapshot is returned by policies whose state cannot be
+	// serialised (the Oracle holds an arbitrary truth function).
+	ErrNoSnapshot = errors.New("policy: policy cannot be snapshotted")
+	// ErrUnknownType is returned by Restore for a State.Type it does not
+	// recognise.
+	ErrUnknownType = errors.New("policy: unknown policy type")
+)
+
+// State is the serialisable learned state of a Policy: the type tag, the
+// construction parameters, and the per-arm estimators. It is the unit the
+// serving layer embeds in versioned service snapshots, so a stream backed
+// by any policy survives save/load with its learned models intact.
+//
+// Exploration RNG position is not captured: a restored policy draws a
+// fresh stream from the recorded Seed, preserving the distribution of
+// behaviour but not the exact draw sequence (the same contract as
+// core.Bandit.SaveState).
+//
+// Until marshalled, Arms shares the live estimators of the policy that
+// produced it — snapshot and serialise under the same lock.
+type State struct {
+	// Type is one of the Type* constants.
+	Type string `json:"type"`
+	// NumArms and Dim fix the policy's shape.
+	NumArms int `json:"num_arms"`
+	Dim     int `json:"dim"`
+	// Seed reseeds the exploration RNG on restore (policies without
+	// randomness ignore it).
+	Seed uint64 `json:"seed,omitempty"`
+	// Per-type parameters.
+	Epsilon float64 `json:"epsilon,omitempty"` // eps-greedy
+	Beta    float64 `json:"beta,omitempty"`    // linucb
+	Scale   float64 `json:"scale,omitempty"`   // lints posterior scale
+	Temp    float64 `json:"temp,omitempty"`    // softmax temperature
+	// Arms holds the per-arm least-squares estimators of linear-model
+	// policies.
+	Arms []*regress.RLS `json:"arms,omitempty"`
+	// Bandit holds the embedded core state of a wrapped Algorithm 1
+	// bandit (decaying-eps-greedy only).
+	Bandit json.RawMessage `json:"bandit,omitempty"`
+}
+
+// Snapshotter is implemented by every policy whose learned state can be
+// serialised and later restored with Restore.
+type Snapshotter interface {
+	Snapshot() (State, error)
+}
+
+// Snapshot implements Snapshotter via the wrapped bandit's SaveState.
+func (p *DecayingEpsilonGreedy) Snapshot() (State, error) {
+	var buf bytes.Buffer
+	if err := p.B.SaveState(&buf); err != nil {
+		return State{}, err
+	}
+	return State{
+		Type:    TypeDecayingEpsGreedy,
+		NumArms: p.B.NumArms(),
+		Dim:     p.B.Dim(),
+		Bandit:  json.RawMessage(buf.Bytes()),
+	}, nil
+}
+
+// Snapshot implements Snapshotter.
+func (p *FixedEpsilonGreedy) Snapshot() (State, error) {
+	return State{
+		Type:    TypeEpsGreedy,
+		NumArms: len(p.la.arms),
+		Dim:     p.la.dim,
+		Seed:    p.seed,
+		Epsilon: p.eps,
+		Arms:    p.la.arms,
+	}, nil
+}
+
+// Snapshot implements Snapshotter.
+func (p *Greedy) Snapshot() (State, error) {
+	return State{
+		Type:    TypeGreedy,
+		NumArms: len(p.la.arms),
+		Dim:     p.la.dim,
+		Arms:    p.la.arms,
+	}, nil
+}
+
+// Snapshot implements Snapshotter.
+func (p *Random) Snapshot() (State, error) {
+	return State{Type: TypeRandom, NumArms: p.n, Dim: p.dim, Seed: p.seed}, nil
+}
+
+// Snapshot implements Snapshotter.
+func (p *LinUCB) Snapshot() (State, error) {
+	return State{
+		Type:    TypeLinUCB,
+		NumArms: len(p.la.arms),
+		Dim:     p.la.dim,
+		Beta:    p.beta,
+		Arms:    p.la.arms,
+	}, nil
+}
+
+// Snapshot implements Snapshotter.
+func (p *LinTS) Snapshot() (State, error) {
+	return State{
+		Type:    TypeLinTS,
+		NumArms: len(p.la.arms),
+		Dim:     p.la.dim,
+		Seed:    p.seed,
+		Scale:   p.v,
+		Arms:    p.la.arms,
+	}, nil
+}
+
+// Snapshot implements Snapshotter.
+func (p *Softmax) Snapshot() (State, error) {
+	return State{
+		Type:    TypeSoftmax,
+		NumArms: len(p.la.arms),
+		Dim:     p.la.dim,
+		Seed:    p.seed,
+		Temp:    p.temp,
+		Arms:    p.la.arms,
+	}, nil
+}
+
+// Snapshot implements Snapshotter by refusing: the oracle's ground-truth
+// function cannot be serialised.
+func (p *Oracle) Snapshot() (State, error) {
+	return State{}, fmt.Errorf("%w: oracle", ErrNoSnapshot)
+}
+
+// Restore reconstructs a policy from a State produced by Snapshot,
+// dispatching on State.Type. The restored policy's learned estimators
+// are exactly the serialised ones; its exploration RNG restarts from
+// State.Seed.
+func Restore(st State) (Policy, error) {
+	switch st.Type {
+	case TypeDecayingEpsGreedy:
+		b, err := core.LoadState(bytes.NewReader(st.Bandit))
+		if err != nil {
+			return nil, err
+		}
+		return &DecayingEpsilonGreedy{B: b}, nil
+	case TypeEpsGreedy:
+		p, err := NewFixedEpsilonGreedy(st.NumArms, st.Dim, st.Epsilon, st.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.la.restoreArms(st.Arms); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case TypeGreedy:
+		p, err := NewGreedy(st.NumArms, st.Dim)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.la.restoreArms(st.Arms); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case TypeRandom:
+		return NewRandom(st.NumArms, st.Dim, st.Seed)
+	case TypeLinUCB:
+		p, err := NewLinUCB(st.NumArms, st.Dim, st.Beta)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.la.restoreArms(st.Arms); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case TypeLinTS:
+		p, err := NewLinTS(st.NumArms, st.Dim, st.Scale, st.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.la.restoreArms(st.Arms); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case TypeSoftmax:
+		p, err := NewSoftmax(st.NumArms, st.Dim, st.Temp, st.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.la.restoreArms(st.Arms); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownType, st.Type)
+}

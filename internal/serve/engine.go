@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+	"banditware/internal/policy"
+	"banditware/internal/regress"
+)
+
+// Engine abstracts the decision core a stream serves from: anything that
+// can pick an arm for a context, learn from an observed runtime, and
+// serialise its learned state. The paper's Algorithm 1 bandit and every
+// internal/policy.Policy adapt to it, so streams are policy-agnostic.
+//
+// Engines are "concurrency-ready", not concurrency-safe: implementations
+// need no internal locking because the owning stream serialises every
+// call under its mutex.
+type Engine interface {
+	// Kind returns the canonical policy type (one of the Policy*
+	// constants), recorded in snapshots and surfaced in StreamInfo.
+	Kind() string
+	// Hardware returns the arm set (shared; do not mutate).
+	Hardware() hardware.Set
+	// Dim returns the feature dimension.
+	Dim() int
+	// Recommend picks an arm for features x. Predicted and the
+	// exploration fields of the Decision may be zero for policies that
+	// do not expose them.
+	Recommend(x []float64) (core.Decision, error)
+	// Observe trains on one (arm, features, runtime) triple.
+	Observe(arm int, x []float64, runtime float64) error
+	// Exploit returns the arm the current model considers best without
+	// consuming exploration randomness where the policy supports that
+	// (policies without a separate exploit mode fall back to Select).
+	Exploit(x []float64) (int, error)
+	// PredictAll returns per-arm runtime estimates, or ErrUnsupported
+	// for model-free policies.
+	PredictAll(x []float64) ([]float64, error)
+	// Epsilon reports the current exploration probability; engines
+	// without a decaying ε report 0.
+	Epsilon() float64
+	// Round reports how many observations the engine has absorbed.
+	Round() int
+	// SaveState serialises the engine's full learned state as JSON.
+	SaveState(w io.Writer) error
+}
+
+// ModelProvider is an optional Engine extension exposing one arm's
+// learned linear model for the stream-inspection endpoint.
+type ModelProvider interface {
+	Model(arm int) (regress.Model, error)
+}
+
+// CIProvider is an optional Engine extension exposing per-arm prediction
+// intervals. Only the Algorithm 1 engine implements it.
+type CIProvider interface {
+	PredictWithCI(x []float64, z float64) ([]core.Interval, error)
+}
+
+// Engine/policy errors.
+var (
+	// ErrUnknownPolicy reports a PolicySpec.Type no engine adapter
+	// recognises.
+	ErrUnknownPolicy = errors.New("serve: unknown policy type")
+	// ErrUnsupported reports an operation the stream's policy cannot
+	// perform (e.g. prediction intervals on a LinUCB stream).
+	ErrUnsupported = errors.New("serve: operation not supported by the stream's policy")
+)
+
+// Canonical policy type identifiers accepted in PolicySpec.Type and
+// reported by Engine.Kind. PolicyAlgorithm1 is the paper's decaying
+// contextual ε-greedy bandit; the rest are the internal/policy
+// alternatives.
+const (
+	PolicyAlgorithm1 = "algorithm1"
+	PolicyLinUCB     = policy.TypeLinUCB
+	PolicyLinTS      = policy.TypeLinTS
+	PolicyEpsGreedy  = policy.TypeEpsGreedy
+	PolicyGreedy     = policy.TypeGreedy
+	PolicySoftmax    = policy.TypeSoftmax
+	PolicyRandom     = policy.TypeRandom
+)
+
+// PolicySpec selects and parameterises a stream's (or shadow's) decision
+// policy. The zero value selects Algorithm 1 with the stream's Options.
+// Parameter fields apply only to the policy type that uses them; a zero
+// parameter selects that policy's default. In JSON the spec may be
+// either a bare string ("linucb") or an object
+// ({"type": "linucb", "beta": 2}).
+type PolicySpec struct {
+	// Type is one of the Policy* constants (a few aliases are accepted:
+	// "", "alg1" and "decaying-eps-greedy" mean algorithm1, "thompson"
+	// means lints, "epsilon-greedy" means eps-greedy, "boltzmann" means
+	// softmax).
+	Type string `json:"type,omitempty"`
+	// Beta scales LinUCB's confidence width (default 1).
+	Beta float64 `json:"beta,omitempty"`
+	// PosteriorScale scales linear Thompson sampling's posterior
+	// (default 1).
+	PosteriorScale float64 `json:"posterior_scale,omitempty"`
+	// Epsilon is the fixed exploration probability of eps-greedy
+	// (default 0.1; use type "greedy" for ε = 0).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Temperature is the softmax temperature (default 1).
+	Temperature float64 `json:"temperature,omitempty"`
+	// Seed drives the policy's exploration randomness. For Algorithm 1
+	// it overrides Options.Seed when non-zero.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// UnmarshalJSON accepts either a bare policy-type string or the full
+// object form, and rejects unknown object fields.
+func (p *PolicySpec) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		var s string
+		if err := json.Unmarshal(trimmed, &s); err != nil {
+			return err
+		}
+		*p = PolicySpec{Type: s}
+		return nil
+	}
+	type plain PolicySpec // drops the custom unmarshaller
+	var obj plain
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obj); err != nil {
+		return err
+	}
+	*p = PolicySpec(obj)
+	return nil
+}
+
+// kind canonicalises Type, resolving aliases.
+func (p PolicySpec) kind() (string, error) {
+	switch strings.ToLower(strings.TrimSpace(p.Type)) {
+	case "", PolicyAlgorithm1, "alg1", policy.TypeDecayingEpsGreedy:
+		return PolicyAlgorithm1, nil
+	case PolicyLinUCB:
+		return PolicyLinUCB, nil
+	case PolicyLinTS, "thompson":
+		return PolicyLinTS, nil
+	case PolicyEpsGreedy, "epsilon-greedy":
+		return PolicyEpsGreedy, nil
+	case PolicyGreedy:
+		return PolicyGreedy, nil
+	case PolicySoftmax, "boltzmann":
+		return PolicySoftmax, nil
+	case PolicyRandom:
+		return PolicyRandom, nil
+	}
+	return "", fmt.Errorf("%w: %q", ErrUnknownPolicy, p.Type)
+}
+
+// defaulted returns v, or def when v is zero.
+func defaulted(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// newEngine builds the engine a stream (or shadow) serves from. opts
+// parameterises Algorithm 1 and is ignored by the other policies, which
+// take their parameters from spec.
+func newEngine(hw hardware.Set, dim int, opts core.Options, spec PolicySpec) (Engine, error) {
+	kind, err := spec.kind()
+	if err != nil {
+		return nil, err
+	}
+	if kind == PolicyAlgorithm1 {
+		if spec.Seed != 0 {
+			opts.Seed = spec.Seed
+		}
+		b, err := core.New(hw, dim, opts)
+		if err != nil {
+			return nil, err
+		}
+		return banditEngine{b}, nil
+	}
+	// core.New validated these for Algorithm 1; the policy constructors
+	// never see the hardware set, so validate here.
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if dim < 0 {
+		return nil, fmt.Errorf("serve: negative feature dimension %d", dim)
+	}
+	n := len(hw)
+	canonical := PolicySpec{Type: kind, Seed: spec.Seed}
+	var p policy.Policy
+	switch kind {
+	case PolicyLinUCB:
+		canonical.Beta = defaulted(spec.Beta, 1)
+		p, err = policy.NewLinUCB(n, dim, canonical.Beta)
+	case PolicyLinTS:
+		canonical.PosteriorScale = defaulted(spec.PosteriorScale, 1)
+		p, err = policy.NewLinTS(n, dim, canonical.PosteriorScale, spec.Seed)
+	case PolicyEpsGreedy:
+		canonical.Epsilon = defaulted(spec.Epsilon, 0.1)
+		p, err = policy.NewFixedEpsilonGreedy(n, dim, canonical.Epsilon, spec.Seed)
+	case PolicyGreedy:
+		p, err = policy.NewGreedy(n, dim)
+	case PolicySoftmax:
+		canonical.Temperature = defaulted(spec.Temperature, 1)
+		p, err = policy.NewSoftmax(n, dim, canonical.Temperature, spec.Seed)
+	case PolicyRandom:
+		p, err = policy.NewRandom(n, dim, spec.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &policyEngine{spec: canonical, hw: hw, dim: dim, p: p}, nil
+}
+
+// --- Algorithm 1 adapter ---------------------------------------------
+
+// banditEngine adapts the paper's core.Bandit to Engine. All methods but
+// Kind come from the embedded bandit, including ModelProvider and
+// CIProvider.
+type banditEngine struct {
+	*core.Bandit
+}
+
+// Kind implements Engine.
+func (banditEngine) Kind() string { return PolicyAlgorithm1 }
+
+// --- internal/policy adapter -----------------------------------------
+
+// policyEngine adapts an internal/policy.Policy to Engine, tracking the
+// round count the Policy interface does not carry and translating policy
+// errors to the core sentinels the service reports.
+type policyEngine struct {
+	spec  PolicySpec // canonical type and effective parameters
+	hw    hardware.Set
+	dim   int
+	p     policy.Policy
+	round int
+}
+
+// mapPolicyErr translates policy sentinels to the core equivalents so
+// callers see one error vocabulary regardless of the stream's policy.
+func mapPolicyErr(err error) error {
+	switch {
+	case errors.Is(err, policy.ErrDim):
+		return core.ErrDim
+	case errors.Is(err, policy.ErrArm):
+		return core.ErrArm
+	}
+	return err
+}
+
+// Kind implements Engine.
+func (e *policyEngine) Kind() string { return e.spec.Type }
+
+// Hardware implements Engine.
+func (e *policyEngine) Hardware() hardware.Set { return e.hw }
+
+// Dim implements Engine.
+func (e *policyEngine) Dim() int { return e.dim }
+
+// Epsilon implements Engine; fixed-parameter policies report 0.
+func (e *policyEngine) Epsilon() float64 { return 0 }
+
+// Round implements Engine.
+func (e *policyEngine) Round() int { return e.round }
+
+// Recommend implements Engine. Predicted is filled when the policy
+// exposes per-arm estimates; Explored/Epsilon stay zero (the Policy
+// interface does not report its exploration branch).
+func (e *policyEngine) Recommend(x []float64) (core.Decision, error) {
+	arm, err := e.p.Select(x)
+	if err != nil {
+		return core.Decision{}, mapPolicyErr(err)
+	}
+	d := core.Decision{Arm: arm}
+	if pr, ok := e.p.(policy.Predictor); ok {
+		if preds, err := pr.PredictAll(x); err == nil {
+			d.Predicted = preds
+		}
+	}
+	return d, nil
+}
+
+// Observe implements Engine.
+func (e *policyEngine) Observe(arm int, x []float64, runtime float64) error {
+	if math.IsNaN(runtime) || math.IsInf(runtime, 0) {
+		return core.ErrBadValue
+	}
+	if err := e.p.Update(arm, x, runtime); err != nil {
+		return mapPolicyErr(err)
+	}
+	e.round++
+	return nil
+}
+
+// Exploit implements Engine, preferring the policy's dedicated exploit
+// mode and falling back to Select (which, for policies like Random, may
+// consume exploration randomness).
+func (e *policyEngine) Exploit(x []float64) (int, error) {
+	if ex, ok := e.p.(policy.Exploiter); ok {
+		arm, err := ex.Exploit(x)
+		return arm, mapPolicyErr(err)
+	}
+	arm, err := e.p.Select(x)
+	return arm, mapPolicyErr(err)
+}
+
+// PredictAll implements Engine.
+func (e *policyEngine) PredictAll(x []float64) ([]float64, error) {
+	pr, ok := e.p.(policy.Predictor)
+	if !ok {
+		return nil, fmt.Errorf("%w (%s)", ErrUnsupported, e.spec.Type)
+	}
+	preds, err := pr.PredictAll(x)
+	return preds, mapPolicyErr(err)
+}
+
+// Model implements ModelProvider for policies that expose per-arm
+// models.
+func (e *policyEngine) Model(arm int) (regress.Model, error) {
+	am, ok := e.p.(policy.ArmModeler)
+	if !ok {
+		return regress.Model{}, fmt.Errorf("%w (%s)", ErrUnsupported, e.spec.Type)
+	}
+	m, err := am.ArmModel(arm)
+	return m, mapPolicyErr(err)
+}
+
+// policyEngineState is the JSON wire form of a policyEngine.
+type policyEngineState struct {
+	Spec     PolicySpec   `json:"spec"`
+	Hardware hardware.Set `json:"hardware"`
+	Dim      int          `json:"dim"`
+	Round    int          `json:"round"`
+	Policy   policy.State `json:"policy"`
+}
+
+// SaveState implements Engine: spec, hardware, round counter, and the
+// policy's full learned state in one JSON document.
+func (e *policyEngine) SaveState(w io.Writer) error {
+	sn, ok := e.p.(policy.Snapshotter)
+	if !ok {
+		return fmt.Errorf("%w: policy %s has no snapshot support", ErrUnsupported, e.spec.Type)
+	}
+	ps, err := sn.Snapshot()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(policyEngineState{
+		Spec:     e.spec,
+		Hardware: e.hw,
+		Dim:      e.dim,
+		Round:    e.round,
+		Policy:   ps,
+	})
+}
+
+// restorePolicyEngine rebuilds a policyEngine serialised by SaveState.
+func restorePolicyEngine(data []byte) (*policyEngine, error) {
+	var st policyEngineState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("serve: decoding policy engine state: %w", err)
+	}
+	if err := st.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	if st.Policy.NumArms != len(st.Hardware) {
+		return nil, fmt.Errorf("serve: corrupt engine state: %d arms, %d hardware",
+			st.Policy.NumArms, len(st.Hardware))
+	}
+	p, err := policy.Restore(st.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &policyEngine{spec: st.Spec, hw: st.Hardware, dim: st.Dim, p: p, round: st.Round}, nil
+}
+
+// restoreEngine rebuilds an engine from its snapshotted kind and state.
+// An empty kind means Algorithm 1 (the pre-policy snapshot formats).
+func restoreEngine(kind string, data []byte) (Engine, error) {
+	if kind == "" || kind == PolicyAlgorithm1 {
+		b, err := core.LoadState(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return banditEngine{b}, nil
+	}
+	eng, err := restorePolicyEngine(data)
+	if err != nil {
+		return nil, err
+	}
+	if eng.Kind() != kind {
+		return nil, fmt.Errorf("serve: engine state is %q, envelope says %q", eng.Kind(), kind)
+	}
+	return eng, nil
+}

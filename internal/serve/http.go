@@ -11,12 +11,13 @@ import (
 	"banditware/internal/hardware"
 )
 
-// NewHandler returns the HTTP/JSON front-end for a service:
+// NewHandler returns the HTTP/JSON front-end for a service (see
+// docs/API.md for the full request/response reference):
 //
 //	GET    /v1/healthz                          liveness probe
 //	GET    /v1/stats                            service-wide stats
 //	GET    /v1/streams                          list streams
-//	POST   /v1/streams                          create a stream
+//	POST   /v1/streams                          create a stream (policy-typed)
 //	GET    /v1/streams/{name}                   inspect one stream (+models)
 //	DELETE /v1/streams/{name}                   remove a stream
 //	POST   /v1/streams/{name}/recommend         issue one decision ticket
@@ -24,10 +25,13 @@ import (
 //	POST   /v1/streams/{name}/observe           redeem a ticket / direct observe
 //	POST   /v1/streams/{name}/observe/batch     redeem many tickets
 //	POST   /v1/observe                          redeem a ticket (stream from ID)
+//	GET    /v1/streams/{name}/shadows           shadow evaluation counters
+//	POST   /v1/streams/{name}/shadows           attach a shadow policy
+//	DELETE /v1/streams/{name}/shadows/{shadow}  detach a shadow policy
 //
 // All bodies are JSON. Errors are {"error": "..."} with conventional
-// status codes (404 unknown stream/ticket, 410 expired ticket, 409
-// duplicate stream, 400 bad input).
+// status codes (404 unknown stream/ticket/shadow, 410 expired ticket,
+// 409 duplicate stream/shadow, 400 bad input).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +71,19 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
 		handleObserve(svc, w, r, "")
 	})
+	mux.HandleFunc("GET /v1/streams/{name}/shadows", func(w http.ResponseWriter, r *http.Request) {
+		handleListShadows(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/shadows", func(w http.ResponseWriter, r *http.Request) {
+		handleAttachShadow(svc, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/streams/{name}/shadows/{shadow}", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.DetachShadow(r.PathValue("name"), r.PathValue("shadow")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("shadow")})
+	})
 	return mux
 }
 
@@ -80,11 +97,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrStreamNotFound), errors.Is(err, ErrTicketNotFound):
+	case errors.Is(err, ErrStreamNotFound), errors.Is(err, ErrTicketNotFound),
+		errors.Is(err, ErrShadowNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrTicketExpired):
 		code = http.StatusGone
-	case errors.Is(err, ErrStreamExists):
+	case errors.Is(err, ErrStreamExists), errors.Is(err, ErrShadowExists):
 		code = http.StatusConflict
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
@@ -118,6 +136,12 @@ type hardwareDTO struct {
 	GPUs     int     `json:"gpus,omitempty"`
 }
 
+// shadowDTO is the wire form of one shadow attachment.
+type shadowDTO struct {
+	Name   string     `json:"name"`
+	Policy PolicySpec `json:"policy"`
+}
+
 type createStreamRequest struct {
 	Name string `json:"name"`
 	// Hardware is the arm set as structured objects; HardwareSpec is the
@@ -126,9 +150,17 @@ type createStreamRequest struct {
 	HardwareSpec string        `json:"hardware_spec,omitempty"`
 	Dim          int           `json:"dim"`
 
+	// Policy selects the stream's decision policy — a bare type string
+	// ("linucb") or an object ({"type": "linucb", "beta": 2}). Absent
+	// means Algorithm 1 parameterised by the option fields below.
+	Policy *PolicySpec `json:"policy,omitempty"`
+	// Shadows are shadow policies to attach at creation time.
+	Shadows []shadowDTO `json:"shadows,omitempty"`
+
 	// Algorithm 1 options; zero values select the paper's defaults.
-	// Epsilon0 is a pointer so an explicit 0 (pure exploitation) is
-	// distinguishable from "unset".
+	// Ignored (except seed, which also feeds non-Algorithm 1 policies)
+	// when policy selects another type. Epsilon0 is a pointer so an
+	// explicit 0 (pure exploitation) is distinguishable from "unset".
 	Alpha            float64  `json:"alpha,omitempty"`
 	Epsilon0         *float64 `json:"epsilon0,omitempty"`
 	MinEpsilon       float64  `json:"min_epsilon,omitempty"`
@@ -179,10 +211,45 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 		opts.Epsilon0 = *req.Epsilon0
 		opts.ZeroEpsilon = *req.Epsilon0 == 0
 	}
+	var spec PolicySpec
+	if req.Policy != nil {
+		spec = *req.Policy
+		if spec.Seed == 0 {
+			spec.Seed = req.Seed
+		}
+	}
+	// Validate every shadow before creating the stream, so a bad shadow
+	// never leaves a transiently servable half-configured stream behind.
+	// Engine construction is deterministic, so specs that pass here
+	// cannot fail at attach time.
+	shadows := make([]shadowDTO, 0, len(req.Shadows))
+	seen := make(map[string]bool, len(req.Shadows))
+	for _, sh := range req.Shadows {
+		// Shadows inherit the stream seed unless they set their own,
+		// like the primary policy.
+		if sh.Policy.Seed == 0 {
+			sh.Policy.Seed = req.Seed
+		}
+		if !ValidStreamName(sh.Name) {
+			writeError(w, fmt.Errorf("shadow: %w: %q", ErrBadStreamName, sh.Name))
+			return
+		}
+		if seen[sh.Name] {
+			writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, ErrShadowExists))
+			return
+		}
+		seen[sh.Name] = true
+		if _, err := newEngine(set, req.Dim, core.Options{Seed: sh.Policy.Seed}, sh.Policy); err != nil {
+			writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, err))
+			return
+		}
+		shadows = append(shadows, sh)
+	}
 	err := svc.CreateStream(req.Name, StreamConfig{
 		Hardware:   set,
 		Dim:        req.Dim,
 		Options:    opts,
+		Policy:     spec,
 		MaxPending: req.MaxPending,
 		TicketTTL:  time.Duration(req.TicketTTLSeconds * float64(time.Second)),
 	})
@@ -190,12 +257,51 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	for _, sh := range shadows {
+		if err := svc.AttachShadow(req.Name, sh.Name, sh.Policy); err != nil {
+			writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, err))
+			return
+		}
+	}
 	info, err := svc.StreamInfo(req.Name)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+type attachShadowRequest struct {
+	Name   string     `json:"name"`
+	Policy PolicySpec `json:"policy"`
+}
+
+func handleAttachShadow(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req attachShadowRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	stream := r.PathValue("name")
+	if err := svc.AttachShadow(stream, req.Name, req.Policy); err != nil {
+		writeError(w, err)
+		return
+	}
+	shadows, err := svc.Shadows(stream)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"stream": stream, "shadows": shadows})
+}
+
+func handleListShadows(svc *Service, w http.ResponseWriter, r *http.Request) {
+	stream := r.PathValue("name")
+	shadows, err := svc.Shadows(stream)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream": stream, "shadows": shadows})
 }
 
 // modelDTO is the wire form of one arm's learned linear model.
@@ -220,6 +326,11 @@ func handleInspectStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	models := make([]modelDTO, len(hw))
 	for i := range hw {
 		m, err := svc.Model(name, i)
+		if errors.Is(err, ErrUnsupported) {
+			// Model-free policy (e.g. random): inspect without models.
+			models = nil
+			break
+		}
 		if err != nil {
 			writeError(w, err)
 			return
@@ -228,7 +339,7 @@ func handleInspectStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		StreamInfo
-		Models []modelDTO `json:"models"`
+		Models []modelDTO `json:"models,omitempty"`
 	}{info, models})
 }
 

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"banditware/internal/rng"
+)
+
+// TestHTTPPolicyStreamEndToEnd is the acceptance scenario for pluggable
+// policies: a stream created over HTTP with policy "linucb" serves
+// recommendations, learns from ticket observations, survives a
+// snapshot/restore cycle, and reports shadow-policy regret counters via
+// the stats and shadows endpoints.
+func TestHTTPPolicyStreamEndToEnd(t *testing.T) {
+	svc, srv := newTestServer(t)
+
+	// Create with the bare-string policy form plus one shadow attached
+	// at birth.
+	var created StreamInfo
+	code := doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+		"name": "ucb", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16", "dim": 1,
+		"policy": "linucb",
+		"shadows": []map[string]any{
+			{"name": "paper", "policy": map[string]any{"type": "algorithm1", "seed": 4}},
+		},
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.Policy != PolicyLinUCB || len(created.Shadows) != 1 || created.Shadows[0].Name != "paper" {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Attach a second shadow through the endpoint (object policy form).
+	var attachResp struct {
+		Stream  string       `json:"stream"`
+		Shadows []ShadowInfo `json:"shadows"`
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/streams/ucb/shadows", map[string]any{
+		"name": "soft", "policy": map[string]any{"type": "softmax", "temperature": 0.5, "seed": 6},
+	}, &attachResp); code != http.StatusCreated {
+		t.Fatalf("attach shadow: %d", code)
+	}
+	if len(attachResp.Shadows) != 2 {
+		t.Fatalf("attach response: %+v", attachResp)
+	}
+	// Duplicate attach -> 409; unknown policy -> 400.
+	var errResp map[string]string
+	if code := doJSON(t, "POST", srv.URL+"/v1/streams/ucb/shadows", map[string]any{
+		"name": "soft", "policy": "softmax",
+	}, &errResp); code != http.StatusConflict {
+		t.Fatalf("duplicate shadow: %d (%v)", code, errResp)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/streams/ucb/shadows", map[string]any{
+		"name": "weird", "policy": "quantum",
+	}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("unknown shadow policy: %d", code)
+	}
+
+	// Drive recommend→observe round trips; slope structure makes arm 2
+	// the winner.
+	slopes := []float64{5, 3, 1}
+	r := rng.New(33)
+	const rounds = 120
+	for i := 0; i < rounds; i++ {
+		x := r.Uniform(10, 100)
+		var tk Ticket
+		if code := doJSON(t, "POST", srv.URL+"/v1/streams/ucb/recommend",
+			map[string]any{"features": []float64{x}}, &tk); code != http.StatusOK {
+			t.Fatalf("recommend: %d", code)
+		}
+		if code := doJSON(t, "POST", srv.URL+"/v1/observe",
+			map[string]any{"ticket": tk.ID, "runtime": slopes[tk.Arm]*x + 20}, nil); code != http.StatusOK {
+			t.Fatalf("observe: %d", code)
+		}
+	}
+	if arm, err := svc.Exploit("ucb", []float64{80}); err != nil || arm != 2 {
+		t.Fatalf("exploit = %d, %v; want 2", arm, err)
+	}
+
+	// Stats carries per-stream shadow counters.
+	var stats Stats
+	doJSON(t, "GET", srv.URL+"/v1/stats", nil, &stats)
+	if len(stats.Streams) != 1 || len(stats.Streams[0].Shadows) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, sh := range stats.Streams[0].Shadows {
+		if sh.Observations != rounds {
+			t.Fatalf("shadow %s observations = %d, want %d", sh.Name, sh.Observations, rounds)
+		}
+	}
+
+	// The dedicated shadows endpoint reports the same counters.
+	var listResp struct {
+		Stream  string       `json:"stream"`
+		Shadows []ShadowInfo `json:"shadows"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/streams/ucb/shadows", nil, &listResp); code != http.StatusOK {
+		t.Fatalf("list shadows: %d", code)
+	}
+	if len(listResp.Shadows) != 2 || listResp.Shadows[0].Decisions != rounds {
+		t.Fatalf("shadows = %+v", listResp.Shadows)
+	}
+
+	// Snapshot the whole service and restore it behind a fresh server.
+	var snap bytes.Buffer
+	if err := svc.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(snap.Bytes()), ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(NewHandler(restored))
+	defer srv2.Close()
+
+	// Learned state survived: the restored stream exploits the same arm
+	// and keeps serving with shadow counters continuing from where they
+	// were.
+	if arm, err := restored.Exploit("ucb", []float64{80}); err != nil || arm != 2 {
+		t.Fatalf("restored exploit = %d, %v; want 2", arm, err)
+	}
+	var tk Ticket
+	if code := doJSON(t, "POST", srv2.URL+"/v1/streams/ucb/recommend",
+		map[string]any{"features": []float64{50}}, &tk); code != http.StatusOK {
+		t.Fatalf("restored recommend: %d", code)
+	}
+	if code := doJSON(t, "POST", srv2.URL+"/v1/observe",
+		map[string]any{"ticket": tk.ID, "runtime": 70}, nil); code != http.StatusOK {
+		t.Fatalf("restored observe: %d", code)
+	}
+	doJSON(t, "GET", srv2.URL+"/v1/streams/ucb/shadows", nil, &listResp)
+	for _, sh := range listResp.Shadows {
+		if sh.Observations != rounds+1 {
+			t.Fatalf("restored shadow %s observations = %d, want %d", sh.Name, sh.Observations, rounds+1)
+		}
+	}
+
+	// Detach over HTTP; a second detach 404s.
+	if code := doJSON(t, "DELETE", srv2.URL+"/v1/streams/ucb/shadows/soft", nil, nil); code != http.StatusOK {
+		t.Fatalf("detach: %d", code)
+	}
+	if code := doJSON(t, "DELETE", srv2.URL+"/v1/streams/ucb/shadows/soft", nil, &errResp); code != http.StatusNotFound {
+		t.Fatalf("double detach: %d", code)
+	}
+}
+
+// TestHTTPCreateModelFreeStream: a random-policy stream inspects
+// without models and a failed shadow attach rolls the stream back.
+func TestHTTPCreateModelFreeStream(t *testing.T) {
+	_, srv := newTestServer(t)
+	if code := doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+		"name": "rnd", "hardware_spec": "H0=2x16;H1=3x24", "dim": 1, "policy": "random",
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create random: %d", code)
+	}
+	var inspect struct {
+		StreamInfo
+		Models []modelDTO `json:"models"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/streams/rnd", nil, &inspect); code != http.StatusOK {
+		t.Fatal("inspect failed")
+	}
+	if inspect.Policy != PolicyRandom || inspect.Models != nil {
+		t.Fatalf("inspect = %+v", inspect)
+	}
+	// A bad shadow in the create body fails the whole create atomically.
+	var errResp map[string]string
+	if code := doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+		"name": "half", "hardware_spec": "H0=2x16", "dim": 1,
+		"shadows": []map[string]any{{"name": "x", "policy": "quantum"}},
+	}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("bad shadow create: %d (%v)", code, errResp)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/streams/half", nil, &errResp); code != http.StatusNotFound {
+		t.Fatalf("half-created stream exists: %d", code)
+	}
+}

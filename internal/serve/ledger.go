@@ -7,13 +7,17 @@ import (
 
 // pendingTicket is one issued-but-unobserved recommendation held in a
 // stream's ledger: everything needed to complete the observation later
-// without the client echoing its features back.
+// without the client echoing its features back. shadowArms records, per
+// attached shadow (by name), the arm that shadow chose for the same
+// context, so the eventual observation can score the shadow; nil when
+// the stream had no shadows at issue time.
 type pendingTicket struct {
-	id       string
-	seq      uint64
-	arm      int
-	features []float64
-	issuedAt time.Time
+	id         string
+	seq        uint64
+	arm        int
+	features   []float64
+	issuedAt   time.Time
+	shadowArms map[string]int
 }
 
 // ledger is the bounded pending-decision ledger of one stream. Issue and

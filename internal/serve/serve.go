@@ -1,11 +1,14 @@
 // Package serve implements the BanditWare serving layer: a concurrent,
 // multi-tenant registry of named recommender streams, each an independent
-// Algorithm 1 bandit with its own hardware set, feature dimension, and
-// options. It models the paper's deployment behind the National Data
-// Platform, where many applications submit workflows concurrently and a
-// recommendation is issued long before its runtime is observed.
+// decision engine with its own hardware set, feature dimension, and
+// policy — the paper's Algorithm 1 bandit by default, or any
+// internal/policy alternative (LinUCB, linear Thompson sampling, fixed
+// ε-greedy, softmax, random) via PolicySpec. It models the paper's
+// deployment behind the National Data Platform, where many applications
+// submit workflows concurrently and a recommendation is issued long
+// before its runtime is observed.
 //
-// Three design points:
+// Four design points:
 //
 //   - Sharding. Streams live in a fixed array of registry shards (keyed
 //     by a hash of the stream name), each with its own read-write mutex,
@@ -21,10 +24,16 @@
 //     Tickets evict oldest-first past the ledger capacity and expire
 //     after a TTL — see ledger.go.
 //
-//   - Snapshots. Save serialises every stream (model state, ε, round
+//   - Shadow evaluation. A stream may carry shadow policies that see
+//     every context and observation but never serve traffic; replay- and
+//     model-based regret counters let operators A/B a candidate policy
+//     against the serving one on live traffic — see shadow.go.
+//
+//   - Snapshots. Save serialises every stream (engine state, shadows,
 //     counters, and pending tickets) into one versioned JSON envelope
-//     taken at a single point in time; Load also accepts the legacy
-//     single-recommender state format, restoring it as stream "default".
+//     taken at a single point in time; Load also reads the version 1
+//     (pre-policy) envelope and the legacy single-recommender state
+//     format, restoring the latter as stream "default".
 package serve
 
 import (
@@ -78,8 +87,12 @@ type StreamConfig struct {
 	Hardware hardware.Set
 	// Dim is the workflow feature dimension.
 	Dim int
-	// Options are the Algorithm 1 parameters for this stream.
+	// Options are the Algorithm 1 parameters for this stream. They are
+	// ignored when Policy selects a non-Algorithm 1 policy.
 	Options core.Options
+	// Policy selects the stream's decision policy; the zero value is
+	// Algorithm 1 parameterised by Options.
+	Policy PolicySpec
 	// MaxPending overrides the service default ledger capacity (0 = inherit).
 	MaxPending int
 	// TicketTTL overrides the service default ticket lifetime (0 = inherit).
@@ -109,6 +122,7 @@ type TicketObservation struct {
 // StreamInfo is a point-in-time summary of one stream.
 type StreamInfo struct {
 	Name     string   `json:"name"`
+	Policy   string   `json:"policy"`
 	Hardware []string `json:"hardware"`
 	Dim      int      `json:"dim"`
 	Round    int      `json:"round"`
@@ -118,6 +132,9 @@ type StreamInfo struct {
 	Observed uint64   `json:"observed"`
 	Evicted  uint64   `json:"evicted"`
 	Expired  uint64   `json:"expired"`
+	// Shadows summarises the stream's shadow policies, in attachment
+	// order; absent when none are attached.
+	Shadows []ShadowInfo `json:"shadows,omitempty"`
 }
 
 // Stats summarises the whole service.
@@ -128,8 +145,9 @@ type Stats struct {
 	TotalPending  int          `json:"total_pending"`
 }
 
-// stream is one registered recommender: a bandit plus its pending-ticket
-// ledger, guarded by its own mutex so independent streams never contend.
+// stream is one registered recommender: a decision engine plus its
+// pending-ticket ledger and shadow policies, guarded by its own mutex so
+// independent streams never contend.
 type stream struct {
 	name string
 	// armLabels caches Hardware()[i].String() — rendered on every issued
@@ -137,7 +155,8 @@ type stream struct {
 	armLabels []string
 
 	mu       sync.Mutex
-	bandit   *core.Bandit
+	engine   Engine
+	shadows  []*shadow
 	ledger   *ledger
 	nextSeq  uint64
 	issued   uint64
@@ -199,24 +218,25 @@ func ValidStreamName(name string) bool {
 	return true
 }
 
-// CreateStream registers a new stream under name.
+// CreateStream registers a new stream under name, constructing its
+// engine from cfg.Policy (Algorithm 1 with cfg.Options by default).
 func (s *Service) CreateStream(name string, cfg StreamConfig) error {
-	b, err := core.New(cfg.Hardware, cfg.Dim, cfg.Options)
+	eng, err := newEngine(cfg.Hardware, cfg.Dim, cfg.Options, cfg.Policy)
 	if err != nil {
 		return err
 	}
-	return s.adopt(name, b, cfg.MaxPending, cfg.TicketTTL)
+	return s.adopt(name, eng, cfg.MaxPending, cfg.TicketTTL)
 }
 
-// AdoptBandit registers an already-constructed bandit as a stream —
-// the bridge from the single-recommender API (WrapSafe) and from
-// snapshot restore. The caller must not use the bandit directly
-// afterwards.
+// AdoptBandit registers an already-constructed Algorithm 1 bandit as a
+// stream — the bridge from the single-recommender API (WrapSafe) and
+// from legacy snapshot restore. The caller must not use the bandit
+// directly afterwards.
 func (s *Service) AdoptBandit(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
-	return s.adopt(name, b, maxPending, ttl)
+	return s.adopt(name, banditEngine{b}, maxPending, ttl)
 }
 
-func (s *Service) adopt(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
+func (s *Service) adopt(name string, eng Engine, maxPending int, ttl time.Duration) error {
 	if !ValidStreamName(name) {
 		return fmt.Errorf("%w: %q", ErrBadStreamName, name)
 	}
@@ -226,9 +246,9 @@ func (s *Service) adopt(name string, b *core.Bandit, maxPending int, ttl time.Du
 	if ttl <= 0 {
 		ttl = s.opts.TicketTTL
 	}
-	st := &stream{name: name, bandit: b, ledger: newLedger(maxPending, ttl)}
-	st.armLabels = make([]string, len(b.Hardware()))
-	for i, hw := range b.Hardware() {
+	st := &stream{name: name, engine: eng, ledger: newLedger(maxPending, ttl)}
+	st.armLabels = make([]string, len(eng.Hardware()))
+	for i, hw := range eng.Hardware() {
 		st.armLabels[i] = hw.String()
 	}
 	sh := s.shardFor(name)
@@ -326,11 +346,13 @@ func ParseTicketID(id string) (stream string, seq uint64, err error) {
 // --- serving path ----------------------------------------------------
 
 // recommendLocked issues one decision. With track set it deposits a
-// pending ticket in the ledger; untracked decisions (the classic
-// arm+features Observe flow) consume exploration randomness identically
-// but leave no ledger state. Callers hold st.mu.
+// pending ticket in the ledger (recording each shadow's own selection
+// for the same context, so the eventual observation can score them);
+// untracked decisions (the classic arm+features Observe flow) consume
+// exploration randomness identically but leave no ledger state and no
+// shadow selections. Callers hold st.mu.
 func (st *stream) recommendLocked(now time.Time, x []float64, track bool) (Ticket, error) {
-	d, err := st.bandit.Recommend(x)
+	d, err := st.engine.Recommend(x)
 	if err != nil {
 		return Ticket{}, err
 	}
@@ -348,11 +370,12 @@ func (st *stream) recommendLocked(now time.Time, x []float64, track bool) (Ticke
 		st.nextSeq++
 		t.ID = ticketID(st.name, seq)
 		st.ledger.add(&pendingTicket{
-			id:       t.ID,
-			seq:      seq,
-			arm:      d.Arm,
-			features: append([]float64(nil), x...),
-			issuedAt: now,
+			id:         t.ID,
+			seq:        seq,
+			arm:        d.Arm,
+			features:   append([]float64(nil), x...),
+			issuedAt:   now,
+			shadowArms: st.shadowRecommendLocked(x),
 		}, now)
 		st.issued++
 	}
@@ -375,7 +398,9 @@ func (s *Service) Recommend(name string, x []float64) (Ticket, error) {
 // RecommendUntracked issues a decision without a ticket, for callers
 // that keep their own features and complete via ObserveDirect (the
 // single-recommender compatibility path). It consumes exploration
-// randomness exactly like Recommend.
+// randomness exactly like Recommend. Shadows do not select here — they
+// select (and are scored) when the caller's ObserveDirect arrives, so
+// the decision and its observation stay paired.
 func (s *Service) RecommendUntracked(name string, x []float64) (core.Decision, error) {
 	st, err := s.stream(name)
 	if err != nil {
@@ -383,7 +408,7 @@ func (s *Service) RecommendUntracked(name string, x []float64) (core.Decision, e
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.Recommend(x)
+	return st.engine.Recommend(x)
 }
 
 // RecommendBatch issues one ticket per feature vector, atomically: the
@@ -398,9 +423,9 @@ func (s *Service) RecommendBatch(name string, xs [][]float64) ([]Ticket, error) 
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for i, x := range xs {
-		if len(x) != st.bandit.Dim() {
+		if len(x) != st.engine.Dim() {
 			return nil, fmt.Errorf("serve: batch item %d: %w (got %d, want %d)",
-				i, core.ErrDim, len(x), st.bandit.Dim())
+				i, core.ErrDim, len(x), st.engine.Dim())
 		}
 	}
 	now := s.now()
@@ -415,8 +440,8 @@ func (s *Service) RecommendBatch(name string, xs [][]float64) ([]Ticket, error) 
 	return out, nil
 }
 
-// observeTicketLocked redeems a ticket and trains the bandit. Callers
-// hold st.mu.
+// observeTicketLocked redeems a ticket, trains the engine, and feeds the
+// observation to every shadow. Callers hold st.mu.
 func (st *stream) observeTicketLocked(now time.Time, id string, runtime float64) error {
 	if math.IsNaN(runtime) || math.IsInf(runtime, 0) {
 		// Reject before redeeming so a bogus runtime does not burn the
@@ -427,10 +452,13 @@ func (st *stream) observeTicketLocked(now time.Time, id string, runtime float64)
 	if err != nil {
 		return fmt.Errorf("%w (ticket %q)", err, id)
 	}
-	if err := st.bandit.Observe(p.arm, p.features, runtime); err != nil {
+	if err := st.engine.Observe(p.arm, p.features, runtime); err != nil {
 		return err
 	}
 	st.observed++
+	if len(st.shadows) > 0 {
+		st.shadowObserveLocked(p.shadowArms, p.arm, p.features, runtime)
+	}
 	return nil
 }
 
@@ -493,7 +521,9 @@ func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
 
 // ObserveDirect trains the named stream from an (arm, features, runtime)
 // triple the caller tracked itself — the classic single-recommender
-// Observe, bypassing the ticket ledger.
+// Observe, bypassing the ticket ledger. Shadows see the round as one
+// unit: each selects on x, is scored against arm, and learns from the
+// runtime.
 func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float64) error {
 	st, err := s.stream(name)
 	if err != nil {
@@ -501,17 +531,21 @@ func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if err := st.bandit.Observe(arm, x, runtime); err != nil {
+	if err := st.engine.Observe(arm, x, runtime); err != nil {
 		return err
 	}
 	st.observed++
+	if len(st.shadows) > 0 {
+		st.shadowObserveLocked(st.shadowRecommendLocked(x), arm, x, runtime)
+	}
 	return nil
 }
 
 // --- read-only per-stream queries ------------------------------------
 
-// Exploit returns the tolerant selection for x on the named stream
-// without consuming exploration randomness or ledger space.
+// Exploit returns the best-model selection for x on the named stream,
+// without consuming exploration randomness or ledger space where the
+// stream's policy supports that (see Engine.Exploit).
 func (s *Service) Exploit(name string, x []float64) (int, error) {
 	st, err := s.stream(name)
 	if err != nil {
@@ -519,11 +553,12 @@ func (s *Service) Exploit(name string, x []float64) (int, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.Exploit(x)
+	return st.engine.Exploit(x)
 }
 
 // PredictAll returns the per-arm runtime estimates for x on the named
-// stream.
+// stream, or ErrUnsupported when the stream's policy has no predictive
+// model.
 func (s *Service) PredictAll(name string, x []float64) ([]float64, error) {
 	st, err := s.stream(name)
 	if err != nil {
@@ -531,10 +566,12 @@ func (s *Service) PredictAll(name string, x []float64) ([]float64, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.PredictAll(x)
+	return st.engine.PredictAll(x)
 }
 
-// PredictWithCI returns per-arm estimates with prediction intervals.
+// PredictWithCI returns per-arm estimates with prediction intervals, or
+// ErrUnsupported when the stream's policy does not provide intervals
+// (only Algorithm 1 streams do).
 func (s *Service) PredictWithCI(name string, x []float64, z float64) ([]core.Interval, error) {
 	st, err := s.stream(name)
 	if err != nil {
@@ -542,10 +579,15 @@ func (s *Service) PredictWithCI(name string, x []float64, z float64) ([]core.Int
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.PredictWithCI(x, z)
+	ci, ok := st.engine.(CIProvider)
+	if !ok {
+		return nil, fmt.Errorf("%w (%s)", ErrUnsupported, st.engine.Kind())
+	}
+	return ci.PredictWithCI(x, z)
 }
 
-// Model returns a snapshot of one arm's learned linear model.
+// Model returns a snapshot of one arm's learned linear model, or
+// ErrUnsupported when the stream's policy has no per-arm linear models.
 func (s *Service) Model(name string, arm int) (regress.Model, error) {
 	st, err := s.stream(name)
 	if err != nil {
@@ -553,7 +595,11 @@ func (s *Service) Model(name string, arm int) (regress.Model, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.Model(arm)
+	mp, ok := st.engine.(ModelProvider)
+	if !ok {
+		return regress.Model{}, fmt.Errorf("%w (%s)", ErrUnsupported, st.engine.Kind())
+	}
+	return mp.Model(arm)
 }
 
 // Hardware returns the named stream's arm set.
@@ -562,10 +608,11 @@ func (s *Service) Hardware(name string) (hardware.Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.bandit.Hardware(), nil
+	return st.engine.Hardware(), nil
 }
 
-// Epsilon returns the named stream's current exploration probability.
+// Epsilon returns the named stream's current exploration probability
+// (0 for policies without a decaying ε).
 func (s *Service) Epsilon(name string) (float64, error) {
 	st, err := s.stream(name)
 	if err != nil {
@@ -573,7 +620,7 @@ func (s *Service) Epsilon(name string) (float64, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.Epsilon(), nil
+	return st.engine.Epsilon(), nil
 }
 
 // Round returns how many observations the named stream has absorbed.
@@ -584,21 +631,32 @@ func (s *Service) Round(name string) (int, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.Round(), nil
+	return st.engine.Round(), nil
+}
+
+// Policy returns the named stream's canonical policy type.
+func (s *Service) Policy(name string) (string, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return "", err
+	}
+	return st.engine.Kind(), nil
 }
 
 func (st *stream) infoLocked() StreamInfo {
 	return StreamInfo{
 		Name:     st.name,
-		Hardware: st.bandit.Hardware().Names(),
-		Dim:      st.bandit.Dim(),
-		Round:    st.bandit.Round(),
-		Epsilon:  st.bandit.Epsilon(),
+		Policy:   st.engine.Kind(),
+		Hardware: st.engine.Hardware().Names(),
+		Dim:      st.engine.Dim(),
+		Round:    st.engine.Round(),
+		Epsilon:  st.engine.Epsilon(),
 		Pending:  st.ledger.len(),
 		Issued:   st.issued,
 		Observed: st.observed,
 		Evicted:  st.ledger.evicted,
 		Expired:  st.ledger.expired,
+		Shadows:  st.shadowsInfoLocked(),
 	}
 }
 

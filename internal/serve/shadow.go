@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"banditware/internal/core"
+)
+
+// Shadow errors.
+var (
+	ErrShadowExists   = errors.New("serve: shadow already attached")
+	ErrShadowNotFound = errors.New("serve: shadow not found")
+)
+
+// shadow is a never-serving policy attached to a stream for live A/B
+// evaluation. It sees every context the primary sees (selecting its own
+// arm, consuming its own randomness) and learns off-policy from every
+// observation (the primary's arm and the measured runtime — the only
+// counterfactual-free data available), but its selections never reach a
+// client. The counters let an operator compare a candidate policy
+// against the serving one on live traffic before switching.
+type shadow struct {
+	name   string
+	engine Engine
+
+	// decisions counts contexts the shadow selected on; observations
+	// counts runtimes it absorbed (decisions whose ticket was evicted or
+	// expired are never observed).
+	decisions    uint64
+	observations uint64
+	// agreements counts observations where the shadow had chosen the
+	// same arm the primary ran; matchedRuntime sums the actual runtimes
+	// of those rounds — the replay-style estimate of the shadow's
+	// achieved runtime (Li et al.'s offline policy evaluation: rounds
+	// where the logged action matches the evaluated policy's choice are
+	// unbiased samples of its performance).
+	agreements     uint64
+	matchedRuntime float64
+	// estRegret accumulates, per observation, the primary model's
+	// predicted runtime of the shadow's arm minus that of the arm
+	// actually run — a model-based cumulative-regret estimate of
+	// switching to the shadow (negative = shadow looks faster).
+	estRegret float64
+}
+
+// ShadowInfo is a point-in-time summary of one shadow's evaluation
+// counters.
+type ShadowInfo struct {
+	Name   string `json:"name"`
+	Policy string `json:"policy"`
+	// Round is how many observations the shadow's own models absorbed.
+	Round int `json:"round"`
+	// Decisions and Observations count the contexts selected on and the
+	// runtimes absorbed.
+	Decisions    uint64 `json:"decisions"`
+	Observations uint64 `json:"observations"`
+	// Agreements counts observations where the shadow agreed with the
+	// primary's arm; MatchedRuntimeTotal sums the measured runtimes of
+	// those rounds (replay evaluation: divide by Agreements for the
+	// shadow's estimated mean runtime).
+	Agreements          uint64  `json:"agreements"`
+	MatchedRuntimeTotal float64 `json:"matched_runtime_total"`
+	// EstimatedRegret is the cumulative model-estimated extra runtime of
+	// the shadow's choices over the primary's (negative = the shadow's
+	// choices look faster under the primary's learned models).
+	EstimatedRegret float64 `json:"estimated_regret"`
+}
+
+func (sh *shadow) info() ShadowInfo {
+	return ShadowInfo{
+		Name:                sh.name,
+		Policy:              sh.engine.Kind(),
+		Round:               sh.engine.Round(),
+		Decisions:           sh.decisions,
+		Observations:        sh.observations,
+		Agreements:          sh.agreements,
+		MatchedRuntimeTotal: sh.matchedRuntime,
+		EstimatedRegret:     sh.estRegret,
+	}
+}
+
+// shadowsInfoLocked summarises the stream's shadows. Callers hold st.mu.
+func (st *stream) shadowsInfoLocked() []ShadowInfo {
+	if len(st.shadows) == 0 {
+		return nil
+	}
+	out := make([]ShadowInfo, len(st.shadows))
+	for i, sh := range st.shadows {
+		out[i] = sh.info()
+	}
+	return out
+}
+
+// shadowRecommendLocked lets every shadow select an arm for x and
+// returns the per-shadow choices keyed by shadow name. Callers hold
+// st.mu.
+func (st *stream) shadowRecommendLocked(x []float64) map[string]int {
+	if len(st.shadows) == 0 {
+		return nil
+	}
+	arms := make(map[string]int, len(st.shadows))
+	for _, sh := range st.shadows {
+		d, err := sh.engine.Recommend(x)
+		if err != nil {
+			// Shadows share the stream's dimension, so this cannot be a
+			// caller error; skip the round rather than fail the primary.
+			continue
+		}
+		sh.decisions++
+		arms[sh.name] = d.Arm
+	}
+	return arms
+}
+
+// shadowObserveLocked feeds one completed observation to every shadow:
+// off-policy model update, agreement/replay counters, and the
+// model-estimated regret of the shadow's earlier choice. shadowArms maps
+// shadow name to the arm it chose when the context was first seen
+// (shadows attached since then are absent and only learn). Callers hold
+// st.mu.
+func (st *stream) shadowObserveLocked(shadowArms map[string]int, arm int, x []float64, runtime float64) {
+	var preds []float64
+	if len(shadowArms) > 0 {
+		preds, _ = st.engine.PredictAll(x) // nil when the primary has no model
+	}
+	for _, sh := range st.shadows {
+		sh.observations++
+		if sa, ok := shadowArms[sh.name]; ok {
+			if sa == arm {
+				sh.agreements++
+				sh.matchedRuntime += runtime
+			}
+			if sa < len(preds) && arm < len(preds) {
+				sh.estRegret += preds[sa] - preds[arm]
+			}
+		}
+		// Off-policy update: the primary's arm and the measured runtime
+		// are the only ground truth available.
+		_ = sh.engine.Observe(arm, x, runtime)
+	}
+}
+
+// AttachShadow attaches a shadow policy to a stream under shadowName.
+// The shadow shares the stream's hardware set and feature dimension,
+// receives every subsequent context and observation, and never serves
+// traffic; its evaluation counters appear in StreamInfo, Stats, and the
+// shadows HTTP endpoint.
+func (s *Service) AttachShadow(streamName, shadowName string, spec PolicySpec) error {
+	st, err := s.stream(streamName)
+	if err != nil {
+		return err
+	}
+	if !ValidStreamName(shadowName) {
+		return fmt.Errorf("%w: %q", ErrBadStreamName, shadowName)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, sh := range st.shadows {
+		if sh.name == shadowName {
+			return fmt.Errorf("%w: %q", ErrShadowExists, shadowName)
+		}
+	}
+	eng, err := newEngine(st.engine.Hardware(), st.engine.Dim(), core.Options{Seed: spec.Seed}, spec)
+	if err != nil {
+		return err
+	}
+	st.shadows = append(st.shadows, &shadow{name: shadowName, engine: eng})
+	return nil
+}
+
+// DetachShadow removes a shadow from a stream, dropping its model
+// state, counters, and recorded per-ticket selections (so a future
+// shadow reusing the name is never credited with this one's choices).
+func (s *Service) DetachShadow(streamName, shadowName string) error {
+	st, err := s.stream(streamName)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, sh := range st.shadows {
+		if sh.name == shadowName {
+			st.shadows = append(st.shadows[:i], st.shadows[i+1:]...)
+			for _, p := range st.ledger.snapshotPending() {
+				delete(p.shadowArms, shadowName)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrShadowNotFound, shadowName)
+}
+
+// Shadows returns the evaluation counters of every shadow attached to a
+// stream, in attachment order.
+func (s *Service) Shadows(streamName string) ([]ShadowInfo, error) {
+	st, err := s.stream(streamName)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.shadowsInfoLocked()
+	if out == nil {
+		out = []ShadowInfo{} // [] not null over HTTP
+	}
+	return out, nil
+}

@@ -5,31 +5,60 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 	"sort"
 	"time"
 
 	"banditware/internal/core"
 )
 
-// Snapshot wire format. Version 1 wraps each stream's bandit state (the
-// legacy core format, embedded verbatim as raw JSON) together with its
-// ledger configuration, counters, and pending tickets.
+// Snapshot wire format.
+//
+//   - Version 1 (PR 1) wrapped each stream's Algorithm 1 bandit state
+//     (the legacy core format, embedded verbatim as raw JSON in the
+//     "bandit" field) together with its ledger configuration, counters,
+//     and pending tickets.
+//   - Version 2 generalises the stream payload to any engine: "policy"
+//     names the engine kind, "engine" carries its state (for Algorithm 1
+//     streams these are exactly the version-1 bandit bytes), and streams
+//     may carry shadow policies and per-ticket shadow selections.
+//
+// Load reads versions 1 and 2 plus the pre-envelope legacy
+// single-recommender format; Save always writes the current version.
 const (
 	snapshotFormat  = "banditware-service"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
 type pendingSnap struct {
-	ID         string    `json:"id"`
-	Seq        uint64    `json:"seq"`
-	Arm        int       `json:"arm"`
-	Features   []float64 `json:"features"`
-	IssuedAtNS int64     `json:"issued_at_ns"`
+	ID         string         `json:"id"`
+	Seq        uint64         `json:"seq"`
+	Arm        int            `json:"arm"`
+	Features   []float64      `json:"features"`
+	IssuedAtNS int64          `json:"issued_at_ns"`
+	ShadowArms map[string]int `json:"shadow_arms,omitempty"`
+}
+
+type shadowSnap struct {
+	Name           string          `json:"name"`
+	Policy         string          `json:"policy"`
+	Engine         json.RawMessage `json:"engine"`
+	Decisions      uint64          `json:"decisions"`
+	Observations   uint64          `json:"observations"`
+	Agreements     uint64          `json:"agreements"`
+	MatchedRuntime float64         `json:"matched_runtime_total"`
+	EstRegret      float64         `json:"estimated_regret"`
 }
 
 type streamSnap struct {
-	Name       string          `json:"name"`
-	Bandit     json.RawMessage `json:"bandit"`
+	Name string `json:"name"`
+	// Policy and Engine are the version-2 engine payload; Bandit is the
+	// version-1 Algorithm 1 payload. Exactly one of Engine/Bandit is
+	// set, matching the envelope version.
+	Policy     string          `json:"policy,omitempty"`
+	Engine     json.RawMessage `json:"engine,omitempty"`
+	Bandit     json.RawMessage `json:"bandit,omitempty"`
+	Shadows    []shadowSnap    `json:"shadows,omitempty"`
 	MaxPending int             `json:"max_pending"`
 	TicketTTL  time.Duration   `json:"ticket_ttl_ns"`
 	NextSeq    uint64          `json:"next_seq"`
@@ -47,12 +76,13 @@ type serviceSnap struct {
 	Streams []streamSnap `json:"streams"`
 }
 
-// Save serialises the whole service — every stream's models, ε, round
-// counter, ledger counters, and pending tickets — into one versioned
-// JSON envelope. The snapshot is a consistent point in time: all stream
-// locks are held (in name order) while state is captured, so no
-// observation is split across the cut. Streams registered while Save
-// runs may be missed; removal of captured streams is not.
+// Save serialises the whole service — every stream's engine state,
+// shadow policies and counters, ε, round counter, ledger counters, and
+// pending tickets — into one versioned JSON envelope. The snapshot is a
+// consistent point in time: all stream locks are held (in name order)
+// while state is captured, so no observation is split across the cut.
+// Streams registered while Save runs may be missed; removal of captured
+// streams is not.
 func (s *Service) Save(w io.Writer) error {
 	streams := s.allStreams() // sorted by name: fixed lock order
 	snap := serviceSnap{
@@ -86,12 +116,13 @@ func (s *Service) Save(w io.Writer) error {
 
 func (st *stream) snapshotLocked() (streamSnap, error) {
 	var buf bytes.Buffer
-	if err := st.bandit.SaveState(&buf); err != nil {
+	if err := st.engine.SaveState(&buf); err != nil {
 		return streamSnap{}, fmt.Errorf("serve: snapshotting stream %q: %w", st.name, err)
 	}
 	ss := streamSnap{
 		Name:       st.name,
-		Bandit:     json.RawMessage(buf.Bytes()),
+		Policy:     st.engine.Kind(),
+		Engine:     json.RawMessage(buf.Bytes()),
 		MaxPending: st.ledger.cap,
 		TicketTTL:  st.ledger.ttl,
 		NextSeq:    st.nextSeq,
@@ -100,6 +131,22 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 		Evicted:    st.ledger.evicted,
 		Expired:    st.ledger.expired,
 	}
+	for _, sh := range st.shadows {
+		var sbuf bytes.Buffer
+		if err := sh.engine.SaveState(&sbuf); err != nil {
+			return streamSnap{}, fmt.Errorf("serve: snapshotting shadow %q of stream %q: %w", sh.name, st.name, err)
+		}
+		ss.Shadows = append(ss.Shadows, shadowSnap{
+			Name:           sh.name,
+			Policy:         sh.engine.Kind(),
+			Engine:         json.RawMessage(sbuf.Bytes()),
+			Decisions:      sh.decisions,
+			Observations:   sh.observations,
+			Agreements:     sh.agreements,
+			MatchedRuntime: sh.matchedRuntime,
+			EstRegret:      sh.estRegret,
+		})
+	}
 	for _, p := range st.ledger.snapshotPending() {
 		ss.Pending = append(ss.Pending, pendingSnap{
 			ID:         p.id,
@@ -107,15 +154,20 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 			Arm:        p.arm,
 			Features:   p.features,
 			IssuedAtNS: p.issuedAt.UnixNano(),
+			// Cloned, not aliased: the JSON encode happens after the
+			// stream lock is released, and DetachShadow mutates the live
+			// map under that lock.
+			ShadowArms: maps.Clone(p.shadowArms),
 		})
 	}
 	return ss, nil
 }
 
-// SaveStream serialises one stream in the legacy single-recommender
-// format (core.SaveState), loadable by both the single-recommender
-// loader and Load. Ticket-ledger state and counters are not part of
-// that format; use Save for a full snapshot.
+// SaveStream serialises one stream's engine in its native state format —
+// for Algorithm 1 streams, the legacy single-recommender format
+// (core.SaveState), loadable by both the single-recommender loader and
+// Load. Ticket-ledger state, shadows, and counters are not part of that
+// format; use Save for a full snapshot.
 func (s *Service) SaveStream(name string, w io.Writer) error {
 	st, err := s.stream(name)
 	if err != nil {
@@ -123,13 +175,14 @@ func (s *Service) SaveStream(name string, w io.Writer) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bandit.SaveState(w)
+	return st.engine.SaveState(w)
 }
 
-// Load restores a service from a snapshot written by Save. For backward
-// compatibility it also accepts the legacy single-recommender state
-// format (core.SaveState / Recommender.Save): such state is restored as
-// a single stream named "default".
+// Load restores a service from a snapshot written by Save: the current
+// version-2 envelope, the version-1 (pre-policy) envelope, or — for
+// backward compatibility — the legacy single-recommender state format
+// (core.SaveState / Recommender.Save), which is restored as a single
+// Algorithm 1 stream named "default".
 func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -160,15 +213,20 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("serve: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version < 1 || snap.Version > snapshotVersion {
 		return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
 	}
 	for _, ss := range snap.Streams {
-		b, err := core.LoadState(bytes.NewReader(ss.Bandit))
+		kind, raw := ss.Policy, ss.Engine
+		if raw == nil {
+			// Version 1: the Algorithm 1 state lives in "bandit".
+			kind, raw = "", ss.Bandit
+		}
+		eng, err := restoreEngine(kind, raw)
 		if err != nil {
 			return nil, fmt.Errorf("serve: restoring stream %q: %w", ss.Name, err)
 		}
-		if err := s.AdoptBandit(ss.Name, b, ss.MaxPending, ss.TicketTTL); err != nil {
+		if err := s.adopt(ss.Name, eng, ss.MaxPending, ss.TicketTTL); err != nil {
 			return nil, err
 		}
 		st, err := s.stream(ss.Name)
@@ -180,15 +238,31 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 		st.observed = ss.Observed
 		st.ledger.evicted = ss.Evicted
 		st.ledger.expired = ss.Expired
+		for _, shs := range ss.Shadows {
+			seng, err := restoreEngine(shs.Policy, shs.Engine)
+			if err != nil {
+				return nil, fmt.Errorf("serve: restoring shadow %q of stream %q: %w", shs.Name, ss.Name, err)
+			}
+			st.shadows = append(st.shadows, &shadow{
+				name:           shs.Name,
+				engine:         seng,
+				decisions:      shs.Decisions,
+				observations:   shs.Observations,
+				agreements:     shs.Agreements,
+				matchedRuntime: shs.MatchedRuntime,
+				estRegret:      shs.EstRegret,
+			})
+		}
 		pend := append([]pendingSnap(nil), ss.Pending...)
 		sort.Slice(pend, func(i, j int) bool { return pend[i].Seq < pend[j].Seq })
 		for _, p := range pend {
 			st.ledger.restore(&pendingTicket{
-				id:       p.ID,
-				seq:      p.Seq,
-				arm:      p.Arm,
-				features: p.Features,
-				issuedAt: time.Unix(0, p.IssuedAtNS),
+				id:         p.ID,
+				seq:        p.Seq,
+				arm:        p.Arm,
+				features:   p.Features,
+				issuedAt:   time.Unix(0, p.IssuedAtNS),
+				shadowArms: p.ShadowArms,
 			})
 		}
 	}

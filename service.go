@@ -24,8 +24,38 @@ type Service = serve.Service
 type ServiceOptions = serve.ServiceOptions
 
 // StreamConfig describes one recommender stream: hardware set, feature
-// dimension, Algorithm 1 options, and ledger overrides.
+// dimension, decision policy (Algorithm 1 by default, any PolicySpec
+// type otherwise), Algorithm 1 options, and ledger overrides.
 type StreamConfig = serve.StreamConfig
+
+// PolicySpec selects and parameterises a stream's (or shadow's)
+// decision policy. The zero value selects the paper's Algorithm 1; the
+// alternatives are the internal/policy bandits (LinUCB, linear Thompson
+// sampling, fixed ε-greedy, greedy, softmax, random). In JSON a spec may
+// be a bare type string ("linucb") or an object with parameters.
+type PolicySpec = serve.PolicySpec
+
+// Engine is the pluggable decision core a stream serves from. Algorithm
+// 1 and every internal/policy.Policy adapt to it; implementations need
+// no internal locking because the owning stream serialises access.
+type Engine = serve.Engine
+
+// ShadowInfo summarises one shadow policy's live evaluation counters:
+// decisions, observations, agreements with the primary, the
+// replay-style matched-runtime total, and the model-estimated
+// cumulative regret.
+type ShadowInfo = serve.ShadowInfo
+
+// Canonical policy types for PolicySpec.Type and StreamInfo.Policy.
+const (
+	PolicyAlgorithm1 = serve.PolicyAlgorithm1
+	PolicyLinUCB     = serve.PolicyLinUCB
+	PolicyLinTS      = serve.PolicyLinTS
+	PolicyEpsGreedy  = serve.PolicyEpsGreedy
+	PolicyGreedy     = serve.PolicyGreedy
+	PolicySoftmax    = serve.PolicySoftmax
+	PolicyRandom     = serve.PolicyRandom
+)
 
 // Ticket records one issued recommendation; its ID redeems it via
 // Service.Observe.
@@ -49,6 +79,10 @@ var (
 	ErrTicketNotFound = serve.ErrTicketNotFound
 	ErrTicketExpired  = serve.ErrTicketExpired
 	ErrBadTicket      = serve.ErrBadTicket
+	ErrUnknownPolicy  = serve.ErrUnknownPolicy
+	ErrUnsupported    = serve.ErrUnsupported
+	ErrShadowExists   = serve.ErrShadowExists
+	ErrShadowNotFound = serve.ErrShadowNotFound
 )
 
 // NewService constructs an empty serving layer. Register streams with
@@ -57,7 +91,9 @@ var (
 func NewService(opts ServiceOptions) *Service { return serve.NewService(opts) }
 
 // LoadService restores a service from a snapshot written by
-// Service.Save. It also accepts the legacy single-recommender format
+// Service.Save — the current version-2 envelope (policy-typed streams
+// and shadows) or the version-1 envelope from before policies were
+// pluggable. It also accepts the legacy single-recommender format
 // written by Recommender.Save, restoring it as stream "default".
 func LoadService(r io.Reader) (*Service, error) {
 	return serve.Load(r, ServiceOptions{})
@@ -71,9 +107,10 @@ func LoadServiceOptions(r io.Reader, opts ServiceOptions) (*Service, error) {
 }
 
 // ServiceHandler returns the HTTP/JSON front-end for a service: stream
-// management under /v1/streams, the recommend/observe serving path
-// (single and batch), and /v1/stats. `banditware serve` mounts exactly
-// this handler.
+// management under /v1/streams (including per-stream policy selection
+// and shadow attachment), the recommend/observe serving path (single
+// and batch), and /v1/stats. `banditware serve` mounts exactly this
+// handler; docs/API.md is the route-by-route reference.
 func ServiceHandler(svc *Service) http.Handler { return serve.NewHandler(svc) }
 
 // ParseTicketID splits a decision-ticket ID into its stream name and

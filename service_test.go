@@ -242,6 +242,68 @@ func TestServiceConcurrentStreams(t *testing.T) {
 	}
 }
 
+// TestServicePolicyStreams: the public API creates policy-typed streams
+// and shadows, and the policy/shadow errors are re-exported.
+func TestServicePolicyStreams(t *testing.T) {
+	hw := serviceHW(t)
+	svc := NewService(ServiceOptions{})
+	if err := svc.CreateStream("ucb", StreamConfig{
+		Hardware: hw, Dim: 1, Policy: PolicySpec{Type: PolicyLinUCB, Beta: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AttachShadow("ucb", "paper", PolicySpec{Type: PolicyAlgorithm1, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	slopes := []float64{5, 3, 1}
+	for i := 0; i < 120; i++ {
+		x := r.Uniform(10, 100)
+		tk, err := svc.Recommend("ucb", []float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Observe(tk.ID, slopes[tk.Arm]*x+20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if arm, err := svc.Exploit("ucb", []float64{80}); err != nil || arm != 2 {
+		t.Fatalf("exploit = %d, %v", arm, err)
+	}
+	info, err := svc.StreamInfo("ucb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Policy != PolicyLinUCB || len(info.Shadows) != 1 || info.Shadows[0].Observations != 120 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Snapshot round trip keeps the policy stream and its shadow.
+	var buf bytes.Buffer
+	if err := svc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadService(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shadows, err := back.Shadows("ucb"); err != nil || len(shadows) != 1 || shadows[0].Observations != 120 {
+		t.Fatalf("restored shadows = %+v, %v", shadows, err)
+	}
+	// Re-exported sentinels.
+	if err := svc.CreateStream("bad", StreamConfig{Hardware: hw, Dim: 1, Policy: PolicySpec{Type: "nope"}}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("unknown policy: %v", err)
+	}
+	if _, err := svc.PredictWithCI("ucb", []float64{1}, 0); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("CI on linucb: %v", err)
+	}
+	if err := svc.DetachShadow("ucb", "ghost"); !errors.Is(err, ErrShadowNotFound) {
+		t.Fatalf("detach ghost: %v", err)
+	}
+	if err := svc.AttachShadow("ucb", "paper", PolicySpec{}); !errors.Is(err, ErrShadowExists) {
+		t.Fatalf("duplicate shadow: %v", err)
+	}
+}
+
 // TestServiceErrorsExported: the re-exported sentinels match what the
 // service returns.
 func TestServiceErrorsExported(t *testing.T) {
