@@ -59,6 +59,33 @@
 // regret counters — live A/B evaluation of a candidate policy before
 // switching a stream over.
 //
+// # Feature schemas
+//
+// Positional feature vectors make the feature layout an implicit
+// contract: a caller who reorders or mis-scales one feature silently
+// corrupts every per-arm model. A stream can instead declare a Schema —
+// ordered named fields, numeric (bounds, defaults, online min-max or
+// z-score normalization) or categorical (one-hot) — and serve named
+// contexts:
+//
+//	_ = svc.CreateStream("bp3d", banditware.StreamConfig{
+//		Hardware: hw,
+//		Schema: &banditware.Schema{Fields: []banditware.Field{
+//			{Name: "num_tasks", Required: true},
+//			{Name: "site", Kind: banditware.KindCategorical,
+//				Categories: []string{"expanse", "nautilus"}},
+//		}},
+//	})
+//	t, err := svc.RecommendCtx("bp3d", banditware.Context{
+//		Numeric:     map[string]float64{"num_tasks": 200},
+//		Categorical: map[string]string{"site": "expanse"},
+//	})
+//
+// Malformed contexts fail with per-field errors wrapping
+// ErrSchemaViolation (HTTP: 422 with a "fields" list), and schemas —
+// including live normalization statistics — persist in service
+// snapshots. Raw-vector calls keep working on every stream.
+//
 // The internal packages implement every substrate the paper's evaluation
 // needs (dataframes, linear algebra, workload generators, a cluster
 // simulator, the experiment harness, the serving layer); see DESIGN.md
@@ -72,6 +99,7 @@ import (
 	"banditware/internal/core"
 	"banditware/internal/hardware"
 	"banditware/internal/regress"
+	"banditware/internal/schema"
 )
 
 // Hardware describes one hardware configuration (a Kubernetes resource
@@ -103,6 +131,67 @@ func ParseHardwareSet(s string) (HardwareSet, error) { return hardware.ParseSet(
 // NDPHardware returns the paper's Experiment 2 hardware set from the
 // National Data Platform: H0=(2,16), H1=(3,24), H2=(4,16).
 func NDPHardware() HardwareSet { return hardware.NDPDefault() }
+
+// Schema declares a stream's feature layout as ordered named fields —
+// numeric (optional bounds, default, online min-max or z-score
+// normalization) and categorical (one-hot expanded into the model
+// dimension). Attach one via StreamConfig.Schema (or the HTTP "schema"
+// field, or `banditware serve -schema`): the stream's dimension derives
+// from it, contexts submitted through Service.RecommendCtx /
+// ObserveDirectCtx / RecommendBatchCtx (or HTTP {"context": {...}})
+// are validated and deterministically encoded against it, and its
+// normalization statistics persist in service snapshots.
+type Schema = schema.Schema
+
+// Field is one named feature declaration inside a Schema.
+type Field = schema.Field
+
+// FieldStats is the online normalization state of one numeric field
+// (count, range, Welford mean/M2), persisted with the schema.
+type FieldStats = schema.FieldStats
+
+// Context is one workflow's named feature values — numbers for numeric
+// fields, strings for categorical ones. Over HTTP it is a single flat
+// JSON object, e.g. {"num_tasks": 200, "site": "expanse"}.
+type Context = schema.Context
+
+// FieldError is one field-level schema violation (which field, why).
+// It wraps ErrSchemaViolation.
+type FieldError = schema.FieldError
+
+// ValidationError aggregates every field-level violation of one context
+// in deterministic order; errors.As it to enumerate Fields().
+type ValidationError = schema.ValidationError
+
+// Schema field kinds and normalization modes.
+const (
+	KindNumeric     = schema.KindNumeric
+	KindCategorical = schema.KindCategorical
+	NormMinMax      = schema.NormMinMax
+	NormZScore      = schema.NormZScore
+)
+
+// Schema errors, re-exported for errors.Is checks.
+var (
+	// ErrSchemaViolation is wrapped by every field-level context
+	// validation error; the HTTP layer maps it to 422 with a per-field
+	// error list.
+	ErrSchemaViolation = schema.ErrSchemaViolation
+	// ErrInvalidSchema reports a malformed schema declaration.
+	ErrInvalidSchema = schema.ErrInvalidSchema
+)
+
+// ParseSchema decodes and validates a schema from its JSON form (the
+// same document accepted by the HTTP create route and `serve -schema`).
+func ParseSchema(data []byte) (*Schema, error) { return schema.Parse(data) }
+
+// IdentitySchema returns the schema equivalent of a bare
+// dim-dimensional feature vector: required numeric fields x0..x{dim-1}.
+// Streams created without a schema serve context calls through it.
+func IdentitySchema(dim int) *Schema { return schema.Identity(dim) }
+
+// NumericContext builds a purely numeric Context.
+func NumericContext(values map[string]float64) Context { return schema.Num(values) }
 
 // Recommender is the BanditWare online recommender (Algorithm 1). It is
 // not safe for concurrent use; guard it with a mutex or shard per stream.

@@ -21,7 +21,9 @@ import (
 // cmdServe runs the HTTP/JSON serving layer: a multi-stream Service
 // behind the /v1 API (see banditware.ServiceHandler for the routes).
 // Streams come from three places: a state snapshot (-state, loaded at
-// startup when the file exists), -create flags, and the POST /v1/streams
+// startup when the file exists), -create flags (optionally paired with
+// -schema name=path to declare a named feature schema from a JSON
+// file, deriving the stream's dimension), and the POST /v1/streams
 // endpoint at runtime. With -state set, the service snapshots itself to
 // the file on shutdown and every -snapshot interval (atomically, via a
 // temp file and rename).
@@ -34,8 +36,20 @@ func cmdServe(args []string) error {
 	pending := fs.Int("pending", 0, "default per-stream pending-ticket capacity (0 = 4096)")
 	ttl := fs.Duration("ttl", 0, "default pending-ticket expiry (0 = never)")
 	var creates []string
-	fs.Func("create", "create a stream at startup as name:dim:hwspec[:policy], e.g. jobs:1:\"H0=2x16;H1=3x24\" or jobs:1:\"H0=2x16;H1=3x24\":linucb,beta=2 (repeatable)", func(v string) error {
+	fs.Func("create", "create a stream at startup as name:dim:hwspec[:policy], e.g. jobs:1:\"H0=2x16;H1=3x24\" or jobs:1:\"H0=2x16;H1=3x24\":linucb,beta=2 (repeatable; dim 0 with -schema derives it)", func(v string) error {
 		creates = append(creates, v)
+		return nil
+	})
+	schemaFiles := make(map[string]string)
+	fs.Func("schema", "attach a feature schema to a -create stream as name=path/to/schema.json (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("serve: bad -schema %q (want name=path)", v)
+		}
+		if _, dup := schemaFiles[name]; dup {
+			return fmt.Errorf("serve: duplicate -schema for stream %q", name)
+		}
+		schemaFiles[name] = path
 		return nil
 	})
 	if err := fs.Parse(args); err != nil {
@@ -50,13 +64,27 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	created := make(map[string]bool, len(creates))
 	for _, spec := range creates {
 		name, cfg, err := parseCreateSpec(spec)
 		if err != nil {
 			return err
 		}
+		if path, ok := schemaFiles[name]; ok {
+			sch, err := loadSchemaFile(path)
+			if err != nil {
+				return fmt.Errorf("serve: -schema %s=%s: %w", name, path, err)
+			}
+			cfg.Schema = sch
+		}
 		if err := svc.CreateStream(name, cfg); err != nil {
 			return fmt.Errorf("serve: -create %q: %w", spec, err)
+		}
+		created[name] = true
+	}
+	for name := range schemaFiles {
+		if !created[name] {
+			return fmt.Errorf("serve: -schema names stream %q but no -create does", name)
 		}
 	}
 
@@ -181,6 +209,16 @@ func parsePolicyToken(tok string) (banditware.PolicySpec, error) {
 		}
 	}
 	return spec, nil
+}
+
+// loadSchemaFile reads and validates a feature-schema JSON file (the
+// same document the HTTP create route accepts under "schema").
+func loadSchemaFile(path string) (*banditware.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return banditware.ParseSchema(data)
 }
 
 func loadOrNewService(path string, opts banditware.ServiceOptions) (*banditware.Service, error) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"banditware"
@@ -50,6 +53,62 @@ func TestParseCreateSpec(t *testing.T) {
 		if err := svc.CreateStream(name, cfg); err != nil {
 			t.Errorf("CreateStream from %q: %v", c.spec, err)
 		}
+	}
+}
+
+// TestSchemaFileCreate: a -schema JSON file pairs with a dim-0 -create
+// spec — the stream's dimension derives from the schema, and the stream
+// then serves named contexts.
+func TestSchemaFileCreate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.json")
+	blob := []byte(`{
+	  "fields": [
+	    {"name": "num_tasks", "required": true, "min": 0},
+	    {"name": "site", "kind": "categorical", "categories": ["expanse", "nautilus"]}
+	  ]
+	}`)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sch, err := loadSchemaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, cfg, err := parseCreateSpec("typed:0:H0=2x16;H1=3x24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Schema = sch
+	svc := banditware.NewService(banditware.ServiceOptions{})
+	if err := svc.CreateStream(name, cfg); err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.StreamInfo("typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dim != 3 { // 1 numeric + 2 one-hot
+		t.Fatalf("derived dim = %d, want 3", info.Dim)
+	}
+	tk, err := svc.RecommendCtx("typed", banditware.Context{
+		Numeric:     map[string]float64{"num_tasks": 12},
+		Categorical: map[string]string{"site": "expanse"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Observe(tk.ID, 30); err != nil {
+		t.Fatal(err)
+	}
+	// An invalid schema file is rejected with the schema sentinel.
+	if err := os.WriteFile(path, []byte(`{"fields": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSchemaFile(path); !errors.Is(err, banditware.ErrInvalidSchema) {
+		t.Fatalf("empty schema file: %v", err)
+	}
+	if _, err := loadSchemaFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing schema file accepted")
 	}
 }
 

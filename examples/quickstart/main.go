@@ -1,14 +1,19 @@
-// Quickstart: the smallest complete BanditWare loop.
+// Quickstart: the smallest complete BanditWare loop, with named
+// contexts.
 //
 // Three hardware settings with different (unknown to the bandit) linear
-// runtime models; workflows described by one feature. The program runs
-// the online recommend → execute → observe loop for 200 workflows and
-// prints the learned models against the ground truth.
+// runtime models; workflows described by a declared feature schema —
+// a numeric size and a categorical dataset kind that one-hot expands
+// into the model. The program runs the online recommend → execute →
+// observe loop for 300 workflows, shows a malformed context being
+// rejected field by field, and prints the learned models against the
+// ground truth.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -22,54 +27,116 @@ func main() {
 		{Name: "medium", CPUs: 4, MemoryGB: 24},
 		{Name: "large", CPUs: 8, MemoryGB: 32},
 	}
-	// Ground truth the bandit has to discover: runtime = slope·x + base.
+	// Ground truth the bandit has to discover:
+	// runtime = slope·size + base (+ sparse penalty when the dataset is
+	// sparse — small machines suffer most from the irregular access).
 	slopes := []float64{8, 4, 2}
 	bases := []float64{30, 90, 200}
+	sparsePenalty := []float64{120, 60, 10}
 
-	rec, err := banditware.New(hw, 1, banditware.Options{Seed: 42})
-	if err != nil {
+	// The stream's feature layout, declared by name: submitting
+	// {"size": ..., "dataset": ...} is the whole client contract — no
+	// positional vectors to keep in sync.
+	sch := &banditware.Schema{Fields: []banditware.Field{
+		{Name: "size", Required: true, Min: fp(0), Max: fp(200)},
+		{Name: "dataset", Kind: banditware.KindCategorical, Categories: []string{"dense", "sparse"}},
+	}}
+
+	svc := banditware.NewService(banditware.ServiceOptions{})
+	if err := svc.CreateStream("quickstart", banditware.StreamConfig{
+		Hardware: hw,
+		Schema:   sch, // dim (1 numeric + 2 one-hot = 3) derives from the schema
+		Options:  banditware.Options{Seed: 42},
+	}); err != nil {
 		log.Fatal(err)
 	}
 
 	r := rng.New(7)
-	explored := 0
-	for i := 0; i < 200; i++ {
-		x := []float64{r.Uniform(5, 120)} // workflow size
-		d, err := rec.Recommend(x)
+	kinds := []string{"dense", "sparse"}
+	for i := 0; i < 300; i++ {
+		size := r.Uniform(5, 120)
+		kind := kinds[int(r.Uniform(0, 2))]
+		t, err := svc.RecommendCtx("quickstart", banditware.Context{
+			Numeric:     map[string]float64{"size": size},
+			Categorical: map[string]string{"dataset": kind},
+		})
 		if err != nil {
 			log.Fatal(err)
-		}
-		if d.Explored {
-			explored++
 		}
 		// "Run" the workflow on the chosen hardware: the measured
 		// runtime is the true model plus noise.
-		runtime := slopes[d.Arm]*x[0] + bases[d.Arm] + r.Normal(0, 5)
-		if err := rec.Observe(d.Arm, x, runtime); err != nil {
+		runtime := slopes[t.Arm]*size + bases[t.Arm] + r.Normal(0, 5)
+		if kind == "sparse" {
+			runtime += sparsePenalty[t.Arm]
+		}
+		if err := svc.Observe(t.ID, runtime); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	fmt.Printf("after %d workflows (%d explored, epsilon now %.3f):\n\n",
-		rec.Round(), explored, rec.Epsilon())
-	fmt.Println("hardware     true model          learned model")
+	// A malformed context never reaches the models — it fails with one
+	// error per offending field.
+	_, err := svc.RecommendCtx("quickstart", banditware.Context{
+		Numeric:     map[string]float64{"size": 5000, "cores": 4},
+		Categorical: map[string]string{"dataset": "wide"},
+	})
+	if errors.Is(err, banditware.ErrSchemaViolation) {
+		var v *banditware.ValidationError
+		errors.As(err, &v)
+		fmt.Println("malformed context rejected:")
+		for _, fe := range v.Fields() {
+			fmt.Printf("  %-8s %s\n", fe.Field+":", fe.Reason)
+		}
+	}
+
+	info, err := svc.StreamInfo("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	eps, _ := svc.Epsilon("quickstart")
+	fmt.Printf("\nafter %d workflows (epsilon now %.3f):\n\n", info.Round, eps)
+	fmt.Println("hardware     true model                     learned model")
 	for i := range hw {
-		m, err := rec.Model(i)
+		m, err := svc.Model("quickstart", i)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-12s %5.2f·x + %6.2f    %5.2f·x + %6.2f\n",
-			hw[i].Name, slopes[i], bases[i], m.Weights[0], m.Bias)
+		// Weights follow the schema's declared order: size, then the
+		// dense/sparse one-hot block (whose difference is the penalty).
+		fmt.Printf("%-12s %5.2f·size + %5.1f·sparse + %6.1f    %5.2f·size + %5.1f·sparse + %6.1f\n",
+			hw[i].Name, slopes[i], sparsePenalty[i], bases[i],
+			m.Weights[0], m.Weights[2]-m.Weights[1], m.Bias+m.Weights[1])
 	}
 
 	fmt.Println("\nrecommendations after learning (exploitation only):")
-	for _, x := range []float64{10, 40, 100} {
-		preds, err := rec.PredictAll([]float64{x})
+	for _, c := range []struct {
+		size float64
+		kind string
+	}{{10, "dense"}, {40, "sparse"}, {100, "dense"}} {
+		arm, err := svc.Exploit("quickstart", mustEncode(svc, c.size, c.kind))
 		if err != nil {
 			log.Fatal(err)
 		}
-		arm := banditware.TolerantSelect(preds, hw, 0, 0)
-		fmt.Printf("  workflow size %5.1f -> %s (predicted %.0f s)\n",
-			x, hw[arm].Name, preds[arm])
+		fmt.Printf("  %5.1f %-6s -> %s\n", c.size, c.kind, hw[arm].Name)
 	}
 }
+
+// mustEncode builds the model-space vector for an exploit query using
+// the stream's own schema (Exploit takes raw vectors; the serving
+// routes RecommendCtx/ObserveDirectCtx encode internally).
+func mustEncode(svc *banditware.Service, size float64, kind string) []float64 {
+	sch, err := svc.StreamSchema("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := sch.Encode(banditware.Context{
+		Numeric:     map[string]float64{"size": size},
+		Categorical: map[string]string{"dataset": kind},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return x
+}
+
+func fp(v float64) *float64 { return &v }

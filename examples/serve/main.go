@@ -1,14 +1,17 @@
 // Command serve demonstrates the BanditWare serving layer end to end:
 // it starts the HTTP service in-process on a loopback port, creates two
 // independent recommender streams over the wire — a BP3D-style stream
-// running the paper's Algorithm 1 and a matmul-style stream running
-// LinUCB (the serving layer is policy-agnostic) — and attaches a LinUCB
-// shadow to the Algorithm 1 stream, so the two policies can be A/B
-// compared on the same live traffic without the shadow ever serving.
-// Both streams are then hammered concurrently with recommend → run →
-// observe round trips, exactly as National Data Platform applications
-// would. The demo finishes by printing /v1/stats, each stream's
-// exploit-mode choice, and the shadow's evaluation counters.
+// running the paper's Algorithm 1 behind a declared feature schema
+// (named, validated, normalized contexts) and a matmul-style stream
+// running LinUCB on raw vectors (the serving layer is policy- and
+// schema-agnostic) — and attaches a LinUCB shadow to the Algorithm 1
+// stream, so the two policies can be A/B compared on the same live
+// traffic without the shadow ever serving. Both streams are then
+// hammered concurrently with recommend → run → observe round trips,
+// exactly as National Data Platform applications would. The demo
+// finishes by printing a 422 schema rejection, /v1/stats, each
+// stream's choice for a large workflow, and the shadow's evaluation
+// counters.
 package main
 
 import (
@@ -36,10 +39,19 @@ func main() {
 	fmt.Printf("service listening on %s\n\n", base)
 
 	// Create two streams over the wire, like two NDP applications
-	// registering themselves. "bp3d" runs the paper's Algorithm 1;
-	// "matmul" opts into LinUCB via the policy field.
+	// registering themselves. "bp3d" runs the paper's Algorithm 1 behind
+	// a feature schema: clients submit {"area": ..., "fuel": ...} and
+	// the service validates, one-hot expands, and encodes — its dim
+	// (1 numeric + 2 one-hot = 3) derives from the schema. "matmul"
+	// opts into LinUCB and stays on raw positional vectors.
 	post(base+"/v1/streams", map[string]any{
-		"name": "bp3d", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16", "dim": 1, "seed": 1,
+		"name": "bp3d", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16", "seed": 1,
+		"schema": map[string]any{
+			"fields": []map[string]any{
+				{"name": "area", "required": true, "min": 0},
+				{"name": "fuel", "kind": "categorical", "categories": []string{"grass", "timber"}},
+			},
+		},
 	})
 	post(base+"/v1/streams", map[string]any{
 		"name": "matmul", "hardware_spec": "H0=2x16;H1=3x24;H2=4x16;H3=8x32;H4=16x64",
@@ -54,54 +66,83 @@ func main() {
 		"name": "linucb-candidate", "policy": map[string]any{"type": "linucb"},
 	})
 
-	// Per-stream ground truth: runtime = slope[arm]·x + intercept + noise.
-	truth := map[string][]float64{
-		"bp3d":   {5, 3, 1},
-		"matmul": {8, 6, 4, 2, 1},
-	}
+	// Per-stream ground truth. bp3d: runtime = slope[arm]·area +
+	// timberPenalty[arm]·timber + 20 + noise; matmul: slope[arm]·x + 20.
+	bp3dSlopes := []float64{5, 3, 1}
+	bp3dTimber := []float64{90, 50, 15}
+	matmulSlopes := []float64{8, 6, 4, 2, 1}
+	fuels := []string{"grass", "timber"}
 
-	// Drive both streams from concurrent clients.
+	// Drive both streams from concurrent clients: bp3d posts named
+	// contexts, matmul posts raw feature vectors.
 	const clientsPerStream, rounds = 4, 50
 	var wg sync.WaitGroup
-	for stream, slopes := range truth {
-		for c := 0; c < clientsPerStream; c++ {
-			wg.Add(1)
-			go func(stream string, slopes []float64, seed int64) {
-				defer wg.Done()
-				r := rand.New(rand.NewSource(seed))
-				noise := rng.New(uint64(seed) + 100)
-				for i := 0; i < rounds; i++ {
-					x := 10 + 90*r.Float64()
-					var t banditware.Ticket
-					post(base+"/v1/streams/"+stream+"/recommend",
-						map[string]any{"features": []float64{x}}, &t)
-					runtime := slopes[t.Arm]*x + 20 + noise.Normal(0, 1)
-					post(base+"/v1/observe",
-						map[string]any{"ticket": t.ID, "runtime": runtime})
+	for c := 0; c < clientsPerStream; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			noise := rng.New(uint64(seed) + 100)
+			for i := 0; i < rounds; i++ {
+				area := 10 + 90*r.Float64()
+				fuel := fuels[r.Intn(2)]
+				var t banditware.Ticket
+				post(base+"/v1/streams/bp3d/recommend",
+					map[string]any{"context": map[string]any{"area": area, "fuel": fuel}}, &t)
+				runtime := bp3dSlopes[t.Arm]*area + 20 + noise.Normal(0, 1)
+				if fuel == "timber" {
+					runtime += bp3dTimber[t.Arm]
 				}
-			}(stream, slopes, int64(len(stream)*10+c))
-		}
+				post(base+"/v1/observe",
+					map[string]any{"ticket": t.ID, "runtime": runtime})
+			}
+		}(int64(40 + c))
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			noise := rng.New(uint64(seed) + 100)
+			for i := 0; i < rounds; i++ {
+				x := 10 + 90*r.Float64()
+				var t banditware.Ticket
+				post(base+"/v1/streams/matmul/recommend",
+					map[string]any{"features": []float64{x}}, &t)
+				runtime := matmulSlopes[t.Arm]*x + 20 + noise.Normal(0, 1)
+				post(base+"/v1/observe",
+					map[string]any{"ticket": t.ID, "runtime": runtime})
+			}
+		}(int64(60 + c))
 	}
 	wg.Wait()
 
+	// A malformed context is rejected with 422 and one error per field —
+	// it never skews the models.
+	status, errBody := postRaw(base+"/v1/streams/bp3d/recommend",
+		map[string]any{"context": map[string]any{"area": -5, "fuel": "plasma", "wind": 3}})
+	fmt.Printf("malformed context -> %d\n", status)
+	for _, f := range errBody.Fields {
+		fmt.Printf("  %-6s %s\n", f.Field+":", f.Error)
+	}
+
 	var stats banditware.ServiceStats
 	get(base+"/v1/stats", &stats)
-	fmt.Println("stream     policy      rounds  epsilon  pending  issued  observed")
+	fmt.Println("\nstream     policy      rounds  epsilon  pending  issued  observed")
 	for _, s := range stats.Streams {
 		fmt.Printf("%-10s %-10s  %6d  %7.3f  %7d  %6d  %8d\n",
 			s.Name, s.Policy, s.Round, s.Epsilon, s.Pending, s.Issued, s.Observed)
 	}
 
-	// Both streams should now exploit their cheapest-slope arm for a
-	// large workflow.
-	fmt.Println()
-	for stream, slopes := range truth {
-		var t banditware.Ticket
-		post(base+"/v1/streams/"+stream+"/recommend",
-			map[string]any{"features": []float64{80}}, &t)
-		fmt.Printf("%s: recommends %s for x=80 (best slope is arm %d)\n",
-			stream, t.Hardware, len(slopes)-1)
-	}
+	// Both streams should now pick their cheapest-slope arm for a large
+	// workflow — bp3d queried by named context, matmul by raw vector.
+	var t banditware.Ticket
+	post(base+"/v1/streams/bp3d/recommend",
+		map[string]any{"context": map[string]any{"area": 80, "fuel": "grass"}}, &t)
+	fmt.Printf("\nbp3d: recommends %s for area=80 grass (best slope is arm %d)\n",
+		t.Hardware, len(bp3dSlopes)-1)
+	post(base+"/v1/streams/matmul/recommend",
+		map[string]any{"features": []float64{80}}, &t)
+	fmt.Printf("matmul: recommends %s for x=80 (best slope is arm %d)\n",
+		t.Hardware, len(matmulSlopes)-1)
 
 	// The shadow's live A/B verdict on bp3d: how often the candidate
 	// agreed with Algorithm 1, its replay-estimated mean runtime on
@@ -122,7 +163,8 @@ func main() {
 	}
 }
 
-// post sends a JSON body and decodes the JSON response into out (if any).
+// post sends a JSON body and decodes the JSON response into out (if
+// any); non-2xx responses are fatal.
 func post(url string, body any, out ...any) {
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -134,15 +176,42 @@ func post(url string, body any, out ...any) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var e map[string]string
+		var e map[string]any
 		json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("POST %s: %s: %s", url, resp.Status, e["error"])
+		log.Fatalf("POST %s: %s: %v", url, resp.Status, e["error"])
 	}
 	if len(out) > 0 {
 		if err := json.NewDecoder(resp.Body).Decode(out[0]); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// errorBody is the 422 response shape: the flat message plus the
+// per-field violation list.
+type errorBody struct {
+	Error  string `json:"error"`
+	Fields []struct {
+		Field string `json:"field"`
+		Error string `json:"error"`
+	} `json:"fields"`
+}
+
+// postRaw sends a JSON body and returns the status code and decoded
+// error body, for demonstrating expected failures.
+func postRaw(url string, body any) (int, errorBody) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e errorBody
+	json.NewDecoder(resp.Body).Decode(&e)
+	return resp.StatusCode, e
 }
 
 func get(url string, out any) {

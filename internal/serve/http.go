@@ -9,6 +9,7 @@ import (
 
 	"banditware/internal/core"
 	"banditware/internal/hardware"
+	"banditware/internal/schema"
 )
 
 // NewHandler returns the HTTP/JSON front-end for a service (see
@@ -31,7 +32,9 @@ import (
 //
 // All bodies are JSON. Errors are {"error": "..."} with conventional
 // status codes (404 unknown stream/ticket/shadow, 410 expired ticket,
-// 409 duplicate stream/shadow, 400 bad input).
+// 409 duplicate stream/shadow, 422 context rejected by the stream's
+// feature schema — with a per-field "fields" list — and 400 for other
+// bad input).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -95,6 +98,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeError maps service errors onto HTTP status codes.
 func writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, schema.ErrSchemaViolation) {
+		// A context the stream's feature schema rejected: 422 with the
+		// per-field violation list so clients can fix each field.
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":  err.Error(),
+			"fields": schemaFieldErrors(err),
+		})
+		return
+	}
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrStreamNotFound), errors.Is(err, ErrTicketNotFound),
@@ -106,6 +118,25 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// schemaFieldErrors digs the per-field violations out of a (possibly
+// wrapped) schema validation error. The ValidationError is found
+// through any fmt.Errorf chain, and flattenJoined splits it into its
+// field-level parts.
+func schemaFieldErrors(err error) []*schema.FieldError {
+	fields := []*schema.FieldError{}
+	var v *schema.ValidationError
+	if errors.As(err, &v) {
+		err = v
+	}
+	for _, e := range flattenJoined(err) {
+		var fe *schema.FieldError
+		if errors.As(e, &fe) {
+			fields = append(fields, fe)
+		}
+	}
+	return fields
 }
 
 // maxBodyBytes bounds request bodies (a batch of 10k 64-feature
@@ -149,6 +180,11 @@ type createStreamRequest struct {
 	Hardware     []hardwareDTO `json:"hardware,omitempty"`
 	HardwareSpec string        `json:"hardware_spec,omitempty"`
 	Dim          int           `json:"dim"`
+
+	// Schema optionally declares the stream's named feature layout;
+	// when given, dim is derived from it (and must be 0 or match) and
+	// recommend/observe accept {"context": {...}} payloads.
+	Schema *schema.Schema `json:"schema,omitempty"`
 
 	// Policy selects the stream's decision policy — a bare type string
 	// ("linucb") or an object ({"type": "linucb", "beta": 2}). Absent
@@ -239,7 +275,11 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		seen[sh.Name] = true
-		if _, err := newEngine(set, req.Dim, core.Options{Seed: sh.Policy.Seed}, sh.Policy); err != nil {
+		shadowDim := req.Dim
+		if req.Schema != nil {
+			shadowDim = req.Schema.EncodedDim()
+		}
+		if _, err := newEngine(set, shadowDim, core.Options{Seed: sh.Policy.Seed}, sh.Policy); err != nil {
 			writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, err))
 			return
 		}
@@ -248,6 +288,7 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	err := svc.CreateStream(req.Name, StreamConfig{
 		Hardware:   set,
 		Dim:        req.Dim,
+		Schema:     req.Schema,
 		Options:    opts,
 		Policy:     spec,
 		MaxPending: req.MaxPending,
@@ -344,7 +385,11 @@ func handleInspectStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 }
 
 type recommendRequest struct {
-	Features []float64 `json:"features"`
+	// Features is the raw positional vector form; Context the named form
+	// validated and encoded by the stream's feature schema. Exactly one
+	// must be given.
+	Features []float64       `json:"features,omitempty"`
+	Context  *schema.Context `json:"context,omitempty"`
 }
 
 func handleRecommend(svc *Service, w http.ResponseWriter, r *http.Request) {
@@ -352,7 +397,17 @@ func handleRecommend(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	t, err := svc.Recommend(r.PathValue("name"), req.Features)
+	var t Ticket
+	var err error
+	switch {
+	case req.Context != nil && req.Features != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give context or features, not both"})
+		return
+	case req.Context != nil:
+		t, err = svc.RecommendCtx(r.PathValue("name"), *req.Context)
+	default:
+		t, err = svc.Recommend(r.PathValue("name"), req.Features)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -361,7 +416,11 @@ func handleRecommend(svc *Service, w http.ResponseWriter, r *http.Request) {
 }
 
 type recommendBatchRequest struct {
-	Batch [][]float64 `json:"batch"`
+	// Batch is the raw vector form; Contexts the named form. Exactly one
+	// must be given (a non-empty one, for symmetry with the single
+	// recommend route).
+	Batch    [][]float64      `json:"batch,omitempty"`
+	Contexts []schema.Context `json:"contexts,omitempty"`
 }
 
 func handleRecommendBatch(svc *Service, w http.ResponseWriter, r *http.Request) {
@@ -369,7 +428,17 @@ func handleRecommendBatch(svc *Service, w http.ResponseWriter, r *http.Request) 
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	ts, err := svc.RecommendBatch(r.PathValue("name"), req.Batch)
+	var ts []Ticket
+	var err error
+	switch {
+	case req.Batch != nil && req.Contexts != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give contexts or batch, not both"})
+		return
+	case req.Contexts != nil:
+		ts, err = svc.RecommendBatchCtx(r.PathValue("name"), req.Contexts)
+	default:
+		ts, err = svc.RecommendBatch(r.PathValue("name"), req.Batch)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -380,10 +449,12 @@ func handleRecommendBatch(svc *Service, w http.ResponseWriter, r *http.Request) 
 type observeRequest struct {
 	// Ticket path: the decision ticket to redeem.
 	Ticket string `json:"ticket,omitempty"`
-	// Direct path (requires a stream-scoped URL): the arm/features the
-	// caller tracked itself. Arm is a pointer so arm 0 is expressible.
-	Arm      *int      `json:"arm,omitempty"`
-	Features []float64 `json:"features,omitempty"`
+	// Direct path (requires a stream-scoped URL): the arm the caller
+	// tracked itself plus its features — raw (features) or named
+	// (context), exactly one. Arm is a pointer so arm 0 is expressible.
+	Arm      *int            `json:"arm,omitempty"`
+	Features []float64       `json:"features,omitempty"`
+	Context  *schema.Context `json:"context,omitempty"`
 
 	Runtime float64 `json:"runtime"`
 }
@@ -417,12 +488,22 @@ func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamN
 			return
 		}
 	case req.Arm != nil && streamName != "":
-		if err := svc.ObserveDirect(streamName, *req.Arm, req.Features, req.Runtime); err != nil {
+		if req.Context != nil && req.Features != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give context or features, not both"})
+			return
+		}
+		var err error
+		if req.Context != nil {
+			err = svc.ObserveDirectCtx(streamName, *req.Arm, *req.Context, req.Runtime)
+		} else {
+			err = svc.ObserveDirect(streamName, *req.Arm, req.Features, req.Runtime)
+		}
+		if err != nil {
 			writeError(w, err)
 			return
 		}
 	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "observe needs a ticket, or arm+features on a stream URL"})
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "observe needs a ticket, or arm plus features/context on a stream URL"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "observed"})
@@ -432,9 +513,18 @@ type observeBatchRequest struct {
 	Observations []TicketObservation `json:"observations"`
 }
 
+// observeBatchResult is the outcome of one observation in a batch,
+// keyed by its input index so callers can tell exactly which
+// observations landed.
+type observeBatchResult struct {
+	Index int    `json:"index"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
 type observeBatchResponse struct {
-	Applied int      `json:"applied"`
-	Errors  []string `json:"errors,omitempty"`
+	Applied int                  `json:"applied"`
+	Results []observeBatchResult `json:"results"`
 }
 
 func handleObserveBatch(svc *Service, w http.ResponseWriter, r *http.Request) {
@@ -442,30 +532,53 @@ func handleObserveBatch(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	// Tickets belonging to another stream fail their own index (without
+	// ever reaching that other stream) instead of rejecting the batch:
+	// the rest of the observations still land, and the per-index results
+	// say exactly which.
 	name := r.PathValue("name")
-	for _, o := range req.Observations {
+	errs := make([]error, len(req.Observations))
+	var forward []TicketObservation
+	var forwardIdx []int
+	for i, o := range req.Observations {
 		owner, _, err := ParseTicketID(o.TicketID)
 		if err == nil && owner != name {
-			writeJSON(w, http.StatusBadRequest, map[string]string{
-				"error": fmt.Sprintf("ticket %q belongs to stream %q, not %q", o.TicketID, owner, name),
-			})
-			return
+			errs[i] = fmt.Errorf("ticket %q belongs to stream %q, not %q", o.TicketID, owner, name)
+			continue
 		}
+		forward = append(forward, o)
+		forwardIdx = append(forwardIdx, i)
 	}
-	applied, err := svc.ObserveBatch(req.Observations)
-	resp := observeBatchResponse{Applied: applied}
-	if err != nil {
-		for _, e := range flattenJoined(err) {
-			resp.Errors = append(resp.Errors, e.Error())
+	applied, fwdErrs := svc.ObserveBatchIndexed(forward)
+	for j, err := range fwdErrs {
+		errs[forwardIdx[j]] = err
+	}
+	resp := observeBatchResponse{
+		Applied: applied,
+		Results: make([]observeBatchResult, len(req.Observations)),
+	}
+	for i, err := range errs {
+		res := observeBatchResult{Index: i, OK: err == nil}
+		if err != nil {
+			res.Error = err.Error()
 		}
+		resp.Results[i] = res
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// flattenJoined unwraps an errors.Join result into its parts.
+// flattenJoined unwraps an errors.Join-style multi-error into its leaf
+// parts, recursively — so a schema.ValidationError (itself a
+// multi-error of per-field violations) nested inside a batch join
+// flattens all the way down to individual field errors.
 func flattenJoined(err error) []error {
-	if u, ok := err.(interface{ Unwrap() []error }); ok {
-		return u.Unwrap()
+	u, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		return []error{err}
 	}
-	return []error{err}
+	var out []error
+	for _, e := range u.Unwrap() {
+		out = append(out, flattenJoined(e)...)
+	}
+	return out
 }

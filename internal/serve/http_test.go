@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -185,23 +186,28 @@ func TestHTTPBatchEndpoints(t *testing.T) {
 	}
 	obs := []map[string]any{
 		{"ticket": batch.Tickets[0].ID, "runtime": 10.0},
-		{"ticket": batch.Tickets[1].ID, "runtime": 20.0},
 		{"ticket": "jobs#ff", "runtime": 5.0}, // never issued
+		{"ticket": batch.Tickets[1].ID, "runtime": 20.0},
+		{"ticket": "other#1", "runtime": 1.0}, // another stream's ticket
 	}
 	var resp observeBatchResponse
 	if code := doJSON(t, "POST", srv.URL+"/v1/streams/jobs/observe/batch",
 		map[string]any{"observations": obs}, &resp); code != http.StatusOK {
 		t.Fatal("observe batch failed")
 	}
-	if resp.Applied != 2 || len(resp.Errors) != 1 {
+	// Per-index outcomes: 0 and 2 landed, 1 (unknown ticket) and 3
+	// (cross-stream ticket) failed without aborting the rest.
+	if resp.Applied != 2 || len(resp.Results) != 4 {
 		t.Fatalf("batch response: %+v", resp)
 	}
-	// A ticket belonging to another stream rejects the whole batch.
-	var errResp map[string]string
-	if code := doJSON(t, "POST", srv.URL+"/v1/streams/jobs/observe/batch",
-		map[string]any{"observations": []map[string]any{{"ticket": "other#1", "runtime": 1.0}}},
-		&errResp); code != http.StatusBadRequest {
-		t.Fatalf("cross-stream batch: %d", code)
+	for i, wantOK := range []bool{true, false, true, false} {
+		r := resp.Results[i]
+		if r.Index != i || r.OK != wantOK || (r.Error == "") == !wantOK {
+			t.Fatalf("result %d: %+v (want ok=%v)", i, r, wantOK)
+		}
+	}
+	if !strings.Contains(resp.Results[3].Error, `belongs to stream "other"`) {
+		t.Fatalf("cross-stream error: %q", resp.Results[3].Error)
 	}
 }
 

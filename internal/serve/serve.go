@@ -8,7 +8,7 @@
 // submit workflows concurrently and a recommendation is issued long
 // before its runtime is observed.
 //
-// Four design points:
+// Five design points:
 //
 //   - Sharding. Streams live in a fixed array of registry shards (keyed
 //     by a hash of the stream name), each with its own read-write mutex,
@@ -24,16 +24,24 @@
 //     Tickets evict oldest-first past the ledger capacity and expire
 //     after a TTL — see ledger.go.
 //
+//   - Feature schemas. A stream may declare its feature layout as
+//     ordered named fields (internal/schema): RecommendCtx and friends
+//     validate and deterministically encode named contexts — numeric
+//     fields with bounds/defaults and online normalization, categorical
+//     fields one-hot expanded — while raw-vector calls keep working on
+//     every stream through the identity schema.
+//
 //   - Shadow evaluation. A stream may carry shadow policies that see
 //     every context and observation but never serve traffic; replay- and
 //     model-based regret counters let operators A/B a candidate policy
 //     against the serving one on live traffic — see shadow.go.
 //
-//   - Snapshots. Save serialises every stream (engine state, shadows,
-//     counters, and pending tickets) into one versioned JSON envelope
-//     taken at a single point in time; Load also reads the version 1
-//     (pre-policy) envelope and the legacy single-recommender state
-//     format, restoring the latter as stream "default".
+//   - Snapshots. Save serialises every stream (engine state, schema with
+//     normalization statistics, shadows, counters, and pending tickets)
+//     into one versioned JSON envelope taken at a single point in time;
+//     Load also reads the earlier envelope versions and the legacy
+//     single-recommender state format, restoring the latter as stream
+//     "default".
 package serve
 
 import (
@@ -50,6 +58,7 @@ import (
 	"banditware/internal/core"
 	"banditware/internal/hardware"
 	"banditware/internal/regress"
+	"banditware/internal/schema"
 )
 
 // Errors reported by the service.
@@ -85,8 +94,16 @@ type ServiceOptions struct {
 type StreamConfig struct {
 	// Hardware is the stream's arm set.
 	Hardware hardware.Set
-	// Dim is the workflow feature dimension.
+	// Dim is the workflow feature dimension. When Schema is set, Dim is
+	// derived from it (Schema.EncodedDim) and must be 0 or match.
 	Dim int
+	// Schema optionally declares the stream's feature layout by name:
+	// contexts submitted through RecommendCtx/ObserveDirectCtx (or the
+	// HTTP "context" payload) are validated and encoded against it, and
+	// its normalization statistics persist in snapshots. Streams without
+	// a schema serve context calls through an identity schema
+	// (required numeric fields x0..x{dim-1}) and raw vectors unchanged.
+	Schema *schema.Schema
 	// Options are the Algorithm 1 parameters for this stream. They are
 	// ignored when Policy selects a non-Algorithm 1 policy.
 	Options core.Options
@@ -125,13 +142,17 @@ type StreamInfo struct {
 	Policy   string   `json:"policy"`
 	Hardware []string `json:"hardware"`
 	Dim      int      `json:"dim"`
-	Round    int      `json:"round"`
-	Epsilon  float64  `json:"epsilon"`
-	Pending  int      `json:"pending"`
-	Issued   uint64   `json:"issued"`
-	Observed uint64   `json:"observed"`
-	Evicted  uint64   `json:"evicted"`
-	Expired  uint64   `json:"expired"`
+	// Schema is a copy of the stream's declared feature schema
+	// (including live normalization statistics); absent for streams
+	// created from raw dimensions.
+	Schema   *schema.Schema `json:"schema,omitempty"`
+	Round    int            `json:"round"`
+	Epsilon  float64        `json:"epsilon"`
+	Pending  int            `json:"pending"`
+	Issued   uint64         `json:"issued"`
+	Observed uint64         `json:"observed"`
+	Evicted  uint64         `json:"evicted"`
+	Expired  uint64         `json:"expired"`
 	// Shadows summarises the stream's shadow policies, in attachment
 	// order; absent when none are attached.
 	Shadows []ShadowInfo `json:"shadows,omitempty"`
@@ -153,8 +174,16 @@ type stream struct {
 	// armLabels caches Hardware()[i].String() — rendered on every issued
 	// ticket, so not worth re-formatting per request.
 	armLabels []string
+	// schemaDeclared records whether sch came from the caller (persisted
+	// in snapshots, surfaced in StreamInfo) or is the derived identity
+	// schema of a raw-dimension stream (neither).
+	schemaDeclared bool
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// sch encodes named contexts into the engine's vector space. Never
+	// nil: raw-dimension streams carry the identity schema. Guarded by mu
+	// because Encode mutates normalization statistics.
+	sch      *schema.Schema
 	engine   Engine
 	shadows  []*shadow
 	ledger   *ledger
@@ -220,12 +249,30 @@ func ValidStreamName(name string) bool {
 
 // CreateStream registers a new stream under name, constructing its
 // engine from cfg.Policy (Algorithm 1 with cfg.Options by default).
+// When cfg.Schema is set, the model dimension is the schema's encoded
+// dimension (cfg.Dim must be 0 or agree) and the service keeps a
+// private clone of the schema, so the caller's copy never observes
+// normalization-state mutations.
 func (s *Service) CreateStream(name string, cfg StreamConfig) error {
-	eng, err := newEngine(cfg.Hardware, cfg.Dim, cfg.Options, cfg.Policy)
+	dim := cfg.Dim
+	var sch *schema.Schema
+	if cfg.Schema != nil {
+		if err := cfg.Schema.Validate(); err != nil {
+			return err
+		}
+		ed := cfg.Schema.EncodedDim()
+		if dim != 0 && dim != ed {
+			return fmt.Errorf("%w: dim %d conflicts with schema encoded dimension %d",
+				schema.ErrInvalidSchema, dim, ed)
+		}
+		dim = ed
+		sch = cfg.Schema.Clone()
+	}
+	eng, err := newEngine(cfg.Hardware, dim, cfg.Options, cfg.Policy)
 	if err != nil {
 		return err
 	}
-	return s.adopt(name, eng, cfg.MaxPending, cfg.TicketTTL)
+	return s.adopt(name, eng, sch, cfg.MaxPending, cfg.TicketTTL)
 }
 
 // AdoptBandit registers an already-constructed Algorithm 1 bandit as a
@@ -233,10 +280,13 @@ func (s *Service) CreateStream(name string, cfg StreamConfig) error {
 // from legacy snapshot restore. The caller must not use the bandit
 // directly afterwards.
 func (s *Service) AdoptBandit(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
-	return s.adopt(name, banditEngine{b}, maxPending, ttl)
+	return s.adopt(name, banditEngine{b}, nil, maxPending, ttl)
 }
 
-func (s *Service) adopt(name string, eng Engine, maxPending int, ttl time.Duration) error {
+// adopt registers an engine as a stream. sch is the stream's declared
+// feature schema (already cloned and validated, its encoded dimension
+// equal to the engine's); nil selects the identity schema.
+func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, maxPending int, ttl time.Duration) error {
 	if !ValidStreamName(name) {
 		return fmt.Errorf("%w: %q", ErrBadStreamName, name)
 	}
@@ -246,7 +296,14 @@ func (s *Service) adopt(name string, eng Engine, maxPending int, ttl time.Durati
 	if ttl <= 0 {
 		ttl = s.opts.TicketTTL
 	}
-	st := &stream{name: name, engine: eng, ledger: newLedger(maxPending, ttl)}
+	declared := sch != nil
+	if sch == nil {
+		sch = schema.Identity(eng.Dim())
+	}
+	st := &stream{
+		name: name, engine: eng, sch: sch, schemaDeclared: declared,
+		ledger: newLedger(maxPending, ttl),
+	}
 	st.armLabels = make([]string, len(eng.Hardware()))
 	for i, hw := range eng.Hardware() {
 		st.armLabels[i] = hw.String()
@@ -395,6 +452,28 @@ func (s *Service) Recommend(name string, x []float64) (Ticket, error) {
 	return st.recommendLocked(s.now(), x, true)
 }
 
+// RecommendCtx issues a decision ticket for one workflow described by a
+// named context instead of a raw feature vector: the context is
+// validated against the stream's schema (every violation reported per
+// field, wrapping schema.ErrSchemaViolation) and deterministically
+// encoded — numeric fields normalized against the stream's running
+// statistics, categorical fields one-hot expanded — before the engine
+// selects. On streams created without a schema the identity layout
+// (fields "x0".."x{dim-1}") applies.
+func (s *Service) RecommendCtx(name string, ctx schema.Context) (Ticket, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return Ticket{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	x, err := st.sch.Encode(ctx)
+	if err != nil {
+		return Ticket{}, err
+	}
+	return st.recommendLocked(s.now(), x, true)
+}
+
 // RecommendUntracked issues a decision without a ticket, for callers
 // that keep their own features and complete via ObserveDirect (the
 // single-recommender compatibility path). It consumes exploration
@@ -432,6 +511,37 @@ func (s *Service) RecommendBatch(name string, xs [][]float64) ([]Ticket, error) 
 	out := make([]Ticket, len(xs))
 	for i, x := range xs {
 		t, err := st.recommendLocked(now, x, true)
+		if err != nil {
+			return nil, fmt.Errorf("serve: batch item %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// RecommendBatchCtx issues one ticket per named context, atomically
+// like RecommendBatch: the stream lock is held once, every context is
+// validated against the schema first, and a schema violation anywhere
+// rejects the entire batch — with its item index in the error — before
+// any ticket is issued or any normalization statistic advances.
+func (s *Service) RecommendBatchCtx(name string, ctxs []schema.Context) ([]Ticket, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, c := range ctxs {
+		if err := st.sch.ValidateContext(c); err != nil {
+			return nil, fmt.Errorf("serve: batch item %d: %w", i, err)
+		}
+	}
+	now := s.now()
+	out := make([]Ticket, len(ctxs))
+	for i, c := range ctxs {
+		// Every context passed the pre-validation above, so this is pure
+		// encoding (validation is not paid twice under the lock).
+		t, err := st.recommendLocked(now, st.sch.EncodeValidated(c), true)
 		if err != nil {
 			return nil, fmt.Errorf("serve: batch item %d: %w", i, err)
 		}
@@ -480,28 +590,28 @@ func (s *Service) Observe(ticketID string, runtime float64) error {
 	return st.observeTicketLocked(s.now(), ticketID, runtime)
 }
 
-// ObserveBatch redeems many tickets, grouping by stream so each stream's
-// lock is taken once. Failed observations do not abort the rest; the
-// returned count is the number applied and the error (if any) joins one
-// error per failed item.
-func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
+// ObserveBatchIndexed redeems many tickets, grouping by stream so each
+// stream's lock is taken once. Failed observations do not abort the
+// rest. The returned slice has one entry per input observation — nil
+// when it was applied, its error otherwise — so batch callers can tell
+// exactly which observations landed.
+func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, errs []error) {
+	errs = make([]error, len(obs))
 	// Group indices by stream, preserving input order within a stream.
 	byStream := make(map[string][]int)
-	var errs []error
 	for i, o := range obs {
 		name, _, err := ParseTicketID(o.TicketID)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+			errs[i] = err
 			continue
 		}
 		byStream[name] = append(byStream[name], i)
 	}
-	applied := 0
 	for name, idxs := range byStream {
 		st, err := s.stream(name)
 		if err != nil {
 			for _, i := range idxs {
-				errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+				errs[i] = err
 			}
 			continue
 		}
@@ -509,12 +619,26 @@ func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
 		now := s.now()
 		for _, i := range idxs {
 			if err := st.observeTicketLocked(now, obs[i].TicketID, obs[i].Runtime); err != nil {
-				errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+				errs[i] = err
 				continue
 			}
 			applied++
 		}
 		st.mu.Unlock()
+	}
+	return applied, errs
+}
+
+// ObserveBatch is ObserveBatchIndexed with the per-item errors joined
+// into one (each prefixed with its observation index); the returned
+// count is the number applied.
+func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
+	applied, idxErrs := s.ObserveBatchIndexed(obs)
+	var errs []error
+	for i, err := range idxErrs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+		}
 	}
 	return applied, errors.Join(errs...)
 }
@@ -531,6 +655,30 @@ func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.observeDirectLocked(arm, x, runtime)
+}
+
+// ObserveDirectCtx is ObserveDirect for a named context: the context is
+// validated and encoded against the stream's schema (advancing its
+// normalization statistics, exactly as the matching RecommendCtx
+// would have) before training the engine.
+func (s *Service) ObserveDirectCtx(name string, arm int, ctx schema.Context, runtime float64) error {
+	st, err := s.stream(name)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	x, err := st.sch.Encode(ctx)
+	if err != nil {
+		return err
+	}
+	return st.observeDirectLocked(arm, x, runtime)
+}
+
+// observeDirectLocked trains on a caller-tracked triple and runs the
+// one-shot shadow round. Callers hold st.mu.
+func (st *stream) observeDirectLocked(arm int, x []float64, runtime float64) error {
 	if err := st.engine.Observe(arm, x, runtime); err != nil {
 		return err
 	}
@@ -602,6 +750,22 @@ func (s *Service) Model(name string, arm int) (regress.Model, error) {
 	return mp.Model(arm)
 }
 
+// StreamSchema returns a copy of the named stream's declared feature
+// schema, including its live normalization statistics, or nil when the
+// stream was created from a raw dimension.
+func (s *Service) StreamSchema(name string) (*schema.Schema, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.schemaDeclared {
+		return nil, nil
+	}
+	return st.sch.Clone(), nil
+}
+
 // Hardware returns the named stream's arm set.
 func (s *Service) Hardware(name string) (hardware.Set, error) {
 	st, err := s.stream(name)
@@ -644,11 +808,19 @@ func (s *Service) Policy(name string) (string, error) {
 }
 
 func (st *stream) infoLocked() StreamInfo {
+	// The schema is cloned because the caller marshals the info after
+	// the stream lock is released, while Encode keeps mutating the live
+	// normalization statistics.
+	var sch *schema.Schema
+	if st.schemaDeclared {
+		sch = st.sch.Clone()
+	}
 	return StreamInfo{
 		Name:     st.name,
 		Policy:   st.engine.Kind(),
 		Hardware: st.engine.Hardware().Names(),
 		Dim:      st.engine.Dim(),
+		Schema:   sch,
 		Round:    st.engine.Round(),
 		Epsilon:  st.engine.Epsilon(),
 		Pending:  st.ledger.len(),

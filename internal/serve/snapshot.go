@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"banditware/internal/core"
+	"banditware/internal/schema"
 )
 
 // Snapshot wire format.
@@ -22,12 +23,18 @@ import (
 //     names the engine kind, "engine" carries its state (for Algorithm 1
 //     streams these are exactly the version-1 bandit bytes), and streams
 //     may carry shadow policies and per-ticket shadow selections.
+//   - Version 3 adds the optional per-stream "schema" field: the
+//     stream's declared feature schema including its live normalization
+//     statistics (internal/schema wire form), so a restored stream
+//     validates, encodes, and normalizes contexts exactly as before the
+//     snapshot. Streams without a declared schema omit the field, so a
+//     schemaless v3 stream body is byte-identical to its v2 form.
 //
-// Load reads versions 1 and 2 plus the pre-envelope legacy
+// Load reads versions 1–3 plus the pre-envelope legacy
 // single-recommender format; Save always writes the current version.
 const (
 	snapshotFormat  = "banditware-service"
-	snapshotVersion = 2
+	snapshotVersion = 3
 )
 
 type pendingSnap struct {
@@ -55,9 +62,13 @@ type streamSnap struct {
 	// Policy and Engine are the version-2 engine payload; Bandit is the
 	// version-1 Algorithm 1 payload. Exactly one of Engine/Bandit is
 	// set, matching the envelope version.
-	Policy     string          `json:"policy,omitempty"`
-	Engine     json.RawMessage `json:"engine,omitempty"`
-	Bandit     json.RawMessage `json:"bandit,omitempty"`
+	Policy string          `json:"policy,omitempty"`
+	Engine json.RawMessage `json:"engine,omitempty"`
+	Bandit json.RawMessage `json:"bandit,omitempty"`
+	// Schema is the stream's declared feature schema with its live
+	// normalization statistics (version 3+; absent for raw-dimension
+	// streams and in older envelopes).
+	Schema     json.RawMessage `json:"schema,omitempty"`
 	Shadows    []shadowSnap    `json:"shadows,omitempty"`
 	MaxPending int             `json:"max_pending"`
 	TicketTTL  time.Duration   `json:"ticket_ttl_ns"`
@@ -119,10 +130,22 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 	if err := st.engine.SaveState(&buf); err != nil {
 		return streamSnap{}, fmt.Errorf("serve: snapshotting stream %q: %w", st.name, err)
 	}
+	var schemaRaw json.RawMessage
+	if st.schemaDeclared {
+		// Marshalled under the stream lock: Encode mutates the schema's
+		// normalization statistics, and the envelope encode happens after
+		// the locks are released.
+		raw, err := json.Marshal(st.sch)
+		if err != nil {
+			return streamSnap{}, fmt.Errorf("serve: snapshotting schema of stream %q: %w", st.name, err)
+		}
+		schemaRaw = raw
+	}
 	ss := streamSnap{
 		Name:       st.name,
 		Policy:     st.engine.Kind(),
 		Engine:     json.RawMessage(buf.Bytes()),
+		Schema:     schemaRaw,
 		MaxPending: st.ledger.cap,
 		TicketTTL:  st.ledger.ttl,
 		NextSeq:    st.nextSeq,
@@ -226,7 +249,18 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: restoring stream %q: %w", ss.Name, err)
 		}
-		if err := s.adopt(ss.Name, eng, ss.MaxPending, ss.TicketTTL); err != nil {
+		var sch *schema.Schema
+		if ss.Schema != nil {
+			sch, err = schema.Parse(ss.Schema)
+			if err != nil {
+				return nil, fmt.Errorf("serve: restoring schema of stream %q: %w", ss.Name, err)
+			}
+			if got := sch.EncodedDim(); got != eng.Dim() {
+				return nil, fmt.Errorf("serve: restoring stream %q: schema encodes %d dims, engine has %d",
+					ss.Name, got, eng.Dim())
+			}
+		}
+		if err := s.adopt(ss.Name, eng, sch, ss.MaxPending, ss.TicketTTL); err != nil {
 			return nil, err
 		}
 		st, err := s.stream(ss.Name)

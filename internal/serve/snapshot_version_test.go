@@ -1,0 +1,210 @@
+package serve
+
+// Cross-version snapshot coverage: every format the loader claims to
+// read (legacy, v1, v2, v3) loads into the current service, re-saves as
+// v3, and — for the current format — round-trips byte-for-byte, with
+// and without declared schemas and with live normalization state.
+// TestSnapshotReadsV1 (v1 → v3) and TestLoadLegacySingleRecommenderState
+// (legacy → v3) cover the older two writers.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"banditware/internal/core"
+	"banditware/internal/schema"
+)
+
+// buildMixedService assembles the snapshot torture case: an Algorithm 1
+// stream with a declared schema (live min-max state), a LinUCB stream
+// without one, a shadow, and pending tickets on both paths.
+func buildMixedService(t *testing.T, clock *fakeClock) (*Service, []Ticket) {
+	t.Helper()
+	s := NewService(ServiceOptions{Now: clock.now, TicketTTL: time.Hour})
+	if err := s.CreateStream("typed", StreamConfig{
+		Hardware: testHW(), Schema: testSchemaFields(), Options: core.Options{Seed: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateStream("plain", StreamConfig{
+		Hardware: testHW(), Dim: 1, Policy: PolicySpec{Type: PolicyLinUCB, Beta: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachShadow("typed", "greedy-shadow", PolicySpec{Type: PolicyGreedy}); err != nil {
+		t.Fatal(err)
+	}
+	var pendings []Ticket
+	for i := 0; i < 40; i++ {
+		ctx := schema.Context{
+			Numeric:     map[string]float64{"num_tasks": float64(1 + i*53%300), "input_mb": float64(5 + i*29%800)},
+			Categorical: map[string]string{"site": []string{"expanse", "nautilus", "local"}[i%3]},
+		}
+		tk, err := s.RecommendCtx("typed", ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := s.Recommend("plain", []float64{float64(i%9 + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			pendings = append(pendings, tk, raw)
+			continue
+		}
+		if err := s.Observe(tk.ID, float64(10+i%13*7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Observe(raw.ID, float64(30+i%5*11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, pendings
+}
+
+// TestSnapshotV3ByteForByte: the current envelope — schemas, live
+// normalization statistics, shadows, pending tickets — survives a
+// load/save cycle byte-for-byte, and the restored service still serves.
+func TestSnapshotV3ByteForByte(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9500, 0)}
+	s, pendings := buildMixedService(t, clock)
+
+	var first bytes.Buffer
+	if err := s.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(first.Bytes(), []byte(`"version": 3`)) {
+		t.Fatalf("save is not version 3:\n%.120s", first.String())
+	}
+	if !bytes.Contains(first.Bytes(), []byte(`"schema"`)) {
+		t.Fatal("v3 envelope is missing the schema field")
+	}
+	back, err := Load(bytes.NewReader(first.Bytes()), ServiceOptions{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := back.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("v3 snapshot not byte-for-byte stable across load/save")
+	}
+	// Restored pending tickets (on both the schema and the raw stream)
+	// still redeem.
+	for _, tk := range pendings {
+		if err := back.Observe(tk.ID, 77); err != nil {
+			t.Fatalf("pending ticket %s lost: %v", tk.ID, err)
+		}
+	}
+	// And context traffic keeps flowing against the restored schema.
+	if _, err := back.RecommendCtx("typed", schema.Num(map[string]float64{"num_tasks": 50})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotReadsV2: a version-2 envelope (PR 2 format: policy-typed
+// streams, no schema field) loads into the current service and upgrades
+// to a byte-identical v3 on re-save — schemaless v3 stream bodies are
+// exactly their v2 form, so only the version number moves.
+func TestSnapshotReadsV2(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9600, 0)}
+	s := NewService(ServiceOptions{Now: clock.now, TicketTTL: time.Hour})
+	if err := s.CreateStream("alg1", StreamConfig{
+		Hardware: testHW(), Dim: 1, Options: core.Options{Seed: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateStream("ucb", StreamConfig{
+		Hardware: testHW(), Dim: 1, Policy: PolicySpec{Type: PolicyLinUCB, Beta: 1.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachShadow("alg1", "ts-shadow", PolicySpec{Type: PolicyLinTS, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	var pending Ticket
+	for i := 0; i < 30; i++ {
+		for _, name := range []string{"alg1", "ucb"} {
+			tk, err := s.Recommend(name, []float64{float64(i%12 + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "alg1" && i == 29 {
+				pending = tk
+				continue
+			}
+			if err := s.Observe(tk.ID, float64(15+i%9*6)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var current bytes.Buffer
+	if err := s.Save(&current); err != nil {
+		t.Fatal(err)
+	}
+	// What the PR 2 writer would have produced: the same schemaless
+	// stream bodies under "version": 2.
+	v2 := bytes.Replace(current.Bytes(), []byte(`"version": 3`), []byte(`"version": 2`), 1)
+	if bytes.Equal(v2, current.Bytes()) {
+		t.Fatal("version marker not found in envelope")
+	}
+	back, err := Load(bytes.NewReader(v2), ServiceOptions{Now: clock.now})
+	if err != nil {
+		t.Fatalf("loading v2 envelope: %v", err)
+	}
+	info, err := back.StreamInfo("alg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Round != 29 || info.Pending != 1 || len(info.Shadows) != 1 {
+		t.Fatalf("v2 restore info = %+v", info)
+	}
+	if p, _ := back.Policy("ucb"); p != PolicyLinUCB {
+		t.Fatalf("v2 restore policy = %q", p)
+	}
+	// The v2 pending ticket still redeems, and re-saving upgrades the
+	// envelope to a v3 byte-identical to the current writer's output.
+	var resaved bytes.Buffer
+	if err := back.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved.Bytes(), current.Bytes()) {
+		t.Fatal("v2 → v3 upgrade is not byte-identical to a direct v3 save")
+	}
+	if err := back.Observe(pending.ID, 44); err != nil {
+		t.Fatalf("v2 pending ticket: %v", err)
+	}
+}
+
+// TestSnapshotRestoreRejectsCorruptSchema: a v3 stream whose schema
+// disagrees with its engine dimension (or fails schema validation) is
+// refused rather than silently mis-encoding every future context.
+func TestSnapshotRestoreRejectsCorruptSchema(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9700, 0)}
+	s, _ := buildMixedService(t, clock)
+	var snap bytes.Buffer
+	if err := s.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Drop a category from the one-hot field: the schema still
+	// validates, but its encoded dimension no longer matches the engine.
+	corrupt := bytes.Replace(snap.Bytes(),
+		[]byte(`"expanse",`), nil, 1)
+	if bytes.Equal(corrupt, snap.Bytes()) {
+		t.Fatal("category marker not found")
+	}
+	if _, err := Load(bytes.NewReader(corrupt), ServiceOptions{}); err == nil {
+		t.Fatal("dimension-mismatched schema accepted")
+	}
+	// An outright invalid schema (duplicate field names) is refused too.
+	corrupt = bytes.Replace(snap.Bytes(),
+		[]byte(`"name": "input_mb"`), []byte(`"name": "num_tasks"`), 1)
+	if bytes.Equal(corrupt, snap.Bytes()) {
+		t.Fatal("field marker not found")
+	}
+	if _, err := Load(bytes.NewReader(corrupt), ServiceOptions{}); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}

@@ -322,3 +322,69 @@ func TestServiceErrorsExported(t *testing.T) {
 		t.Fatalf("ParseTicketID = %q, %d, %v", stream, seq, err)
 	}
 }
+
+// TestServiceSchemaPublicSurface drives the exported schema flow end to
+// end: declare a schema (numeric + categorical), serve named contexts,
+// reject malformed ones via ErrSchemaViolation, and round-trip the
+// schema — with live normalization state — through the public snapshot
+// API.
+func TestServiceSchemaPublicSurface(t *testing.T) {
+	sch, err := ParseSchema([]byte(`{
+	  "fields": [
+	    {"name": "num_tasks", "required": true, "min": 0, "normalize": "minmax"},
+	    {"name": "site", "kind": "categorical", "categories": ["expanse", "nautilus"]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(ServiceOptions{})
+	if err := svc.CreateStream("typed", StreamConfig{
+		Hardware: serviceHW(t), Schema: sch, Options: Options{Seed: 9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tk, err := svc.RecommendCtx("typed", Context{
+			Numeric:     map[string]float64{"num_tasks": float64(10 + i*13%90)},
+			Categorical: map[string]string{"site": []string{"expanse", "nautilus"}[i%2]},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Observe(tk.ID, float64(25+i%6*8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Malformed context: sentinel plus enumerable per-field errors.
+	_, err = svc.RecommendCtx("typed", NumericContext(map[string]float64{"num_tasks": -3, "ghost": 1}))
+	if !errors.Is(err, ErrSchemaViolation) {
+		t.Fatalf("err = %v, want ErrSchemaViolation", err)
+	}
+	var v *ValidationError
+	if !errors.As(err, &v) || len(v.Fields()) != 2 {
+		t.Fatalf("validation error = %v", err)
+	}
+	// Snapshot round trip keeps the schema and its running stats.
+	var buf bytes.Buffer
+	if err := svc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadService(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := back.StreamSchema("typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == nil || restored.Fields[0].Stats == nil || restored.Fields[0].Stats.Count != 20 {
+		t.Fatalf("restored schema = %+v", restored)
+	}
+	if _, err := back.RecommendCtx("typed", Context{
+		Numeric:     map[string]float64{"num_tasks": 42},
+		Categorical: map[string]string{"site": "nautilus"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
