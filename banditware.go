@@ -86,6 +86,34 @@
 // including live normalization statistics — persist in service
 // snapshots. Raw-vector calls keep working on every stream.
 //
+// # Structured outcomes and rewards
+//
+// The paper's goal is not the fastest hardware but hardware that is
+// sufficiently good while wasting fewer resources. A stream can
+// therefore learn from more than a bare runtime: observations are
+// Outcomes (runtime plus optional success/failure and named metrics),
+// and StreamConfig.Reward selects how an Outcome plus the chosen arm's
+// hardware collapses to the scalar the engine learns from — runtime
+// (the default), cost_weighted (runtime + λ·Cost(hw)), deadline
+// (graded SLO penalty), or failure_penalty:
+//
+//	_ = svc.CreateStream("batch", banditware.StreamConfig{
+//		Hardware: hw, Dim: 1,
+//		Reward:   banditware.RewardSpec{Type: banditware.RewardCostWeighted, Lambda: 0.5},
+//	})
+//	t, _ := svc.Recommend("batch", []float64{200})
+//	_ = svc.ObserveOutcome(t.ID, banditware.Outcome{
+//		Runtime: 61.7,
+//		Metrics: map[string]float64{"memory_gb": 3.2},
+//	})
+//
+// Malformed outcomes (negative runtime, unknown metric) fail with
+// ErrBadOutcome before the ticket is redeemed (HTTP: 422), scalar
+// Observe calls map to the default Outcome, and per-stream reward and
+// runtime totals surface in StreamInfo and /v1/stats so reward regimes
+// can be compared live — including via shadows carrying their own
+// RewardSpec.
+//
 // The internal packages implement every substrate the paper's evaluation
 // needs (dataframes, linear algebra, workload generators, a cluster
 // simulator, the experiment harness, the serving layer); see DESIGN.md

@@ -23,7 +23,8 @@ import (
 // Streams come from three places: a state snapshot (-state, loaded at
 // startup when the file exists), -create flags (optionally paired with
 // -schema name=path to declare a named feature schema from a JSON
-// file, deriving the stream's dimension), and the POST /v1/streams
+// file, deriving the stream's dimension, and with -reward name=spec to
+// select the stream's reward function), and the POST /v1/streams
 // endpoint at runtime. With -state set, the service snapshots itself to
 // the file on shutdown and every -snapshot interval (atomically, via a
 // temp file and rename).
@@ -52,6 +53,22 @@ func cmdServe(args []string) error {
 		schemaFiles[name] = path
 		return nil
 	})
+	rewards := make(map[string]banditware.RewardSpec)
+	fs.Func("reward", "set a -create stream's reward function as name=type[,key=value...], e.g. jobs=cost_weighted,lambda=0.5 or jobs=deadline,deadline=300,penalty=5 (repeatable; types: runtime, cost_weighted, deadline, failure_penalty)", func(v string) error {
+		name, tok, ok := strings.Cut(v, "=")
+		if !ok || name == "" || tok == "" {
+			return fmt.Errorf("serve: bad -reward %q (want name=spec)", v)
+		}
+		if _, dup := rewards[name]; dup {
+			return fmt.Errorf("serve: duplicate -reward for stream %q", name)
+		}
+		spec, err := parseRewardToken(tok)
+		if err != nil {
+			return fmt.Errorf("serve: bad -reward %q: %w", v, err)
+		}
+		rewards[name] = spec
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +94,9 @@ func cmdServe(args []string) error {
 			}
 			cfg.Schema = sch
 		}
+		if rw, ok := rewards[name]; ok {
+			cfg.Reward = rw
+		}
 		if err := svc.CreateStream(name, cfg); err != nil {
 			return fmt.Errorf("serve: -create %q: %w", spec, err)
 		}
@@ -85,6 +105,11 @@ func cmdServe(args []string) error {
 	for name := range schemaFiles {
 		if !created[name] {
 			return fmt.Errorf("serve: -schema names stream %q but no -create does", name)
+		}
+	}
+	for name := range rewards {
+		if !created[name] {
+			return fmt.Errorf("serve: -reward names stream %q but no -create does", name)
 		}
 	}
 
@@ -203,6 +228,37 @@ func parsePolicyToken(tok string) (banditware.PolicySpec, error) {
 			spec.Seed, ferr = strconv.ParseUint(v, 10, 64)
 		default:
 			return spec, fmt.Errorf("unknown policy parameter %q", k)
+		}
+		if ferr != nil {
+			return spec, fmt.Errorf("bad value for %q: %w", k, ferr)
+		}
+	}
+	return spec, nil
+}
+
+// parseRewardToken parses the CLI reward form "type[,key=value...]",
+// e.g. "cost_weighted,lambda=0.5", "deadline,deadline=300,penalty=5",
+// "failure_penalty,penalty=900". Keys: lambda, deadline
+// (deadline_seconds), penalty.
+func parseRewardToken(tok string) (banditware.RewardSpec, error) {
+	fields := strings.Split(tok, ",")
+	spec := banditware.RewardSpec{Type: strings.TrimSpace(fields[0])}
+	for _, kv := range fields[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("bad parameter %q (want key=value)", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var ferr error
+		switch k {
+		case "lambda":
+			spec.Lambda, ferr = strconv.ParseFloat(v, 64)
+		case "deadline", "deadline_seconds":
+			spec.DeadlineSeconds, ferr = strconv.ParseFloat(v, 64)
+		case "penalty":
+			spec.Penalty, ferr = strconv.ParseFloat(v, 64)
+		default:
+			return spec, fmt.Errorf("unknown reward parameter %q", k)
 		}
 		if ferr != nil {
 			return spec, fmt.Errorf("bad value for %q: %w", k, ferr)

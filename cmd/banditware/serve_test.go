@@ -112,6 +112,48 @@ func TestSchemaFileCreate(t *testing.T) {
 	}
 }
 
+// TestParseRewardToken: the CLI reward form pairs with -create exactly
+// like a -schema file does, and a stream created from it learns under
+// that reward.
+func TestParseRewardToken(t *testing.T) {
+	spec, err := parseRewardToken("cost_weighted,lambda=0.5")
+	if err != nil || spec.Type != banditware.RewardCostWeighted || spec.Lambda != 0.5 {
+		t.Fatalf("parseRewardToken = %+v, %v", spec, err)
+	}
+	spec, err = parseRewardToken("deadline,deadline=300,penalty=5")
+	if err != nil || spec.DeadlineSeconds != 300 || spec.Penalty != 5 {
+		t.Fatalf("parseRewardToken deadline = %+v, %v", spec, err)
+	}
+	if _, err := parseRewardToken("cost_weighted,unknown=1"); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if _, err := parseRewardToken("cost_weighted,lambda=oops"); err == nil {
+		t.Fatal("bad value accepted")
+	}
+	// An accepted token actually parameterises a stream.
+	name, cfg, err := parseCreateSpec("jobs:1:H0=2x16;H1=16x64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Reward, err = parseRewardToken("failure_penalty,penalty=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := banditware.NewService(banditware.ServiceOptions{})
+	if err := svc.CreateStream(name, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := svc.StreamReward("jobs")
+	if err != nil || rw.Type != banditware.RewardFailurePenalty || rw.Penalty != 200 {
+		t.Fatalf("StreamReward = %+v, %v", rw, err)
+	}
+	// An unknown reward type surfaces at create time with the sentinel.
+	cfg.Reward = banditware.RewardSpec{Type: "??"}
+	if err := svc.CreateStream("other", cfg); !errors.Is(err, banditware.ErrBadReward) {
+		t.Fatalf("bad reward create: %v", err)
+	}
+}
+
 func TestParsePolicyToken(t *testing.T) {
 	spec, err := parsePolicyToken("lints,scale=0.5,seed=3")
 	if err != nil || spec.Type != "lints" || spec.PosteriorScale != 0.5 || spec.Seed != 3 {

@@ -11,7 +11,11 @@
 // exactly as National Data Platform applications would. The demo
 // finishes by printing a 422 schema rejection, /v1/stats, each
 // stream's choice for a large workflow, and the shadow's evaluation
-// counters.
+// counters — and closes with the reward pipeline: two streams serving
+// the same workload over the wire, one learning from raw runtime and
+// one from the cost_weighted reward ({"reward": ...} on create,
+// {"outcome": ...} observe bodies), with the cost-aware stream
+// converging to cheaper hardware.
 package main
 
 import (
@@ -160,6 +164,52 @@ func main() {
 		}
 		fmt.Printf("bp3d shadow %q (%s): %d/%d agreements, replay mean runtime %.1fs, est. regret %+.1fs\n",
 			sh.Name, sh.Policy, sh.Agreements, sh.Observations, meanMatched, sh.EstimatedRegret)
+	}
+
+	rewardDemo(base)
+}
+
+// rewardDemo drives the reward pipeline over the wire: the same
+// workload served by a runtime stream and a cost_weighted one. The
+// large machine is barely faster but five times the allocation, so the
+// cost-aware stream settles on the small machine.
+func rewardDemo(base string) {
+	hwSpec := "small=2x16;large=16x64" // Cost 6 vs 32
+	post(base+"/v1/streams", map[string]any{
+		"name": "wf-runtime", "hardware_spec": hwSpec, "dim": 1, "seed": 5,
+	})
+	post(base+"/v1/streams", map[string]any{
+		"name": "wf-cost", "hardware_spec": hwSpec, "dim": 1, "seed": 5,
+		"reward": map[string]any{"type": "cost_weighted", "lambda": 1},
+	})
+	noise := rng.New(500)
+	slowdown := []float64{52.0, 48.0} // small is 4s slower
+	for i := 0; i < 150; i++ {
+		x := 5 + 95*noise.Float64()
+		for _, name := range []string{"wf-runtime", "wf-cost"} {
+			var t banditware.Ticket
+			post(base+"/v1/streams/"+name+"/recommend",
+				map[string]any{"features": []float64{x}}, &t)
+			// Structured outcome body: runtime, success, named metrics.
+			post(base+"/v1/observe", map[string]any{
+				"ticket": t.ID,
+				"outcome": map[string]any{
+					"runtime": slowdown[t.Arm] + 0.05*x + noise.Normal(0, 1),
+					"success": true,
+					"metrics": map[string]float64{"memory_gb": 1 + x/50},
+				},
+			})
+		}
+	}
+	fmt.Println("\ncost-aware serving over the wire (same workload, two rewards):")
+	for _, name := range []string{"wf-runtime", "wf-cost"} {
+		var t banditware.Ticket
+		post(base+"/v1/streams/"+name+"/recommend",
+			map[string]any{"features": []float64{60}}, &t)
+		var info banditware.StreamInfo
+		get(base+"/v1/streams/"+name, &info)
+		fmt.Printf("  %-10s (reward %-13s) -> %-18s cumulative reward %.0f, runtime %.0f\n",
+			name, info.Reward.Type, t.Hardware, info.RewardTotal, info.RuntimeTotal)
 	}
 }
 

@@ -53,12 +53,12 @@ func WriteFitCSV(w io.Writer, series []FitSeries, feature string) error {
 
 // WriteSweepCSV writes a policy sweep.
 func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
-	if _, err := fmt.Fprintln(w, "policy,final_accuracy,mean_regret_s,total_runtime_s"); err != nil {
+	if _, err := fmt.Fprintln(w, "policy,final_accuracy,mean_regret_s,total_runtime_s,total_reward,mean_chosen_cost"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g\n",
-			r.Policy, r.FinalAccuracy, r.MeanRegret, r.TotalRuntime); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%g\n",
+			r.Policy, r.FinalAccuracy, r.MeanRegret, r.TotalRuntime, r.TotalReward, r.MeanChosenCost); err != nil {
 			return err
 		}
 	}

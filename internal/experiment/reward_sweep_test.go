@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+	"banditware/internal/policy"
+	"banditware/internal/reward"
+	"banditware/internal/rng"
+	"banditware/internal/workloads"
+)
+
+// costTradeoffDataset builds the offline mirror of the serving layer's
+// cost_weighted acceptance scenario: the fast arm is slightly faster
+// (8s vs 10s) but far more expensive (Cost 32 vs 6).
+func costTradeoffDataset(t *testing.T) *workloads.Dataset {
+	t.Helper()
+	hw := hardware.Set{
+		{Name: "cheap", CPUs: 2, MemoryGB: 16},
+		{Name: "fast", CPUs: 16, MemoryGB: 64},
+	}
+	truth := func(arm int, x []float64) float64 {
+		if arm == 1 {
+			return 8 + 0.01*x[0]
+		}
+		return 10 + 0.01*x[0]
+	}
+	d := &workloads.Dataset{
+		App:          "cost-tradeoff",
+		Hardware:     hw,
+		FeatureNames: []string{"size"},
+		Truth:        truth,
+		Noise:        func(int, []float64) float64 { return 0.1 },
+	}
+	r := rng.New(5)
+	for i := 0; i < 60; i++ {
+		x := []float64{r.Uniform(1, 20)}
+		arm := i % 2
+		d.Runs = append(d.Runs, workloads.Run{
+			ID: i, Arm: arm, Features: x,
+			Runtime: d.SampleRuntime(arm, x, r),
+		})
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRunSweepRewardSteersCost: the same policy swept under the
+// cost_weighted reward settles on cheaper hardware than under the
+// default runtime reward — the offline counterpart of the serving
+// layer's per-stream RewardSpec, scored by the same reward functions.
+func TestRunSweepRewardSteersCost(t *testing.T) {
+	d := costTradeoffDataset(t)
+	policies := map[string]PolicyFactory{
+		"algorithm1": func(numArms, dim int, seed uint64) (policy.Policy, error) {
+			return policy.NewDecayingEpsilonGreedy(d.Hardware, dim, core.Options{Seed: seed})
+		},
+	}
+	base := SweepConfig{Dataset: d, NRounds: 150, NSim: 4, Seed: 9, Policies: policies}
+
+	byRuntime, err := RunSweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costCfg := base
+	costCfg.Reward = reward.Spec{Type: reward.TypeCostWeighted, Lambda: 1}
+	byCost, err := RunSweep(costCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, cw := byRuntime[0], byCost[0]
+	// Under runtime the fast arm is best; the learner's mean chosen cost
+	// should approach the fast arm's 32. Under cost_weighted the cheap
+	// arm wins (16 < 40), so the mean chosen cost must drop.
+	if cw.MeanChosenCost >= rt.MeanChosenCost {
+		t.Fatalf("cost_weighted sweep chose cost %.1f, runtime sweep %.1f — reward did not steer",
+			cw.MeanChosenCost, rt.MeanChosenCost)
+	}
+	// The default reward keeps the historical semantics: reward == runtime.
+	if math.Abs(rt.TotalReward-rt.TotalRuntime) > 1e-9 {
+		t.Fatalf("default-reward sweep diverged: reward %.3f, runtime %.3f", rt.TotalReward, rt.TotalRuntime)
+	}
+	// The cost reward carries the λ·Cost surcharge on every round.
+	if cw.TotalReward <= cw.TotalRuntime {
+		t.Fatalf("cost sweep totals: reward %.3f <= runtime %.3f", cw.TotalReward, cw.TotalRuntime)
+	}
+	// And its accuracy is judged against the reward-best arm (cheap), so
+	// a converged learner scores high there too.
+	if cw.FinalAccuracy < 0.9 {
+		t.Fatalf("cost sweep final accuracy = %.2f", cw.FinalAccuracy)
+	}
+}
+
+// TestRunSweepRejectsBadReward: a malformed reward spec fails the sweep
+// up front.
+func TestRunSweepRejectsBadReward(t *testing.T) {
+	d := costTradeoffDataset(t)
+	cfg := SweepConfig{
+		Dataset: d, NRounds: 5, NSim: 1, Seed: 1,
+		Policies: map[string]PolicyFactory{
+			"random": func(numArms, dim int, seed uint64) (policy.Policy, error) {
+				return policy.NewRandom(numArms, dim, seed)
+			},
+		},
+		Reward: reward.Spec{Type: "fastest"},
+	}
+	if _, err := RunSweep(cfg); err == nil {
+		t.Fatal("bad reward spec accepted")
+	}
+}

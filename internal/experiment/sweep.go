@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"banditware/internal/policy"
+	"banditware/internal/reward"
 	"banditware/internal/rng"
 	"banditware/internal/stats"
 	"banditware/internal/workloads"
@@ -25,21 +26,37 @@ type SweepConfig struct {
 	NSim     int
 	Seed     uint64
 	Policies map[string]PolicyFactory
+	// Reward selects the learning signal, exactly as a serving stream's
+	// StreamConfig.Reward does: each observed runtime is wrapped in an
+	// Outcome and scored against the chosen arm's hardware by the same
+	// reward functions the server uses (internal/reward), so offline
+	// sweeps evaluate the reward regime a stream would deploy with. The
+	// zero value is the runtime reward — the paper's protocol unchanged.
+	Reward reward.Spec
 }
 
 // SweepRow reports one policy's aggregate behaviour.
 type SweepRow struct {
 	Policy string
 	// FinalAccuracy is the strict best-arm accuracy over the trace after
-	// the last round (mean over simulations).
+	// the last round (mean over simulations). "Best" is reward-best: the
+	// arm minimising the configured reward of the ground-truth runtime
+	// (identical to fastest under the default runtime reward).
 	FinalAccuracy float64
-	// MeanRegret is the per-round mean of truth(chosen) − truth(best),
-	// averaged over rounds and simulations — the bandit-literature regret
-	// in seconds.
+	// MeanRegret is the per-round mean of reward(chosen) − reward(best),
+	// averaged over rounds and simulations — the bandit-literature
+	// regret, in the reward's (runtime-denominated) units.
 	MeanRegret float64
 	// TotalRuntime is the mean cumulative observed runtime across a
-	// simulation (what a user would actually have waited).
+	// simulation (what a user would actually have waited); TotalReward
+	// the mean cumulative reward score (identical under the default
+	// reward).
 	TotalRuntime float64
+	TotalReward  float64
+	// MeanChosenCost is the mean hardware.Config.Cost of the arms the
+	// policy chose online — the resource footprint the reward regime
+	// steers toward.
+	MeanChosenCost float64
 }
 
 // RunSweep runs every policy through the same online protocol and
@@ -61,6 +78,29 @@ func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
 	dim := d.Dim()
 	numArms := len(d.Hardware)
 
+	rewardFn, _, err := reward.Compile(cfg.Reward)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	// score maps a runtime on an arm to the learning/evaluation signal —
+	// the same collapse a serving stream with this RewardSpec applies.
+	score := func(arm int, rt float64) float64 {
+		return rewardFn(reward.Outcome{Runtime: rt}, d.Hardware[arm])
+	}
+	// rewardBest is the ground-truth best arm under the reward: the arm
+	// minimising the reward of its true (noise-free) runtime. Under the
+	// default runtime reward this is exactly d.BestArm(x, 0, 0).
+	rewardBest := func(x []float64) int {
+		best, bestScore := 0, 0.0
+		for arm := 0; arm < numArms; arm++ {
+			s := score(arm, d.Truth(arm, x))
+			if arm == 0 || s < bestScore {
+				best, bestScore = arm, s
+			}
+		}
+		return best
+	}
+
 	// Deterministic policy order: sort names.
 	names := make([]string, 0, len(cfg.Policies))
 	for n := range cfg.Policies {
@@ -75,13 +115,15 @@ func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
 		accs := make([]float64, 0, cfg.NSim)
 		regrets := make([]float64, 0, cfg.NSim)
 		totals := make([]float64, 0, cfg.NSim)
+		totalRewards := make([]float64, 0, cfg.NSim)
+		costs := make([]float64, 0, cfg.NSim)
 		for sim := 0; sim < cfg.NSim; sim++ {
 			simRng := root.Split()
 			p, err := factory(numArms, dim, simRng.Uint64())
 			if err != nil {
 				return nil, fmt.Errorf("experiment: policy %q: %w", name, err)
 			}
-			var regret, total float64
+			var regret, total, totalReward, cost float64
 			for round := 0; round < cfg.NRounds; round++ {
 				run := d.Runs[simRng.Intn(len(d.Runs))]
 				arm, err := p.Select(run.Features)
@@ -89,12 +131,15 @@ func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
 					return nil, fmt.Errorf("experiment: policy %q select: %w", name, err)
 				}
 				rt := d.SampleRuntime(arm, run.Features, simRng)
-				if err := p.Update(arm, run.Features, rt); err != nil {
+				sc := score(arm, rt)
+				if err := p.Update(arm, run.Features, sc); err != nil {
 					return nil, fmt.Errorf("experiment: policy %q update: %w", name, err)
 				}
-				best := d.BestArm(run.Features, 0, 0)
-				regret += d.Truth(arm, run.Features) - d.Truth(best, run.Features)
+				best := rewardBest(run.Features)
+				regret += score(arm, d.Truth(arm, run.Features)) - score(best, d.Truth(best, run.Features))
 				total += rt
+				totalReward += sc
+				cost += d.Hardware[arm].Cost()
 			}
 			// Final strict accuracy over the trace, using the learned
 			// model's choice rather than the (possibly exploring) Select.
@@ -108,19 +153,23 @@ func RunSweep(cfg SweepConfig) ([]SweepRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				if arm == d.BestArm(run.Features, 0, 0) {
+				if arm == rewardBest(run.Features) {
 					correct++
 				}
 			}
 			accs = append(accs, float64(correct)/float64(len(d.Runs)))
 			regrets = append(regrets, regret/float64(cfg.NRounds))
 			totals = append(totals, total)
+			totalRewards = append(totalRewards, totalReward)
+			costs = append(costs, cost/float64(cfg.NRounds))
 		}
 		rows = append(rows, SweepRow{
-			Policy:        name,
-			FinalAccuracy: stats.Mean(accs),
-			MeanRegret:    stats.Mean(regrets),
-			TotalRuntime:  stats.Mean(totals),
+			Policy:         name,
+			FinalAccuracy:  stats.Mean(accs),
+			MeanRegret:     stats.Mean(regrets),
+			TotalRuntime:   stats.Mean(totals),
+			TotalReward:    stats.Mean(totalRewards),
+			MeanChosenCost: stats.Mean(costs),
 		})
 	}
 	return rows, nil

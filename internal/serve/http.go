@@ -30,11 +30,18 @@ import (
 //	POST   /v1/streams/{name}/shadows           attach a shadow policy
 //	DELETE /v1/streams/{name}/shadows/{shadow}  detach a shadow policy
 //
+// Observe routes accept either the scalar {"runtime": ...} form or a
+// structured {"outcome": {"runtime": ..., "success": ..., "metrics":
+// {...}}} body; stream creation and shadow attachment accept a
+// "reward" spec (bare string or object) selecting the stream's reward
+// function.
+//
 // All bodies are JSON. Errors are {"error": "..."} with conventional
 // status codes (404 unknown stream/ticket/shadow, 410 expired ticket,
-// 409 duplicate stream/shadow, 422 context rejected by the stream's
-// feature schema — with a per-field "fields" list — and 400 for other
-// bad input).
+// 409 duplicate stream/shadow, 422 for a context rejected by the
+// stream's feature schema — with a per-field "fields" list — or a
+// malformed outcome (negative runtime, unknown metric), and 400 for
+// other bad input).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -116,6 +123,11 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusGone
 	case errors.Is(err, ErrStreamExists), errors.Is(err, ErrShadowExists):
 		code = http.StatusConflict
+	case errors.Is(err, ErrBadOutcome):
+		// A semantically invalid observation (negative runtime, unknown
+		// metric): the request parsed fine, so 422 like schema
+		// violations. The ticket, if any, was not redeemed.
+		code = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -167,10 +179,21 @@ type hardwareDTO struct {
 	GPUs     int     `json:"gpus,omitempty"`
 }
 
-// shadowDTO is the wire form of one shadow attachment.
+// shadowDTO is the wire form of one shadow attachment. Reward, when
+// given, is the shadow's own reward spec; absent means the shadow
+// inherits the stream's reward.
 type shadowDTO struct {
-	Name   string     `json:"name"`
-	Policy PolicySpec `json:"policy"`
+	Name   string      `json:"name"`
+	Policy PolicySpec  `json:"policy"`
+	Reward *RewardSpec `json:"reward,omitempty"`
+}
+
+// attach attaches the shadow to stream, honouring its optional reward.
+func (sh shadowDTO) attach(svc *Service, stream string) error {
+	if sh.Reward != nil {
+		return svc.AttachShadowReward(stream, sh.Name, sh.Policy, *sh.Reward)
+	}
+	return svc.AttachShadow(stream, sh.Name, sh.Policy)
 }
 
 type createStreamRequest struct {
@@ -190,6 +213,10 @@ type createStreamRequest struct {
 	// ("linucb") or an object ({"type": "linucb", "beta": 2}). Absent
 	// means Algorithm 1 parameterised by the option fields below.
 	Policy *PolicySpec `json:"policy,omitempty"`
+	// Reward selects the stream's reward function — a bare type string
+	// ("cost_weighted") or an object ({"type": "cost_weighted",
+	// "lambda": 0.5}). Absent means the runtime reward.
+	Reward *RewardSpec `json:"reward,omitempty"`
 	// Shadows are shadow policies to attach at creation time.
 	Shadows []shadowDTO `json:"shadows,omitempty"`
 
@@ -283,7 +310,17 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, err))
 			return
 		}
+		if sh.Reward != nil {
+			if _, err := compileReward(*sh.Reward); err != nil {
+				writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, err))
+				return
+			}
+		}
 		shadows = append(shadows, sh)
+	}
+	var rewardSpec RewardSpec
+	if req.Reward != nil {
+		rewardSpec = *req.Reward
 	}
 	err := svc.CreateStream(req.Name, StreamConfig{
 		Hardware:   set,
@@ -291,6 +328,7 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 		Schema:     req.Schema,
 		Options:    opts,
 		Policy:     spec,
+		Reward:     rewardSpec,
 		MaxPending: req.MaxPending,
 		TicketTTL:  time.Duration(req.TicketTTLSeconds * float64(time.Second)),
 	})
@@ -299,7 +337,7 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, sh := range shadows {
-		if err := svc.AttachShadow(req.Name, sh.Name, sh.Policy); err != nil {
+		if err := sh.attach(svc, req.Name); err != nil {
 			writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, err))
 			return
 		}
@@ -315,6 +353,9 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 type attachShadowRequest struct {
 	Name   string     `json:"name"`
 	Policy PolicySpec `json:"policy"`
+	// Reward is the shadow's own reward spec; absent inherits the
+	// stream's.
+	Reward *RewardSpec `json:"reward,omitempty"`
 }
 
 func handleAttachShadow(svc *Service, w http.ResponseWriter, r *http.Request) {
@@ -323,7 +364,7 @@ func handleAttachShadow(svc *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stream := r.PathValue("name")
-	if err := svc.AttachShadow(stream, req.Name, req.Policy); err != nil {
+	if err := (shadowDTO{Name: req.Name, Policy: req.Policy, Reward: req.Reward}).attach(svc, stream); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -456,7 +497,17 @@ type observeRequest struct {
 	Features []float64       `json:"features,omitempty"`
 	Context  *schema.Context `json:"context,omitempty"`
 
-	Runtime float64 `json:"runtime"`
+	// The observation itself: either the scalar runtime (mapped to the
+	// default Outcome) or the structured outcome form — not both.
+	Runtime float64  `json:"runtime,omitempty"`
+	Outcome *Outcome `json:"outcome,omitempty"`
+}
+
+// outcome resolves the request's effective Outcome through the same
+// rule the batch path applies (TicketObservation.outcome): an
+// observation carrying both forms fails with ErrBadOutcome.
+func (req observeRequest) outcome() (Outcome, error) {
+	return TicketObservation{Runtime: req.Runtime, Outcome: req.Outcome}.outcome()
 }
 
 // handleObserve serves both observe endpoints. streamName is "" for the
@@ -466,6 +517,11 @@ type observeRequest struct {
 func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamName string) {
 	var req observeRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	o, err := req.outcome()
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	switch {
@@ -483,7 +539,7 @@ func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamN
 				return
 			}
 		}
-		if err := svc.Observe(req.Ticket, req.Runtime); err != nil {
+		if err := svc.ObserveOutcome(req.Ticket, o); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -494,9 +550,9 @@ func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamN
 		}
 		var err error
 		if req.Context != nil {
-			err = svc.ObserveDirectCtx(streamName, *req.Arm, *req.Context, req.Runtime)
+			err = svc.ObserveDirectOutcomeCtx(streamName, *req.Arm, *req.Context, o)
 		} else {
-			err = svc.ObserveDirect(streamName, *req.Arm, req.Features, req.Runtime)
+			err = svc.ObserveDirectOutcome(streamName, *req.Arm, req.Features, o)
 		}
 		if err != nil {
 			writeError(w, err)

@@ -31,10 +31,22 @@
 //     fields one-hot expanded — while raw-vector calls keep working on
 //     every stream through the identity schema.
 //
+//   - Structured outcomes and rewards. An observation is an Outcome —
+//     measured runtime plus optional success/failure and named metrics —
+//     and every stream carries a RewardSpec mapping the Outcome and the
+//     chosen arm's hardware to the scalar its engine learns from:
+//     runtime (the default, today's behaviour), cost_weighted (the
+//     paper's runtime-vs-resource-waste tradeoff), deadline (graded SLO
+//     penalty), or failure_penalty — see internal/reward. Scalar
+//     Observe(ticket, runtime) calls map to the default Outcome, so old
+//     callers are unchanged.
+//
 //   - Shadow evaluation. A stream may carry shadow policies that see
 //     every context and observation but never serve traffic; replay- and
 //     model-based regret counters let operators A/B a candidate policy
-//     against the serving one on live traffic — see shadow.go.
+//     against the serving one on live traffic, and a shadow may score
+//     the same Outcomes under its own RewardSpec to compare reward
+//     regimes live — see shadow.go.
 //
 //   - Snapshots. Save serialises every stream (engine state, schema with
 //     normalization statistics, shadows, counters, and pending tickets)
@@ -58,8 +70,67 @@ import (
 	"banditware/internal/core"
 	"banditware/internal/hardware"
 	"banditware/internal/regress"
+	"banditware/internal/reward"
 	"banditware/internal/schema"
 )
+
+// Outcome is the structured observation of one completed workflow run:
+// measured runtime plus optional success/failure and named metrics
+// (see banditware/internal/reward). Outcome{Runtime: rt} reproduces the
+// scalar observation exactly.
+type Outcome = reward.Outcome
+
+// RewardSpec selects and parameterises a stream's (or shadow's) reward
+// function — how an Outcome plus the chosen arm's hardware collapses to
+// the scalar the engine learns from. The zero value is the runtime
+// reward (today's behaviour). In JSON the spec may be either a bare
+// string ("cost_weighted") or an object
+// ({"type": "cost_weighted", "lambda": 0.5}).
+type RewardSpec = reward.Spec
+
+// Canonical reward types accepted in RewardSpec.Type.
+const (
+	RewardRuntime        = reward.TypeRuntime
+	RewardCostWeighted   = reward.TypeCostWeighted
+	RewardDeadline       = reward.TypeDeadline
+	RewardFailurePenalty = reward.TypeFailurePenalty
+)
+
+// Reward/outcome errors, re-exported for errors.Is checks.
+var (
+	// ErrBadOutcome reports an Outcome that failed validation (negative
+	// or non-finite runtime, unknown metric, negative metric value).
+	// Outcomes are validated before a ticket is redeemed, so a bad
+	// outcome never burns the ticket. HTTP maps it to 422.
+	ErrBadOutcome = reward.ErrBadOutcome
+	// ErrBadReward reports a RewardSpec no reward function accepts.
+	ErrBadReward = reward.ErrBadSpec
+)
+
+// rewardState is a stream's (or shadow's) compiled reward: the
+// canonical spec it reports and persists, plus the scoring function.
+type rewardState struct {
+	spec reward.Spec
+	fn   reward.Func
+}
+
+// compileReward resolves a RewardSpec into its rewardState.
+func compileReward(spec RewardSpec) (rewardState, error) {
+	fn, canonical, err := reward.Compile(spec)
+	if err != nil {
+		return rewardState{}, err
+	}
+	return rewardState{spec: canonical, fn: fn}, nil
+}
+
+// defaultReward is the runtime reward every pre-Outcome caller gets.
+func defaultReward() rewardState {
+	rs, err := compileReward(RewardSpec{})
+	if err != nil {
+		panic("serve: default reward failed to compile: " + err.Error())
+	}
+	return rs
+}
 
 // Errors reported by the service.
 var (
@@ -110,6 +181,10 @@ type StreamConfig struct {
 	// Policy selects the stream's decision policy; the zero value is
 	// Algorithm 1 parameterised by Options.
 	Policy PolicySpec
+	// Reward selects how observed Outcomes collapse to the scalar the
+	// engine learns from; the zero value is the runtime reward (the
+	// measured runtime unchanged — the paper's Algorithm 1 signal).
+	Reward RewardSpec
 	// MaxPending overrides the service default ledger capacity (0 = inherit).
 	MaxPending int
 	// TicketTTL overrides the service default ticket lifetime (0 = inherit).
@@ -129,11 +204,27 @@ type Ticket struct {
 	IssuedAt  time.Time `json:"issued_at"`
 }
 
-// TicketObservation pairs a ticket with its measured runtime for
-// ObserveBatch.
+// TicketObservation pairs a ticket with its observation for
+// ObserveBatch: either a bare measured runtime (the classic form) or a
+// structured Outcome. When Outcome is set it wins; otherwise Runtime is
+// mapped to the default Outcome.
 type TicketObservation struct {
-	TicketID string  `json:"ticket"`
-	Runtime  float64 `json:"runtime"`
+	TicketID string   `json:"ticket"`
+	Runtime  float64  `json:"runtime,omitempty"`
+	Outcome  *Outcome `json:"outcome,omitempty"`
+}
+
+// outcome resolves the observation's effective Outcome, rejecting
+// ambiguous observations that carry both forms — the same rule the
+// single HTTP observe route applies.
+func (o TicketObservation) outcome() (Outcome, error) {
+	if o.Outcome != nil {
+		if o.Runtime != 0 {
+			return Outcome{}, fmt.Errorf("%w: give outcome or runtime, not both", ErrBadOutcome)
+		}
+		return *o.Outcome, nil
+	}
+	return Outcome{Runtime: o.Runtime}, nil
 }
 
 // StreamInfo is a point-in-time summary of one stream.
@@ -153,6 +244,17 @@ type StreamInfo struct {
 	Observed uint64         `json:"observed"`
 	Evicted  uint64         `json:"evicted"`
 	Expired  uint64         `json:"expired"`
+	// Reward is the stream's canonical reward spec (type "runtime" for
+	// streams that never declared one).
+	Reward RewardSpec `json:"reward"`
+	// RewardTotal is the cumulative scalar reward the engine has learned
+	// from; RuntimeTotal the cumulative measured runtime (identical for
+	// runtime-reward streams); Failures counts outcomes explicitly
+	// marked unsuccessful. Together they let operators compare reward
+	// regimes live.
+	RewardTotal  float64 `json:"reward_total"`
+	RuntimeTotal float64 `json:"runtime_total"`
+	Failures     uint64  `json:"failures"`
 	// Shadows summarises the stream's shadow policies, in attachment
 	// order; absent when none are attached.
 	Shadows []ShadowInfo `json:"shadows,omitempty"`
@@ -164,6 +266,11 @@ type Stats struct {
 	TotalIssued   uint64       `json:"total_issued"`
 	TotalObserved uint64       `json:"total_observed"`
 	TotalPending  int          `json:"total_pending"`
+	// TotalReward and TotalRuntime sum the per-stream reward and
+	// runtime totals; TotalFailures the per-stream failure counts.
+	TotalReward   float64 `json:"total_reward"`
+	TotalRuntime  float64 `json:"total_runtime"`
+	TotalFailures uint64  `json:"total_failures"`
 }
 
 // stream is one registered recommender: a decision engine plus its
@@ -183,13 +290,22 @@ type stream struct {
 	// sch encodes named contexts into the engine's vector space. Never
 	// nil: raw-dimension streams carry the identity schema. Guarded by mu
 	// because Encode mutates normalization statistics.
-	sch      *schema.Schema
-	engine   Engine
-	shadows  []*shadow
+	sch     *schema.Schema
+	engine  Engine
+	shadows []*shadow
+	// rw scores every observed Outcome into the engine's learning
+	// signal. Always compiled; the default is the runtime reward.
+	rw       rewardState
 	ledger   *ledger
 	nextSeq  uint64
 	issued   uint64
 	observed uint64
+	// rewardTotal sums the scalar rewards fed to the engine;
+	// runtimeTotal the measured runtimes; failures counts outcomes
+	// explicitly marked unsuccessful.
+	rewardTotal  float64
+	runtimeTotal float64
+	failures     uint64
 }
 
 type registryShard struct {
@@ -268,11 +384,15 @@ func (s *Service) CreateStream(name string, cfg StreamConfig) error {
 		dim = ed
 		sch = cfg.Schema.Clone()
 	}
+	rw, err := compileReward(cfg.Reward)
+	if err != nil {
+		return err
+	}
 	eng, err := newEngine(cfg.Hardware, dim, cfg.Options, cfg.Policy)
 	if err != nil {
 		return err
 	}
-	return s.adopt(name, eng, sch, cfg.MaxPending, cfg.TicketTTL)
+	return s.adopt(name, eng, sch, rw, cfg.MaxPending, cfg.TicketTTL)
 }
 
 // AdoptBandit registers an already-constructed Algorithm 1 bandit as a
@@ -280,13 +400,14 @@ func (s *Service) CreateStream(name string, cfg StreamConfig) error {
 // from legacy snapshot restore. The caller must not use the bandit
 // directly afterwards.
 func (s *Service) AdoptBandit(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
-	return s.adopt(name, banditEngine{b}, nil, maxPending, ttl)
+	return s.adopt(name, banditEngine{b}, nil, defaultReward(), maxPending, ttl)
 }
 
 // adopt registers an engine as a stream. sch is the stream's declared
 // feature schema (already cloned and validated, its encoded dimension
-// equal to the engine's); nil selects the identity schema.
-func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, maxPending int, ttl time.Duration) error {
+// equal to the engine's); nil selects the identity schema. rw is the
+// stream's compiled reward.
+func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardState, maxPending int, ttl time.Duration) error {
 	if !ValidStreamName(name) {
 		return fmt.Errorf("%w: %q", ErrBadStreamName, name)
 	}
@@ -302,6 +423,7 @@ func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, maxPending 
 	}
 	st := &stream{
 		name: name, engine: eng, sch: sch, schemaDeclared: declared,
+		rw:     rw,
 		ledger: newLedger(maxPending, ttl),
 	}
 	st.armLabels = make([]string, len(eng.Hardware()))
@@ -550,33 +672,76 @@ func (s *Service) RecommendBatchCtx(name string, ctxs []schema.Context) ([]Ticke
 	return out, nil
 }
 
-// observeTicketLocked redeems a ticket, trains the engine, and feeds the
-// observation to every shadow. Callers hold st.mu.
-func (st *stream) observeTicketLocked(now time.Time, id string, runtime float64) error {
-	if math.IsNaN(runtime) || math.IsInf(runtime, 0) {
-		// Reject before redeeming so a bogus runtime does not burn the
-		// ticket.
-		return core.ErrBadValue
+// validateOutcome rejects malformed outcomes with ErrBadOutcome. A
+// non-finite runtime additionally wraps core.ErrBadValue — the
+// sentinel the engine reported for that case before outcomes existed —
+// so pre-Outcome errors.Is checks keep working; the new rejections
+// (negative runtime, bad metrics) carry only the outcome sentinel.
+func validateOutcome(o Outcome) error {
+	err := o.Validate()
+	if err == nil {
+		return nil
+	}
+	if math.IsNaN(o.Runtime) || math.IsInf(o.Runtime, 0) {
+		return fmt.Errorf("%w (%w)", err, core.ErrBadValue)
+	}
+	return err
+}
+
+// applyOutcomeLocked scores the outcome under the stream's reward,
+// trains the engine, and advances the outcome aggregates. The outcome
+// must already be validated. Callers hold st.mu.
+func (st *stream) applyOutcomeLocked(arm int, x []float64, o Outcome) error {
+	hw := st.engine.Hardware()
+	if arm < 0 || arm >= len(hw) {
+		// Checked here, before the reward indexes the arm's hardware —
+		// the engine would also reject it, but only after the reward
+		// lookup would have panicked on a caller-supplied direct arm.
+		return fmt.Errorf("%w (arm %d of %d)", core.ErrArm, arm, len(hw))
+	}
+	score := st.rw.fn(o, hw[arm])
+	if err := st.engine.Observe(arm, x, score); err != nil {
+		return err
+	}
+	st.observed++
+	st.rewardTotal += score
+	st.runtimeTotal += o.Runtime
+	if o.Failed() {
+		st.failures++
+	}
+	return nil
+}
+
+// observeTicketLocked redeems a ticket, trains the engine under the
+// stream's reward, and feeds the outcome to every shadow. The outcome
+// is validated *before* the ticket is redeemed, so a malformed
+// observation (negative runtime, unknown metric) never burns the
+// ticket — or, worse, corrupts the chosen arm's model. Callers hold
+// st.mu.
+func (st *stream) observeTicketLocked(now time.Time, id string, o Outcome) error {
+	if err := validateOutcome(o); err != nil {
+		return err
 	}
 	p, err := st.ledger.take(id, now)
 	if err != nil {
 		return fmt.Errorf("%w (ticket %q)", err, id)
 	}
-	if err := st.engine.Observe(p.arm, p.features, runtime); err != nil {
+	if err := st.applyOutcomeLocked(p.arm, p.features, o); err != nil {
 		return err
 	}
-	st.observed++
 	if len(st.shadows) > 0 {
-		st.shadowObserveLocked(p.shadowArms, p.arm, p.features, runtime)
+		st.shadowObserveLocked(p.shadowArms, p.arm, p.features, o)
 	}
 	return nil
 }
 
-// Observe redeems a decision ticket with the workflow's measured runtime:
-// the arm and features stored at Recommend time are joined automatically,
-// the stream's model for that arm is refit, and ε decays. Each ticket can
-// be observed exactly once.
-func (s *Service) Observe(ticketID string, runtime float64) error {
+// ObserveOutcome redeems a decision ticket with the workflow's
+// structured Outcome: the arm and features stored at Recommend time are
+// joined automatically, the outcome is scored by the stream's reward
+// function, the stream's model for that arm is refit on the score, and
+// ε decays. Each ticket can be observed exactly once; a malformed
+// outcome is rejected with ErrBadOutcome without burning the ticket.
+func (s *Service) ObserveOutcome(ticketID string, o Outcome) error {
 	name, _, err := ParseTicketID(ticketID)
 	if err != nil {
 		return err
@@ -587,14 +752,22 @@ func (s *Service) Observe(ticketID string, runtime float64) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.observeTicketLocked(s.now(), ticketID, runtime)
+	return st.observeTicketLocked(s.now(), ticketID, o)
+}
+
+// Observe redeems a decision ticket with the workflow's measured
+// runtime — ObserveOutcome with the scalar mapped to the default
+// Outcome, kept for pre-Outcome callers.
+func (s *Service) Observe(ticketID string, runtime float64) error {
+	return s.ObserveOutcome(ticketID, Outcome{Runtime: runtime})
 }
 
 // ObserveBatchIndexed redeems many tickets, grouping by stream so each
-// stream's lock is taken once. Failed observations do not abort the
-// rest. The returned slice has one entry per input observation — nil
-// when it was applied, its error otherwise — so batch callers can tell
-// exactly which observations landed.
+// stream's lock is taken once. Each observation may carry a bare
+// runtime or a structured Outcome (see TicketObservation). Failed
+// observations do not abort the rest. The returned slice has one entry
+// per input observation — nil when it was applied, its error otherwise
+// — so batch callers can tell exactly which observations landed.
 func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, errs []error) {
 	errs = make([]error, len(obs))
 	// Group indices by stream, preserving input order within a stream.
@@ -618,7 +791,12 @@ func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, err
 		st.mu.Lock()
 		now := s.now()
 		for _, i := range idxs {
-			if err := st.observeTicketLocked(now, obs[i].TicketID, obs[i].Runtime); err != nil {
+			o, err := obs[i].outcome()
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			if err := st.observeTicketLocked(now, obs[i].TicketID, o); err != nil {
 				errs[i] = err
 				continue
 			}
@@ -643,48 +821,68 @@ func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
 	return applied, errors.Join(errs...)
 }
 
-// ObserveDirect trains the named stream from an (arm, features, runtime)
-// triple the caller tracked itself — the classic single-recommender
-// Observe, bypassing the ticket ledger. Shadows see the round as one
-// unit: each selects on x, is scored against arm, and learns from the
-// runtime.
-func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float64) error {
+// ObserveDirectOutcome trains the named stream from an (arm, features,
+// Outcome) triple the caller tracked itself — the classic
+// single-recommender Observe, bypassing the ticket ledger, scored by
+// the stream's reward function. Shadows see the round as one unit:
+// each selects on x, is scored against arm, and learns from its own
+// reward of the same Outcome.
+func (s *Service) ObserveDirectOutcome(name string, arm int, x []float64, o Outcome) error {
 	st, err := s.stream(name)
 	if err != nil {
 		return err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.observeDirectLocked(arm, x, runtime)
+	if err := validateOutcome(o); err != nil {
+		return err
+	}
+	return st.observeDirectLocked(arm, x, o)
 }
 
-// ObserveDirectCtx is ObserveDirect for a named context: the context is
-// validated and encoded against the stream's schema (advancing its
-// normalization statistics, exactly as the matching RecommendCtx
-// would have) before training the engine.
-func (s *Service) ObserveDirectCtx(name string, arm int, ctx schema.Context, runtime float64) error {
+// ObserveDirect is ObserveDirectOutcome with a bare measured runtime,
+// kept for pre-Outcome callers.
+func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float64) error {
+	return s.ObserveDirectOutcome(name, arm, x, Outcome{Runtime: runtime})
+}
+
+// ObserveDirectOutcomeCtx is ObserveDirectOutcome for a named context:
+// the context is validated and encoded against the stream's schema
+// (advancing its normalization statistics, exactly as the matching
+// RecommendCtx would have) before training the engine. The outcome is
+// validated first, so a bad outcome advances no statistic.
+func (s *Service) ObserveDirectOutcomeCtx(name string, arm int, ctx schema.Context, o Outcome) error {
 	st, err := s.stream(name)
 	if err != nil {
 		return err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if err := validateOutcome(o); err != nil {
+		return err
+	}
 	x, err := st.sch.Encode(ctx)
 	if err != nil {
 		return err
 	}
-	return st.observeDirectLocked(arm, x, runtime)
+	return st.observeDirectLocked(arm, x, o)
+}
+
+// ObserveDirectCtx is ObserveDirectOutcomeCtx with a bare measured
+// runtime, kept for pre-Outcome callers.
+func (s *Service) ObserveDirectCtx(name string, arm int, ctx schema.Context, runtime float64) error {
+	return s.ObserveDirectOutcomeCtx(name, arm, ctx, Outcome{Runtime: runtime})
 }
 
 // observeDirectLocked trains on a caller-tracked triple and runs the
-// one-shot shadow round. Callers hold st.mu.
-func (st *stream) observeDirectLocked(arm int, x []float64, runtime float64) error {
-	if err := st.engine.Observe(arm, x, runtime); err != nil {
+// one-shot shadow round. Callers hold st.mu and have already validated
+// the outcome.
+func (st *stream) observeDirectLocked(arm int, x []float64, o Outcome) error {
+	if err := st.applyOutcomeLocked(arm, x, o); err != nil {
 		return err
 	}
-	st.observed++
 	if len(st.shadows) > 0 {
-		st.shadowObserveLocked(st.shadowRecommendLocked(x), arm, x, runtime)
+		st.shadowObserveLocked(st.shadowRecommendLocked(x), arm, x, o)
 	}
 	return nil
 }
@@ -766,6 +964,16 @@ func (s *Service) StreamSchema(name string) (*schema.Schema, error) {
 	return st.sch.Clone(), nil
 }
 
+// StreamReward returns the named stream's canonical reward spec
+// (type "runtime" for streams that never declared one).
+func (s *Service) StreamReward(name string) (RewardSpec, error) {
+	st, err := s.stream(name)
+	if err != nil {
+		return RewardSpec{}, err
+	}
+	return st.rw.spec, nil
+}
+
 // Hardware returns the named stream's arm set.
 func (s *Service) Hardware(name string) (hardware.Set, error) {
 	st, err := s.stream(name)
@@ -816,19 +1024,23 @@ func (st *stream) infoLocked() StreamInfo {
 		sch = st.sch.Clone()
 	}
 	return StreamInfo{
-		Name:     st.name,
-		Policy:   st.engine.Kind(),
-		Hardware: st.engine.Hardware().Names(),
-		Dim:      st.engine.Dim(),
-		Schema:   sch,
-		Round:    st.engine.Round(),
-		Epsilon:  st.engine.Epsilon(),
-		Pending:  st.ledger.len(),
-		Issued:   st.issued,
-		Observed: st.observed,
-		Evicted:  st.ledger.evicted,
-		Expired:  st.ledger.expired,
-		Shadows:  st.shadowsInfoLocked(),
+		Name:         st.name,
+		Policy:       st.engine.Kind(),
+		Hardware:     st.engine.Hardware().Names(),
+		Dim:          st.engine.Dim(),
+		Schema:       sch,
+		Round:        st.engine.Round(),
+		Epsilon:      st.engine.Epsilon(),
+		Pending:      st.ledger.len(),
+		Issued:       st.issued,
+		Observed:     st.observed,
+		Evicted:      st.ledger.evicted,
+		Expired:      st.ledger.expired,
+		Reward:       st.rw.spec,
+		RewardTotal:  st.rewardTotal,
+		RuntimeTotal: st.runtimeTotal,
+		Failures:     st.failures,
+		Shadows:      st.shadowsInfoLocked(),
 	}
 }
 
@@ -856,6 +1068,9 @@ func (s *Service) Stats() Stats {
 		out.TotalIssued += info.Issued
 		out.TotalObserved += info.Observed
 		out.TotalPending += info.Pending
+		out.TotalReward += info.RewardTotal
+		out.TotalRuntime += info.RuntimeTotal
+		out.TotalFailures += info.Failures
 	}
 	return out
 }

@@ -23,6 +23,14 @@ var (
 type shadow struct {
 	name   string
 	engine Engine
+	// rw is the shadow's own compiled reward: every observed Outcome is
+	// replayed through it, so a shadow can evaluate a different reward
+	// regime (not just a different policy) on live traffic. rwInherited
+	// records that the shadow took the stream's reward at attach time
+	// (such shadows omit the spec from snapshots and re-inherit on
+	// load).
+	rw          rewardState
+	rwInherited bool
 
 	// decisions counts contexts the shadow selected on; observations
 	// counts runtimes it absorbed (decisions whose ticket was evicted or
@@ -34,13 +42,22 @@ type shadow struct {
 	// of those rounds — the replay-style estimate of the shadow's
 	// achieved runtime (Li et al.'s offline policy evaluation: rounds
 	// where the logged action matches the evaluated policy's choice are
-	// unbiased samples of its performance).
+	// unbiased samples of its performance). matchedReward is the same
+	// replay sum under the shadow's own reward.
 	agreements     uint64
 	matchedRuntime float64
+	matchedReward  float64
+	// rewardTotal sums the shadow's reward score of every observed round
+	// (the arm actually run, the Outcome actually measured) — what the
+	// serving traffic is worth under this shadow's reward definition.
+	rewardTotal float64
 	// estRegret accumulates, per observation, the primary model's
-	// predicted runtime of the shadow's arm minus that of the arm
-	// actually run — a model-based cumulative-regret estimate of
-	// switching to the shadow (negative = shadow looks faster).
+	// prediction for the shadow's arm minus that for the arm actually
+	// run — a model-based cumulative-regret estimate of switching to
+	// the shadow (negative = the shadow's choices look better). It is
+	// denominated in the *primary stream's* learning signal: seconds
+	// under the default runtime reward, reward units otherwise — never
+	// in the shadow's own reward (contrast matchedReward).
 	estRegret float64
 }
 
@@ -58,12 +75,23 @@ type ShadowInfo struct {
 	// Agreements counts observations where the shadow agreed with the
 	// primary's arm; MatchedRuntimeTotal sums the measured runtimes of
 	// those rounds (replay evaluation: divide by Agreements for the
-	// shadow's estimated mean runtime).
+	// shadow's estimated mean runtime). MatchedRewardTotal is the same
+	// replay sum scored by the shadow's own reward.
 	Agreements          uint64  `json:"agreements"`
 	MatchedRuntimeTotal float64 `json:"matched_runtime_total"`
-	// EstimatedRegret is the cumulative model-estimated extra runtime of
-	// the shadow's choices over the primary's (negative = the shadow's
-	// choices look faster under the primary's learned models).
+	MatchedRewardTotal  float64 `json:"matched_reward_total"`
+	// Reward is the shadow's canonical reward spec (the stream's,
+	// inherited, unless the shadow declared its own); RewardTotal sums
+	// the shadow's reward score of every observed round — the served
+	// traffic's worth under this shadow's reward definition.
+	Reward      RewardSpec `json:"reward"`
+	RewardTotal float64    `json:"reward_total"`
+	// EstimatedRegret is the cumulative model-estimated extra cost of
+	// the shadow's choices over the primary's, in the primary stream's
+	// learning-signal units — seconds under the default runtime reward,
+	// the primary's reward scale otherwise (never the shadow's own
+	// reward; contrast MatchedRewardTotal). Negative = the shadow's
+	// choices look better under the primary's learned models.
 	EstimatedRegret float64 `json:"estimated_regret"`
 }
 
@@ -76,6 +104,9 @@ func (sh *shadow) info() ShadowInfo {
 		Observations:        sh.observations,
 		Agreements:          sh.agreements,
 		MatchedRuntimeTotal: sh.matchedRuntime,
+		MatchedRewardTotal:  sh.matchedReward,
+		Reward:              sh.rw.spec,
+		RewardTotal:         sh.rewardTotal,
 		EstimatedRegret:     sh.estRegret,
 	}
 }
@@ -114,39 +145,62 @@ func (st *stream) shadowRecommendLocked(x []float64) map[string]int {
 }
 
 // shadowObserveLocked feeds one completed observation to every shadow:
-// off-policy model update, agreement/replay counters, and the
-// model-estimated regret of the shadow's earlier choice. shadowArms maps
-// shadow name to the arm it chose when the context was first seen
-// (shadows attached since then are absent and only learn). Callers hold
-// st.mu.
-func (st *stream) shadowObserveLocked(shadowArms map[string]int, arm int, x []float64, runtime float64) {
+// off-policy model update under the shadow's own reward, agreement and
+// replay counters, and the model-estimated regret of the shadow's
+// earlier choice. The same Outcome is replayed through each shadow's
+// reward function, so shadows with different RewardSpecs score (and
+// learn from) the identical ground truth differently — live A/B of
+// reward regimes, not just policies. shadowArms maps shadow name to the
+// arm it chose when the context was first seen (shadows attached since
+// then are absent and only learn). Callers hold st.mu.
+func (st *stream) shadowObserveLocked(shadowArms map[string]int, arm int, x []float64, o Outcome) {
 	var preds []float64
 	if len(shadowArms) > 0 {
 		preds, _ = st.engine.PredictAll(x) // nil when the primary has no model
 	}
+	hw := st.engine.Hardware()[arm]
 	for _, sh := range st.shadows {
 		sh.observations++
+		// The shadow's own score of the round actually served.
+		score := sh.rw.fn(o, hw)
+		sh.rewardTotal += score
 		if sa, ok := shadowArms[sh.name]; ok {
 			if sa == arm {
 				sh.agreements++
-				sh.matchedRuntime += runtime
+				sh.matchedRuntime += o.Runtime
+				sh.matchedReward += score
 			}
 			if sa < len(preds) && arm < len(preds) {
 				sh.estRegret += preds[sa] - preds[arm]
 			}
 		}
-		// Off-policy update: the primary's arm and the measured runtime
-		// are the only ground truth available.
-		_ = sh.engine.Observe(arm, x, runtime)
+		// Off-policy update: the primary's arm and the measured outcome
+		// are the only ground truth available; the shadow learns from its
+		// own reward of them.
+		_ = sh.engine.Observe(arm, x, score)
 	}
 }
 
 // AttachShadow attaches a shadow policy to a stream under shadowName.
-// The shadow shares the stream's hardware set and feature dimension,
-// receives every subsequent context and observation, and never serves
-// traffic; its evaluation counters appear in StreamInfo, Stats, and the
-// shadows HTTP endpoint.
+// The shadow shares the stream's hardware set, feature dimension, and
+// — with this constructor — its reward; it receives every subsequent
+// context and observation and never serves traffic. Its evaluation
+// counters appear in StreamInfo, Stats, and the shadows HTTP endpoint.
 func (s *Service) AttachShadow(streamName, shadowName string, spec PolicySpec) error {
+	return s.attachShadow(streamName, shadowName, spec, nil)
+}
+
+// AttachShadowReward is AttachShadow with the shadow's own RewardSpec:
+// the shadow replays every Outcome through rw instead of the stream's
+// reward, so an operator can A/B a reward regime (same or different
+// policy) on live traffic before switching the stream over.
+func (s *Service) AttachShadowReward(streamName, shadowName string, spec PolicySpec, rw RewardSpec) error {
+	return s.attachShadow(streamName, shadowName, spec, &rw)
+}
+
+// attachShadow implements both attach forms. rwSpec nil inherits the
+// stream's reward.
+func (s *Service) attachShadow(streamName, shadowName string, spec PolicySpec, rwSpec *RewardSpec) error {
 	st, err := s.stream(streamName)
 	if err != nil {
 		return err
@@ -154,8 +208,18 @@ func (s *Service) AttachShadow(streamName, shadowName string, spec PolicySpec) e
 	if !ValidStreamName(shadowName) {
 		return fmt.Errorf("%w: %q", ErrBadStreamName, shadowName)
 	}
+	var rw rewardState
+	inherited := rwSpec == nil
+	if !inherited {
+		if rw, err = compileReward(*rwSpec); err != nil {
+			return err
+		}
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if inherited {
+		rw = st.rw
+	}
 	for _, sh := range st.shadows {
 		if sh.name == shadowName {
 			return fmt.Errorf("%w: %q", ErrShadowExists, shadowName)
@@ -165,7 +229,7 @@ func (s *Service) AttachShadow(streamName, shadowName string, spec PolicySpec) e
 	if err != nil {
 		return err
 	}
-	st.shadows = append(st.shadows, &shadow{name: shadowName, engine: eng})
+	st.shadows = append(st.shadows, &shadow{name: shadowName, engine: eng, rw: rw, rwInherited: inherited})
 	return nil
 }
 

@@ -29,12 +29,20 @@ import (
 //     validates, encodes, and normalizes contexts exactly as before the
 //     snapshot. Streams without a declared schema omit the field, so a
 //     schemaless v3 stream body is byte-identical to its v2 form.
+//   - Version 4 adds the reward pipeline: an optional per-stream (and
+//     per-shadow) "reward" field carrying the canonical RewardSpec, plus
+//     outcome aggregates ("reward_total", "runtime_total", "failures";
+//     shadows also persist "matched_reward_total"). Streams on the
+//     default runtime reward omit the spec, shadows that inherited the
+//     stream's reward omit theirs, and all aggregates are omitted when
+//     zero — so a default-reward v4 stream body freshly loaded from a
+//     v3 file re-saves byte-identically to its v3 form.
 //
-// Load reads versions 1–3 plus the pre-envelope legacy
+// Load reads versions 1–4 plus the pre-envelope legacy
 // single-recommender format; Save always writes the current version.
 const (
 	snapshotFormat  = "banditware-service"
-	snapshotVersion = 3
+	snapshotVersion = 4
 )
 
 type pendingSnap struct {
@@ -47,14 +55,20 @@ type pendingSnap struct {
 }
 
 type shadowSnap struct {
-	Name           string          `json:"name"`
-	Policy         string          `json:"policy"`
-	Engine         json.RawMessage `json:"engine"`
-	Decisions      uint64          `json:"decisions"`
-	Observations   uint64          `json:"observations"`
-	Agreements     uint64          `json:"agreements"`
-	MatchedRuntime float64         `json:"matched_runtime_total"`
-	EstRegret      float64         `json:"estimated_regret"`
+	Name   string          `json:"name"`
+	Policy string          `json:"policy"`
+	Engine json.RawMessage `json:"engine"`
+	// Reward is the shadow's own reward spec (version 4+); omitted when
+	// the shadow inherited the stream's reward, which it re-inherits on
+	// load.
+	Reward         *RewardSpec `json:"reward,omitempty"`
+	Decisions      uint64      `json:"decisions"`
+	Observations   uint64      `json:"observations"`
+	Agreements     uint64      `json:"agreements"`
+	MatchedRuntime float64     `json:"matched_runtime_total"`
+	MatchedReward  float64     `json:"matched_reward_total,omitempty"`
+	RewardTotal    float64     `json:"reward_total,omitempty"`
+	EstRegret      float64     `json:"estimated_regret"`
 }
 
 type streamSnap struct {
@@ -68,16 +82,24 @@ type streamSnap struct {
 	// Schema is the stream's declared feature schema with its live
 	// normalization statistics (version 3+; absent for raw-dimension
 	// streams and in older envelopes).
-	Schema     json.RawMessage `json:"schema,omitempty"`
-	Shadows    []shadowSnap    `json:"shadows,omitempty"`
-	MaxPending int             `json:"max_pending"`
-	TicketTTL  time.Duration   `json:"ticket_ttl_ns"`
-	NextSeq    uint64          `json:"next_seq"`
-	Issued     uint64          `json:"issued"`
-	Observed   uint64          `json:"observed"`
-	Evicted    uint64          `json:"evicted"`
-	Expired    uint64          `json:"expired"`
-	Pending    []pendingSnap   `json:"pending,omitempty"`
+	Schema json.RawMessage `json:"schema,omitempty"`
+	// Reward is the stream's canonical reward spec and RewardTotal /
+	// RuntimeTotal / Failures its outcome aggregates (version 4+).
+	// Default-reward streams omit the spec; zero aggregates are omitted
+	// — so a stream loaded from a v3 file re-saves byte-identically.
+	Reward       *RewardSpec   `json:"reward,omitempty"`
+	RewardTotal  float64       `json:"reward_total,omitempty"`
+	RuntimeTotal float64       `json:"runtime_total,omitempty"`
+	Failures     uint64        `json:"failures,omitempty"`
+	Shadows      []shadowSnap  `json:"shadows,omitempty"`
+	MaxPending   int           `json:"max_pending"`
+	TicketTTL    time.Duration `json:"ticket_ttl_ns"`
+	NextSeq      uint64        `json:"next_seq"`
+	Issued       uint64        `json:"issued"`
+	Observed     uint64        `json:"observed"`
+	Evicted      uint64        `json:"evicted"`
+	Expired      uint64        `json:"expired"`
+	Pending      []pendingSnap `json:"pending,omitempty"`
 }
 
 type serviceSnap struct {
@@ -141,32 +163,49 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 		}
 		schemaRaw = raw
 	}
+	var rewardSpec *RewardSpec
+	if !st.rw.spec.IsDefault() {
+		spec := st.rw.spec
+		rewardSpec = &spec
+	}
 	ss := streamSnap{
-		Name:       st.name,
-		Policy:     st.engine.Kind(),
-		Engine:     json.RawMessage(buf.Bytes()),
-		Schema:     schemaRaw,
-		MaxPending: st.ledger.cap,
-		TicketTTL:  st.ledger.ttl,
-		NextSeq:    st.nextSeq,
-		Issued:     st.issued,
-		Observed:   st.observed,
-		Evicted:    st.ledger.evicted,
-		Expired:    st.ledger.expired,
+		Name:         st.name,
+		Policy:       st.engine.Kind(),
+		Engine:       json.RawMessage(buf.Bytes()),
+		Schema:       schemaRaw,
+		Reward:       rewardSpec,
+		RewardTotal:  st.rewardTotal,
+		RuntimeTotal: st.runtimeTotal,
+		Failures:     st.failures,
+		MaxPending:   st.ledger.cap,
+		TicketTTL:    st.ledger.ttl,
+		NextSeq:      st.nextSeq,
+		Issued:       st.issued,
+		Observed:     st.observed,
+		Evicted:      st.ledger.evicted,
+		Expired:      st.ledger.expired,
 	}
 	for _, sh := range st.shadows {
 		var sbuf bytes.Buffer
 		if err := sh.engine.SaveState(&sbuf); err != nil {
 			return streamSnap{}, fmt.Errorf("serve: snapshotting shadow %q of stream %q: %w", sh.name, st.name, err)
 		}
+		var shReward *RewardSpec
+		if !sh.rwInherited {
+			spec := sh.rw.spec
+			shReward = &spec
+		}
 		ss.Shadows = append(ss.Shadows, shadowSnap{
 			Name:           sh.name,
 			Policy:         sh.engine.Kind(),
 			Engine:         json.RawMessage(sbuf.Bytes()),
+			Reward:         shReward,
 			Decisions:      sh.decisions,
 			Observations:   sh.observations,
 			Agreements:     sh.agreements,
 			MatchedRuntime: sh.matchedRuntime,
+			MatchedReward:  sh.matchedReward,
+			RewardTotal:    sh.rewardTotal,
 			EstRegret:      sh.estRegret,
 		})
 	}
@@ -202,10 +241,11 @@ func (s *Service) SaveStream(name string, w io.Writer) error {
 }
 
 // Load restores a service from a snapshot written by Save: the current
-// version-2 envelope, the version-1 (pre-policy) envelope, or — for
-// backward compatibility — the legacy single-recommender state format
-// (core.SaveState / Recommender.Save), which is restored as a single
-// Algorithm 1 stream named "default".
+// version-4 envelope, the earlier envelope versions (3: schemas, 2:
+// policy-typed streams, 1: pre-policy), or — for backward compatibility
+// — the legacy single-recommender state format (core.SaveState /
+// Recommender.Save), which is restored as a single Algorithm 1 stream
+// named "default".
 func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -260,7 +300,14 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 					ss.Name, got, eng.Dim())
 			}
 		}
-		if err := s.adopt(ss.Name, eng, sch, ss.MaxPending, ss.TicketTTL); err != nil {
+		rw := defaultReward()
+		if ss.Reward != nil {
+			rw, err = compileReward(*ss.Reward)
+			if err != nil {
+				return nil, fmt.Errorf("serve: restoring reward of stream %q: %w", ss.Name, err)
+			}
+		}
+		if err := s.adopt(ss.Name, eng, sch, rw, ss.MaxPending, ss.TicketTTL); err != nil {
 			return nil, err
 		}
 		st, err := s.stream(ss.Name)
@@ -270,6 +317,9 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 		st.nextSeq = ss.NextSeq
 		st.issued = ss.Issued
 		st.observed = ss.Observed
+		st.rewardTotal = ss.RewardTotal
+		st.runtimeTotal = ss.RuntimeTotal
+		st.failures = ss.Failures
 		st.ledger.evicted = ss.Evicted
 		st.ledger.expired = ss.Expired
 		for _, shs := range ss.Shadows {
@@ -277,13 +327,27 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 			if err != nil {
 				return nil, fmt.Errorf("serve: restoring shadow %q of stream %q: %w", shs.Name, ss.Name, err)
 			}
+			// A shadow without a recorded reward inherited the stream's
+			// at attach time; re-inherit it (pre-v4 shadows land here).
+			shRw, shInherited := st.rw, true
+			if shs.Reward != nil {
+				shRw, err = compileReward(*shs.Reward)
+				if err != nil {
+					return nil, fmt.Errorf("serve: restoring reward of shadow %q of stream %q: %w", shs.Name, ss.Name, err)
+				}
+				shInherited = false
+			}
 			st.shadows = append(st.shadows, &shadow{
 				name:           shs.Name,
 				engine:         seng,
+				rw:             shRw,
+				rwInherited:    shInherited,
 				decisions:      shs.Decisions,
 				observations:   shs.Observations,
 				agreements:     shs.Agreements,
 				matchedRuntime: shs.MatchedRuntime,
+				matchedReward:  shs.MatchedReward,
+				rewardTotal:    shs.RewardTotal,
 				estRegret:      shs.EstRegret,
 			})
 		}

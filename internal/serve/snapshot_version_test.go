@@ -1,14 +1,17 @@
 package serve
 
 // Cross-version snapshot coverage: every format the loader claims to
-// read (legacy, v1, v2, v3) loads into the current service, re-saves as
-// v3, and — for the current format — round-trips byte-for-byte, with
-// and without declared schemas and with live normalization state.
-// TestSnapshotReadsV1 (v1 → v3) and TestLoadLegacySingleRecommenderState
-// (legacy → v3) cover the older two writers.
+// read (legacy, v1, v2, v3, v4) loads into the current service,
+// re-saves as v4, and — for the current format — round-trips
+// byte-for-byte, with and without declared schemas, rewards, and live
+// normalization state. TestSnapshotReadsV1 (v1 → v4) and
+// TestLoadLegacySingleRecommenderState (legacy → v4) cover the older
+// two writers; TestSnapshotReadsV3 pins the byte-stable v3 → v4
+// upgrade for default-reward streams.
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -63,10 +66,11 @@ func buildMixedService(t *testing.T, clock *fakeClock) (*Service, []Ticket) {
 	return s, pendings
 }
 
-// TestSnapshotV3ByteForByte: the current envelope — schemas, live
-// normalization statistics, shadows, pending tickets — survives a
-// load/save cycle byte-for-byte, and the restored service still serves.
-func TestSnapshotV3ByteForByte(t *testing.T) {
+// TestSnapshotV4ByteForByte: the current envelope — schemas, live
+// normalization statistics, outcome aggregates, shadows, pending
+// tickets — survives a load/save cycle byte-for-byte, and the restored
+// service still serves.
+func TestSnapshotV4ByteForByte(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(9500, 0)}
 	s, pendings := buildMixedService(t, clock)
 
@@ -74,11 +78,11 @@ func TestSnapshotV3ByteForByte(t *testing.T) {
 	if err := s.Save(&first); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(first.Bytes(), []byte(`"version": 3`)) {
-		t.Fatalf("save is not version 3:\n%.120s", first.String())
+	if !bytes.Contains(first.Bytes(), []byte(`"version": 4`)) {
+		t.Fatalf("save is not version 4:\n%.120s", first.String())
 	}
 	if !bytes.Contains(first.Bytes(), []byte(`"schema"`)) {
-		t.Fatal("v3 envelope is missing the schema field")
+		t.Fatal("v4 envelope is missing the schema field")
 	}
 	back, err := Load(bytes.NewReader(first.Bytes()), ServiceOptions{Now: clock.now})
 	if err != nil {
@@ -89,7 +93,7 @@ func TestSnapshotV3ByteForByte(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
-		t.Fatal("v3 snapshot not byte-for-byte stable across load/save")
+		t.Fatal("v4 snapshot not byte-for-byte stable across load/save")
 	}
 	// Restored pending tickets (on both the schema and the raw stream)
 	// still redeem.
@@ -145,11 +149,8 @@ func TestSnapshotReadsV2(t *testing.T) {
 		t.Fatal(err)
 	}
 	// What the PR 2 writer would have produced: the same schemaless
-	// stream bodies under "version": 2.
-	v2 := bytes.Replace(current.Bytes(), []byte(`"version": 3`), []byte(`"version": 2`), 1)
-	if bytes.Equal(v2, current.Bytes()) {
-		t.Fatal("version marker not found in envelope")
-	}
+	// stream bodies under "version": 2, without the v4 reward fields.
+	v2 := stripRewardFields(reversion(t, current.Bytes(), 4, 2))
 	back, err := Load(bytes.NewReader(v2), ServiceOptions{Now: clock.now})
 	if err != nil {
 		t.Fatalf("loading v2 envelope: %v", err)
@@ -161,20 +162,106 @@ func TestSnapshotReadsV2(t *testing.T) {
 	if info.Round != 29 || info.Pending != 1 || len(info.Shadows) != 1 {
 		t.Fatalf("v2 restore info = %+v", info)
 	}
+	if info.Reward.Type != RewardRuntime {
+		t.Fatalf("v2 restore reward = %+v, want runtime default", info.Reward)
+	}
 	if p, _ := back.Policy("ucb"); p != PolicyLinUCB {
 		t.Fatalf("v2 restore policy = %q", p)
 	}
 	// The v2 pending ticket still redeems, and re-saving upgrades the
-	// envelope to a v3 byte-identical to the current writer's output.
+	// envelope to a v4 that differs from the v2 file only in its
+	// version number (the reward aggregates restart at zero, which the
+	// writer omits).
 	var resaved bytes.Buffer
 	if err := back.Save(&resaved); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(resaved.Bytes(), current.Bytes()) {
-		t.Fatal("v2 → v3 upgrade is not byte-identical to a direct v3 save")
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v2, 2, 4)) {
+		t.Fatal("v2 → v4 upgrade is not byte-identical modulo the version number")
 	}
 	if err := back.Observe(pending.ID, 44); err != nil {
 		t.Fatalf("v2 pending ticket: %v", err)
+	}
+}
+
+// reversion rewrites the envelope's version marker.
+func reversion(t *testing.T, b []byte, from, to int) []byte {
+	t.Helper()
+	fromB := []byte(fmt.Sprintf(`"version": %d`, from))
+	toB := []byte(fmt.Sprintf(`"version": %d`, to))
+	out := bytes.Replace(b, fromB, toB, 1)
+	if bytes.Equal(out, b) {
+		t.Fatalf("version marker %s not found in envelope", fromB)
+	}
+	return out
+}
+
+// stripRewardFields removes the version-4 reward lines ("reward",
+// "reward_total", "runtime_total", "matched_reward_total", "failures")
+// from an indented envelope, producing the bytes the pre-reward writers
+// emitted. Each field lives on its own line and is never the last
+// member of its object, so whole-line removal keeps the JSON valid.
+func stripRewardFields(b []byte) []byte {
+	var out [][]byte
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		trimmed := bytes.TrimSpace(line)
+		if bytes.HasPrefix(trimmed, []byte(`"reward":`)) ||
+			bytes.HasPrefix(trimmed, []byte(`"reward_total":`)) ||
+			bytes.HasPrefix(trimmed, []byte(`"runtime_total":`)) ||
+			bytes.HasPrefix(trimmed, []byte(`"matched_reward_total":`)) ||
+			bytes.HasPrefix(trimmed, []byte(`"failures":`)) {
+			continue
+		}
+		out = append(out, line)
+	}
+	return bytes.Join(out, []byte("\n"))
+}
+
+// TestSnapshotReadsV3: a version-3 envelope (PR 3 format: schemas, no
+// reward fields) loads into the current service — default runtime
+// reward, zero aggregates — and upgrades on re-save to a v4 that
+// differs from the v3 file only in its version number: the promised
+// byte-stable upgrade for default-reward streams.
+func TestSnapshotReadsV3(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9650, 0)}
+	s, pendings := buildMixedService(t, clock)
+	var current bytes.Buffer
+	if err := s.Save(&current); err != nil {
+		t.Fatal(err)
+	}
+	// What the PR 3 writer would have produced for the same service.
+	v3 := stripRewardFields(reversion(t, current.Bytes(), 4, 3))
+	back, err := Load(bytes.NewReader(v3), ServiceOptions{Now: clock.now})
+	if err != nil {
+		t.Fatalf("loading v3 envelope: %v", err)
+	}
+	info, err := back.StreamInfo("typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Reward.Type != RewardRuntime || info.RewardTotal != 0 {
+		t.Fatalf("v3 restore reward state = %+v", info)
+	}
+	if info.Schema == nil || len(info.Shadows) != 1 {
+		t.Fatalf("v3 restore lost schema/shadows: %+v", info)
+	}
+	var resaved bytes.Buffer
+	if err := back.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v3, 3, 4)) {
+		t.Fatal("v3 → v4 upgrade is not byte-stable for default-reward streams")
+	}
+	// The restored service keeps serving: pending v3 tickets redeem and
+	// the reward aggregates resume from zero.
+	for _, tk := range pendings {
+		if err := back.Observe(tk.ID, 55); err != nil {
+			t.Fatalf("v3 pending ticket %s: %v", tk.ID, err)
+		}
+	}
+	info, _ = back.StreamInfo("typed")
+	if info.RewardTotal == 0 || info.RewardTotal != info.RuntimeTotal {
+		t.Fatalf("post-upgrade aggregates = %+v", info)
 	}
 }
 

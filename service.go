@@ -25,6 +25,7 @@ type ServiceOptions = serve.ServiceOptions
 
 // StreamConfig describes one recommender stream: hardware set, feature
 // dimension, decision policy (Algorithm 1 by default, any PolicySpec
+// type otherwise), reward function (runtime by default, any RewardSpec
 // type otherwise), Algorithm 1 options, and ledger overrides.
 type StreamConfig = serve.StreamConfig
 
@@ -39,6 +40,31 @@ type PolicySpec = serve.PolicySpec
 // 1 and every internal/policy.Policy adapt to it; implementations need
 // no internal locking because the owning stream serialises access.
 type Engine = serve.Engine
+
+// Outcome is the structured observation of one completed workflow run:
+// measured runtime plus optional success/failure and named metrics
+// (memory_gb, energy_joules, cost_usd, queue_seconds). Outcome{Runtime:
+// rt} reproduces the scalar observation exactly; Service.Observe maps
+// to it, so pre-Outcome callers are unchanged.
+type Outcome = serve.Outcome
+
+// RewardSpec selects and parameterises a stream's (or shadow's) reward
+// function — how an observed Outcome plus the chosen arm's hardware
+// collapses to the scalar the engine learns from (lower is better,
+// runtime-denominated). The zero value is the runtime reward (the
+// paper's Algorithm 1 signal); cost_weighted adds λ·Cost(hw) — the
+// paper's runtime-vs-resource-waste tradeoff — deadline grades an SLO
+// miss, and failure_penalty prices failed runs. In JSON a spec may be a
+// bare type string ("cost_weighted") or an object with parameters.
+type RewardSpec = serve.RewardSpec
+
+// Canonical reward types for RewardSpec.Type and StreamInfo.Reward.
+const (
+	RewardRuntime        = serve.RewardRuntime
+	RewardCostWeighted   = serve.RewardCostWeighted
+	RewardDeadline       = serve.RewardDeadline
+	RewardFailurePenalty = serve.RewardFailurePenalty
+)
 
 // ShadowInfo summarises one shadow policy's live evaluation counters:
 // decisions, observations, agreements with the primary, the
@@ -83,6 +109,13 @@ var (
 	ErrUnsupported    = serve.ErrUnsupported
 	ErrShadowExists   = serve.ErrShadowExists
 	ErrShadowNotFound = serve.ErrShadowNotFound
+	// ErrBadOutcome reports an Outcome that failed validation (negative
+	// or non-finite runtime, unknown metric, negative metric value);
+	// outcomes are validated before a ticket is redeemed, so a bad
+	// outcome never burns the ticket. ErrBadReward reports a RewardSpec
+	// no reward function accepts.
+	ErrBadOutcome = serve.ErrBadOutcome
+	ErrBadReward  = serve.ErrBadReward
 )
 
 // NewService constructs an empty serving layer. Register streams with
@@ -91,10 +124,11 @@ var (
 func NewService(opts ServiceOptions) *Service { return serve.NewService(opts) }
 
 // LoadService restores a service from a snapshot written by
-// Service.Save — the current version-2 envelope (policy-typed streams
-// and shadows) or the version-1 envelope from before policies were
-// pluggable. It also accepts the legacy single-recommender format
-// written by Recommender.Save, restoring it as stream "default".
+// Service.Save — the current version-4 envelope (reward specs and
+// outcome aggregates) or any earlier envelope version (3: feature
+// schemas, 2: policy-typed streams and shadows, 1: pre-policy). It also
+// accepts the legacy single-recommender format written by
+// Recommender.Save, restoring it as stream "default".
 func LoadService(r io.Reader) (*Service, error) {
 	return serve.Load(r, ServiceOptions{})
 }
