@@ -23,11 +23,12 @@ import (
 // Streams come from three places: a state snapshot (-state, loaded at
 // startup when the file exists), -create flags (optionally paired with
 // -schema name=path to declare a named feature schema from a JSON
-// file, deriving the stream's dimension, and with -reward name=spec to
-// select the stream's reward function), and the POST /v1/streams
-// endpoint at runtime. With -state set, the service snapshots itself to
-// the file on shutdown and every -snapshot interval (atomically, via a
-// temp file and rename).
+// file, deriving the stream's dimension, with -reward name=spec to
+// select the stream's reward function, and with -adapt name=spec to
+// select its non-stationarity adaptation and on-drift response), and
+// the POST /v1/streams endpoint at runtime. With -state set, the
+// service snapshots itself to the file on shutdown and every -snapshot
+// interval (atomically, via a temp file and rename).
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "", "listen address (host:port; default uses -port)")
@@ -69,6 +70,22 @@ func cmdServe(args []string) error {
 		rewards[name] = spec
 		return nil
 	})
+	adapts := make(map[string]banditware.AdaptSpec)
+	fs.Func("adapt", "set a -create stream's non-stationarity adaptation as name=mode[,key=value...], e.g. jobs=forgetting,factor=0.95 or jobs=window,n=128,on_drift=reset (repeatable; modes: none, forgetting, window; keys: factor, window/n, on_drift, delta, threshold, min_samples, warmup)", func(v string) error {
+		name, tok, ok := strings.Cut(v, "=")
+		if !ok || name == "" || tok == "" {
+			return fmt.Errorf("serve: bad -adapt %q (want name=spec)", v)
+		}
+		if _, dup := adapts[name]; dup {
+			return fmt.Errorf("serve: duplicate -adapt for stream %q", name)
+		}
+		spec, err := parseAdaptToken(tok)
+		if err != nil {
+			return fmt.Errorf("serve: bad -adapt %q: %w", v, err)
+		}
+		adapts[name] = spec
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +114,9 @@ func cmdServe(args []string) error {
 		if rw, ok := rewards[name]; ok {
 			cfg.Reward = rw
 		}
+		if ad, ok := adapts[name]; ok {
+			cfg.Adapt = ad
+		}
 		if err := svc.CreateStream(name, cfg); err != nil {
 			return fmt.Errorf("serve: -create %q: %w", spec, err)
 		}
@@ -110,6 +130,11 @@ func cmdServe(args []string) error {
 	for name := range rewards {
 		if !created[name] {
 			return fmt.Errorf("serve: -reward names stream %q but no -create does", name)
+		}
+	}
+	for name := range adapts {
+		if !created[name] {
+			return fmt.Errorf("serve: -adapt names stream %q but no -create does", name)
 		}
 	}
 
@@ -259,6 +284,45 @@ func parseRewardToken(tok string) (banditware.RewardSpec, error) {
 			spec.Penalty, ferr = strconv.ParseFloat(v, 64)
 		default:
 			return spec, fmt.Errorf("unknown reward parameter %q", k)
+		}
+		if ferr != nil {
+			return spec, fmt.Errorf("bad value for %q: %w", k, ferr)
+		}
+	}
+	return spec, nil
+}
+
+// parseAdaptToken parses the CLI adaptation form "mode[,key=value...]",
+// e.g. "forgetting,factor=0.95", "window,n=128,on_drift=reset",
+// "none,on_drift=reset,threshold=20". Keys: factor, window (n),
+// on_drift, delta, threshold, min_samples, warmup.
+func parseAdaptToken(tok string) (banditware.AdaptSpec, error) {
+	fields := strings.Split(tok, ",")
+	spec := banditware.AdaptSpec{Mode: strings.TrimSpace(fields[0])}
+	for _, kv := range fields[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("bad parameter %q (want key=value)", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var ferr error
+		switch k {
+		case "factor":
+			spec.Factor, ferr = strconv.ParseFloat(v, 64)
+		case "window", "n":
+			spec.Window, ferr = strconv.Atoi(v)
+		case "on_drift":
+			spec.OnDrift = v
+		case "delta", "drift_delta":
+			spec.DriftDelta, ferr = strconv.ParseFloat(v, 64)
+		case "threshold", "drift_threshold":
+			spec.DriftThreshold, ferr = strconv.ParseFloat(v, 64)
+		case "min_samples", "drift_min_samples":
+			spec.DriftMinSamples, ferr = strconv.Atoi(v)
+		case "warmup", "drift_warmup":
+			spec.DriftWarmup, ferr = strconv.Atoi(v)
+		default:
+			return spec, fmt.Errorf("unknown adaptation parameter %q", k)
 		}
 		if ferr != nil {
 			return spec, fmt.Errorf("bad value for %q: %w", k, ferr)

@@ -166,3 +166,41 @@ func TestParsePolicyToken(t *testing.T) {
 		t.Fatal("missing value accepted")
 	}
 }
+
+func TestParseAdaptToken(t *testing.T) {
+	spec, err := parseAdaptToken("forgetting,factor=0.95")
+	if err != nil || spec.Mode != "forgetting" || spec.Factor != 0.95 {
+		t.Fatalf("parseAdaptToken = %+v, %v", spec, err)
+	}
+	spec, err = parseAdaptToken("window,n=128,on_drift=reset,threshold=20")
+	if err != nil || spec.Mode != "window" || spec.Window != 128 ||
+		spec.OnDrift != "reset" || spec.DriftThreshold != 20 {
+		t.Fatalf("parseAdaptToken window = %+v, %v", spec, err)
+	}
+	if _, err := parseAdaptToken("forgetting,unknown=1"); err == nil {
+		t.Fatal("unknown adaptation parameter accepted")
+	}
+	if _, err := parseAdaptToken("window,n=oops"); err == nil {
+		t.Fatal("bad window value accepted")
+	}
+	// The parsed spec drives stream creation end to end.
+	svc := banditware.NewService(banditware.ServiceOptions{})
+	name, cfg, err := parseCreateSpec(`jobs:1:H0=2x16;H1=3x24`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adapt, err = parseAdaptToken("forgetting,factor=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateStream(name, cfg); err != nil {
+		t.Fatal(err)
+	}
+	adapt, err := svc.StreamAdapt("jobs")
+	if err != nil || adapt.Mode != banditware.AdaptForgetting || adapt.Factor != 0.9 {
+		t.Fatalf("created stream adapt = %+v, %v", adapt, err)
+	}
+	if _, err := parseAdaptToken("none"); err != nil {
+		t.Fatalf("bare mode token: %v", err)
+	}
+}

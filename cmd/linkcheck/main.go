@@ -1,0 +1,212 @@
+// Command linkcheck validates the repository's markdown cross-links so
+// stale documentation fails CI instead of rotting silently. For every
+// markdown file named (or found under a named directory) it checks each
+// inline link `[text](target)`:
+//
+//   - relative file targets must exist on disk (resolved against the
+//     linking file's directory);
+//   - fragment targets — `#section` in the same file or `file.md#section`
+//     — must match a heading anchor in the target file, using GitHub's
+//     anchor algorithm (lowercase, punctuation stripped, spaces to
+//     hyphens);
+//   - absolute http(s)/mailto targets are skipped: network reachability
+//     is not this tool's business.
+//
+// Links and headings inside fenced code blocks are ignored. Exit status
+// is 1 with one line per broken link when anything dangles.
+//
+//	go run ./cmd/linkcheck README.md DESIGN.md docs
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images, capturing the
+// target. Reference-style links are rare in this repository and not
+// checked.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// anchorStripRe removes the characters GitHub drops when slugging a
+// heading (everything but word characters, spaces, and hyphens).
+var anchorStripRe = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+
+// githubAnchor reproduces GitHub's heading → anchor slug: strip inline
+// markup punctuation, lowercase, spaces to hyphens.
+func githubAnchor(heading string) string {
+	s := strings.TrimSpace(heading)
+	// Inline code and emphasis markers vanish in the slug.
+	s = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(s)
+	s = anchorStripRe.ReplaceAllString(s, "")
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	return s
+}
+
+// stripFences removes fenced code blocks so their contents are neither
+// scanned for links nor counted as headings.
+func stripFences(lines []string) []string {
+	out := make([]string, 0, len(lines))
+	inFence := false
+	for _, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// anchorsOf collects the heading anchors of one markdown file,
+// including GitHub's -1/-2 suffixes for duplicate headings.
+func anchorsOf(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	for _, line := range stripFences(strings.Split(string(data), "\n")) {
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		a := githubAnchor(m[1])
+		if n := counts[a]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", a, n)] = true
+		} else {
+			anchors[a] = true
+		}
+		counts[a]++
+	}
+	return anchors, nil
+}
+
+// anchorCache memoises anchorsOf per file: heavily cross-linked docs
+// (many fragment links into the same reference file) are read and
+// scanned once instead of once per link.
+var anchorCache = map[string]map[string]bool{}
+
+func cachedAnchorsOf(path string) (map[string]bool, error) {
+	if a, ok := anchorCache[path]; ok {
+		return a, nil
+	}
+	a, err := anchorsOf(path)
+	if err != nil {
+		return nil, err
+	}
+	anchorCache[path] = a
+	return a, nil
+}
+
+// checkFile validates every link in one markdown file, returning one
+// message per broken link.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	lines := stripFences(strings.Split(string(data), "\n"))
+	for _, line := range lines {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(path), file)
+				if _, err := os.Stat(resolved); err != nil {
+					broken = append(broken, fmt.Sprintf("%s: broken link %q: %s does not exist", path, target, resolved))
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(strings.ToLower(resolved), ".md") {
+				continue // fragments into non-markdown files are not checkable
+			}
+			anchors, err := cachedAnchorsOf(resolved)
+			if err != nil {
+				return nil, err
+			}
+			if !anchors[frag] {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q: no heading %q in %s", path, target, frag, resolved))
+			}
+		}
+	}
+	return broken, nil
+}
+
+// expand resolves the CLI arguments into the markdown files to check:
+// files are taken as-is, directories are walked for *.md.
+func expand(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(strings.ToLower(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	files, err := expand(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	broken := 0
+	for _, f := range files {
+		msgs, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		for _, msg := range msgs {
+			fmt.Fprintln(os.Stderr, msg)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links in %d files\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d files ok\n", len(files))
+}

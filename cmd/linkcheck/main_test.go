@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGithubAnchor(t *testing.T) {
+	cases := map[string]string{
+		"Feature schemas":                 "feature-schemas",
+		"Outcomes and rewards":            "outcomes-and-rewards",
+		"`GET /v1/stats`":                 "get-v1stats",
+		"Drift response: a runbook":       "drift-response-a-runbook",
+		"3. The serving layer (Service)":  "3-the-serving-layer-service",
+		"snapshot versions v1–v5":         "snapshot-versions-v1v5",
+		"POST /v1/streams — create":       "post-v1streams--create",
+		"Adaptation (non-stationarity)":   "adaptation-non-stationarity",
+		"What's persisted, what's not":    "whats-persisted-whats-not",
+		"A_name with_underscores intact!": "a_name-with_underscores-intact",
+	}
+	for in, want := range cases {
+		if got := githubAnchor(in); got != want {
+			t.Errorf("githubAnchor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "other.md", "# Other Doc\n\n## Real Section\n")
+	good := writeFile(t, dir, "good.md", `# Good
+
+See [other](other.md) and [its section](other.md#real-section), or
+[mine](#local-heading) and [the web](https://example.com/x#y).
+
+## Local Heading
+
+`+"```"+`
+[not a link check](missing.md) — fenced, ignored
+# Not A Heading
+`+"```"+`
+`)
+	msgs, err := checkFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("good file reported broken links: %v", msgs)
+	}
+	bad := writeFile(t, dir, "bad.md", `# Bad
+
+[gone](missing.md), [no anchor](other.md#fake-section), [no local](#nope).
+`)
+	msgs, err = checkFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("bad file: %d broken links reported, want 3: %v", len(msgs), msgs)
+	}
+}
+
+func TestDuplicateHeadingSuffixes(t *testing.T) {
+	dir := t.TempDir()
+	doc := writeFile(t, dir, "dup.md", `# Doc
+
+[first](#section) and [second](#section-1).
+
+## Section
+
+## Section
+`)
+	msgs, err := checkFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("duplicate-heading anchors reported broken: %v", msgs)
+	}
+}
+
+func TestExpandWalksDirectories(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.md", "# A\n")
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, sub, "b.md", "# B\n")
+	writeFile(t, dir, "ignored.txt", "not markdown")
+	files, err := expand([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("expand found %d files, want 2: %v", len(files), files)
+	}
+}

@@ -62,6 +62,13 @@ type Options struct {
 	// drifts over time. 0 (and 1) mean no forgetting — the paper's
 	// stationary setting.
 	ForgettingFactor float64
+	// WindowSize, when positive, makes each arm retain only its last
+	// WindowSize observations and refit from that sliding window on
+	// every Observe — a hard-memory alternative to ForgettingFactor for
+	// non-stationary environments (old observations vanish entirely
+	// instead of fading). Mutually exclusive with ForgettingFactor and
+	// BatchRefit. Costs O(WindowSize·d²) per observe.
+	WindowSize int `json:"WindowSize,omitempty"`
 	// Seed drives the exploration randomness.
 	Seed uint64
 	// BatchRefit stores every observation and refits the chosen arm by
@@ -108,6 +115,17 @@ func (o Options) Validate() error {
 	}
 	if o.ForgettingFactor < 0 || o.ForgettingFactor > 1 {
 		return fmt.Errorf("core: forgetting factor %v outside [0,1]", o.ForgettingFactor)
+	}
+	if o.WindowSize < 0 {
+		return fmt.Errorf("core: negative window size %d", o.WindowSize)
+	}
+	if o.WindowSize > 0 {
+		if o.ForgettingFactor > 0 && o.ForgettingFactor < 1 {
+			return fmt.Errorf("core: window size and forgetting factor are mutually exclusive")
+		}
+		if o.BatchRefit {
+			return fmt.Errorf("core: window size and batch refit are mutually exclusive")
+		}
 	}
 	return nil
 }
@@ -392,6 +410,26 @@ func (b *Bandit) Observe(armIdx int, x []float64, runtime float64) error {
 	// One-step-ahead residual, recorded before the model absorbs the
 	// observation (an honest out-of-sample error).
 	a.resid.Add(runtime - a.model.Predict(sx))
+	if b.opts.WindowSize > 0 {
+		// Sliding window: retain the last WindowSize observations and
+		// rebuild the arm's estimator from them, so evicted observations
+		// leave no trace (contrast forgetting, which only fades them).
+		// AppendWindow validates before buffering, so a rejected
+		// observation never poisons the window.
+		var err error
+		a.xs, a.ys, err = regress.AppendWindow(a.xs, a.ys, sx, runtime, b.opts.WindowSize)
+		if err != nil {
+			return err
+		}
+		fresh, err := regress.RefitWindow(b.dim, b.opts.RidgeLambda, a.xs, a.ys)
+		if err != nil {
+			return err
+		}
+		a.rls = fresh
+		a.model = a.rls.Model()
+		b.decayLocked()
+		return nil
+	}
 	if err := a.rls.Update(sx, runtime); err != nil {
 		return err
 	}
@@ -408,11 +446,38 @@ func (b *Bandit) Observe(armIdx int, x []float64, runtime float64) error {
 	} else {
 		a.model = a.rls.Model()
 	}
+	b.decayLocked()
+	return nil
+}
+
+// decayLocked advances the round counter and decays ε — the shared tail
+// of every Observe path.
+func (b *Bandit) decayLocked() {
 	b.round++
 	b.eps *= b.opts.Alpha
 	if b.eps < b.opts.MinEpsilon {
 		b.eps = b.opts.MinEpsilon
 	}
+}
+
+// ResetArm drops arm i's learned state — estimator, model, stored
+// window/batch observations, residual tracker — restoring it to the
+// freshly constructed prior. The round counter, ε, and the other arms
+// are untouched. The serving layer uses it to refit a single arm after
+// an online drift detection.
+func (b *Bandit) ResetArm(i int) error {
+	if i < 0 || i >= len(b.arms) {
+		return ErrArm
+	}
+	forget := b.opts.ForgettingFactor
+	if forget == 0 {
+		forget = 1
+	}
+	rls, err := regress.NewRLSForgetting(b.dim, b.opts.RidgeLambda, forget)
+	if err != nil {
+		return err
+	}
+	b.arms[i] = &arm{rls: rls, model: regress.Zero(b.dim)}
 	return nil
 }
 

@@ -1,0 +1,228 @@
+// Package drift provides online change-point detection for the serving
+// layer's non-stationarity handling: a two-sided Page-Hinkley test over
+// a stream of values — in BanditWare, the per-arm reward residuals
+// (observed learning signal minus the model's pre-update prediction).
+//
+// The Page-Hinkley test tracks the running mean of the input stream and
+// accumulates, in both directions, how far recent values have wandered
+// from it beyond a magnitude tolerance δ. When either cumulative
+// excursion exceeds the threshold λ the detector signals a drift — a
+// sustained shift in the mean of the stream, exactly what an
+// environment change (cluster upgrade, co-tenancy shift, workload
+// change) does to a well-fitted model's residuals — and resets itself
+// to baseline the post-drift regime.
+//
+// The detector is scale-dependent: δ and λ are denominated in the units
+// of the monitored stream (seconds of runtime residual for the default
+// reward). MinSamples suppresses detections until enough values have
+// been seen to trust the running mean, and Warmup discards a prefix of
+// the stream entirely — residuals from a cold model are fit error, not
+// drift.
+package drift
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Detection tuning defaults, applied by New for zero Config fields.
+const (
+	// DefaultDelta is the magnitude tolerance δ: deviations from the
+	// running mean smaller than δ never accumulate toward a detection.
+	// The excursion statistic of a stationary stream with noise σ
+	// hovers around σ²/2δ, so δ should be sized against the monitored
+	// stream's noise (δ ≳ σ²/Threshold keeps false alarms rare).
+	DefaultDelta = 0.05
+	// DefaultThreshold is the detection threshold λ on the cumulative
+	// excursion statistic.
+	DefaultThreshold = 50.0
+	// DefaultMinSamples is how many values (after warmup) must be seen
+	// before a detection may fire.
+	DefaultMinSamples = 30
+)
+
+// Config parameterises a PageHinkley detector. The zero value selects
+// the defaults above (and no warmup).
+type Config struct {
+	// Delta is the magnitude tolerance δ (0 selects DefaultDelta;
+	// negative is rejected).
+	Delta float64 `json:"delta,omitempty"`
+	// Threshold is the detection threshold λ (0 selects
+	// DefaultThreshold; negative is rejected).
+	Threshold float64 `json:"threshold,omitempty"`
+	// MinSamples is the minimum number of post-warmup values before a
+	// detection may fire (0 selects DefaultMinSamples).
+	MinSamples int `json:"min_samples,omitempty"`
+	// Warmup is how many leading values are discarded entirely — they
+	// advance no statistic. 0 means none.
+	Warmup int `json:"warmup,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Delta == 0 {
+		c.Delta = DefaultDelta
+	}
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	return c
+}
+
+// Validate rejects non-sensical parameters.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Delta < 0 || math.IsNaN(c.Delta) || math.IsInf(c.Delta, 0) {
+		return fmt.Errorf("drift: delta %v must be non-negative and finite", c.Delta)
+	}
+	if c.Threshold < 0 || math.IsNaN(c.Threshold) || math.IsInf(c.Threshold, 0) {
+		return fmt.Errorf("drift: threshold %v must be non-negative and finite", c.Threshold)
+	}
+	if c.MinSamples < 0 {
+		return fmt.Errorf("drift: negative min samples %d", c.MinSamples)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("drift: negative warmup %d", c.Warmup)
+	}
+	return nil
+}
+
+// PageHinkley is a two-sided Page-Hinkley mean-shift detector. It is
+// not safe for concurrent use; the owner serialises access (in the
+// serving layer, under the stream mutex).
+type PageHinkley struct {
+	cfg Config // defaults applied
+
+	n          int     // values seen, including warmup
+	mean       float64 // running mean of post-warmup values
+	up, down   float64 // cumulative excursions above/below the mean
+	detections uint64  // drifts signalled over the detector's lifetime
+}
+
+// New constructs a detector, applying defaults for zero Config fields.
+func New(cfg Config) (*PageHinkley, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &PageHinkley{cfg: cfg.withDefaults()}, nil
+}
+
+// Add absorbs one value and reports whether it completed a drift
+// detection. On detection the running state resets (the post-drift
+// stream is baselined afresh, warmup included) and the lifetime
+// detection counter advances. Non-finite values are ignored.
+func (d *PageHinkley) Add(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	d.n++
+	if d.n <= d.cfg.Warmup {
+		return false
+	}
+	seen := float64(d.n - d.cfg.Warmup)
+	d.mean += (x - d.mean) / seen
+	// One-sided CUSUM in each direction, reset at zero: values that sit
+	// within δ of the running mean drain the statistic, sustained
+	// excursions accumulate it.
+	d.up = math.Max(0, d.up+x-d.mean-d.cfg.Delta)
+	d.down = math.Max(0, d.down+d.mean-x-d.cfg.Delta)
+	if int(seen) < d.cfg.MinSamples {
+		return false
+	}
+	if d.up > d.cfg.Threshold || d.down > d.cfg.Threshold {
+		d.detections++
+		d.reset()
+		return true
+	}
+	return false
+}
+
+// reset clears the running state, keeping config and lifetime counter.
+func (d *PageHinkley) reset() {
+	d.n = 0
+	d.mean = 0
+	d.up = 0
+	d.down = 0
+}
+
+// Reset clears the running state (mean, excursions, sample count) while
+// keeping the configuration and the lifetime detection counter.
+func (d *PageHinkley) Reset() { d.reset() }
+
+// N returns how many values the detector has absorbed since its last
+// reset (warmup included).
+func (d *PageHinkley) N() int { return d.n }
+
+// Mean returns the running mean of the post-warmup values since the
+// last reset.
+func (d *PageHinkley) Mean() float64 { return d.mean }
+
+// Stat returns the current detection statistic: the larger of the two
+// cumulative excursions, compared against Threshold.
+func (d *PageHinkley) Stat() float64 { return math.Max(d.up, d.down) }
+
+// Threshold returns the effective detection threshold λ.
+func (d *PageHinkley) Threshold() float64 { return d.cfg.Threshold }
+
+// Detections returns how many drifts the detector has signalled over
+// its lifetime (resets do not clear it).
+func (d *PageHinkley) Detections() uint64 { return d.detections }
+
+// Touched reports whether the detector has absorbed any value or
+// signalled any detection — false for a freshly constructed detector,
+// which serialisation uses to omit pristine state.
+func (d *PageHinkley) Touched() bool { return d.n > 0 || d.detections > 0 }
+
+// state is the JSON wire form of a PageHinkley.
+type state struct {
+	Config
+	N          int     `json:"n,omitempty"`
+	Mean       float64 `json:"mean,omitempty"`
+	Up         float64 `json:"up,omitempty"`
+	Down       float64 `json:"down,omitempty"`
+	Detections uint64  `json:"detections,omitempty"`
+}
+
+// MarshalJSON serialises the full detector state (configuration with
+// defaults applied, running statistics, lifetime counter).
+func (d *PageHinkley) MarshalJSON() ([]byte, error) {
+	return json.Marshal(state{
+		Config:     d.cfg,
+		N:          d.n,
+		Mean:       d.mean,
+		Up:         d.up,
+		Down:       d.down,
+		Detections: d.detections,
+	})
+}
+
+// UnmarshalJSON restores a detector serialised by MarshalJSON,
+// rejecting corrupt state (negative counts, non-finite statistics).
+func (d *PageHinkley) UnmarshalJSON(data []byte) error {
+	var s state
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	fresh, err := New(s.Config)
+	if err != nil {
+		return err
+	}
+	if s.N < 0 {
+		return fmt.Errorf("drift: corrupt detector state: negative sample count %d", s.N)
+	}
+	if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) ||
+		math.IsNaN(s.Up) || math.IsInf(s.Up, 0) || s.Up < 0 ||
+		math.IsNaN(s.Down) || math.IsInf(s.Down, 0) || s.Down < 0 {
+		return fmt.Errorf("drift: corrupt detector state: non-finite or negative statistics")
+	}
+	fresh.n = s.N
+	fresh.mean = s.Mean
+	fresh.up = s.Up
+	fresh.down = s.Down
+	fresh.detections = s.Detections
+	*d = *fresh
+	return nil
+}

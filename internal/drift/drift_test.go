@@ -1,0 +1,206 @@
+package drift
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"banditware/internal/rng"
+)
+
+// TestNoDetectionOnStationaryStream: zero-mean noise never trips the
+// detector at default settings.
+func TestNoDetectionOnStationaryStream(t *testing.T) {
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		if d.Add(r.Normal(0, 0.3)) {
+			t.Fatalf("spurious detection at sample %d", i)
+		}
+	}
+	if d.Detections() != 0 {
+		t.Fatalf("detections = %d, want 0", d.Detections())
+	}
+}
+
+// TestDetectsUpwardAndDownwardShift: a sustained mean shift in either
+// direction is detected shortly after it happens.
+func TestDetectsUpwardAndDownwardShift(t *testing.T) {
+	for _, shift := range []float64{8, -8} {
+		d, err := New(Config{Delta: 0.1, Threshold: 20, MinSamples: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(7)
+		for i := 0; i < 200; i++ {
+			if d.Add(r.Normal(0, 1)) {
+				t.Fatalf("shift %v: spurious detection at pre-shift sample %d", shift, i)
+			}
+		}
+		detected := -1
+		for i := 0; i < 200; i++ {
+			if d.Add(r.Normal(shift, 1)) {
+				detected = i
+				break
+			}
+		}
+		if detected < 0 {
+			t.Fatalf("shift %v never detected", shift)
+		}
+		if detected > 100 {
+			t.Fatalf("shift %v detected only after %d post-shift samples", shift, detected)
+		}
+		if d.Detections() != 1 {
+			t.Fatalf("detections = %d, want 1", d.Detections())
+		}
+		// Detection reset the running state: the post-drift regime is
+		// baselined afresh and does not immediately re-fire.
+		if d.N() != 0 {
+			t.Fatalf("post-detection N = %d, want 0", d.N())
+		}
+	}
+}
+
+// TestWarmupDiscardsColdResiduals: a decaying warmup transient (big
+// values converging to zero — a cold model fitting itself) does not
+// fire when the warmup covers it.
+func TestWarmupDiscardsColdResiduals(t *testing.T) {
+	d, err := New(Config{Delta: 0.1, Threshold: 20, MinSamples: 10, Warmup: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 25; i++ {
+		// Residuals of a model converging: 100, 50, 25, ... → 0.
+		if d.Add(100*math.Pow(0.5, float64(i)) + r.Normal(0, 0.1)) {
+			t.Fatalf("warmup transient fired at sample %d", i)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if d.Add(r.Normal(0, 0.1)) {
+			t.Fatalf("spurious detection at post-warmup sample %d", i)
+		}
+	}
+}
+
+// TestMinSamplesSuppressesEarlyDetection: even an extreme shift cannot
+// fire before MinSamples values are seen.
+func TestMinSamplesSuppressesEarlyDetection(t *testing.T) {
+	d, err := New(Config{Delta: 0.1, Threshold: 1, MinSamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 49; i++ {
+		if d.Add(float64(1000 * (i % 2))) {
+			t.Fatalf("detection at sample %d despite MinSamples=50", i)
+		}
+	}
+}
+
+// TestNonFiniteValuesIgnored: NaN/Inf inputs advance nothing.
+func TestNonFiniteValuesIgnored(t *testing.T) {
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Add(math.NaN()) || d.Add(math.Inf(1)) || d.Add(math.Inf(-1)) {
+		t.Fatal("non-finite value triggered a detection")
+	}
+	if d.N() != 0 || d.Touched() {
+		t.Fatalf("non-finite values advanced state: N=%d", d.N())
+	}
+}
+
+// TestConfigValidation: negative parameters are rejected, zeros select
+// defaults.
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Delta: -1}, {Threshold: -1}, {MinSamples: -1}, {Warmup: -1},
+		{Delta: math.NaN()}, {Threshold: math.Inf(1)},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+	d, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() != DefaultThreshold {
+		t.Fatalf("default threshold = %v", d.Threshold())
+	}
+}
+
+// TestStateRoundTrip: a mid-stream detector serialises and restores
+// exactly, continuing to the same detection round.
+func TestStateRoundTrip(t *testing.T) {
+	mk := func() *PageHinkley {
+		d, err := New(Config{Delta: 0.1, Threshold: 15, MinSamples: 5, Warmup: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	orig := mk()
+	r := rng.New(11)
+	vals := make([]float64, 300)
+	for i := range vals {
+		if i < 150 {
+			vals[i] = r.Normal(0, 1)
+		} else {
+			vals[i] = r.Normal(6, 1)
+		}
+	}
+	for _, v := range vals[:160] {
+		orig.Add(v)
+	}
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored PageHinkley
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	for i := 160; i < len(vals); i++ {
+		a, b := orig.Add(vals[i]), restored.Add(vals[i])
+		if a != b {
+			t.Fatalf("restored detector diverged at sample %d: %v vs %v", i, a, b)
+		}
+	}
+	if orig.Detections() != restored.Detections() || orig.Detections() == 0 {
+		t.Fatalf("detections: orig %d, restored %d", orig.Detections(), restored.Detections())
+	}
+	// Round-trip is byte-stable.
+	blob2, err := json.Marshal(&restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again PageHinkley
+	if err := json.Unmarshal(blob2, &again); err != nil {
+		t.Fatal(err)
+	}
+	blob3, _ := json.Marshal(&again)
+	if string(blob2) != string(blob3) {
+		t.Fatal("detector state not byte-stable across round trips")
+	}
+}
+
+// TestCorruptStateRejected: mangled serialised state fails loudly.
+func TestCorruptStateRejected(t *testing.T) {
+	for _, bad := range []string{
+		`{"n": -3}`,
+		`{"mean": 1e999}`,
+		`{"up": -1}`,
+		`{"delta": -0.5}`,
+		`{"min_samples": -2}`,
+	} {
+		var d PageHinkley
+		if err := json.Unmarshal([]byte(bad), &d); err == nil {
+			t.Fatalf("corrupt state %s accepted", bad)
+		}
+	}
+}

@@ -59,10 +59,36 @@ type ArmModeler interface {
 	ArmModel(arm int) (regress.Model, error)
 }
 
-// linArms is the shared per-arm linear-model state.
+// Adaptive is an optional Policy extension for non-stationary serving:
+// SetAdaptation configures exponential forgetting (forget in (0, 1);
+// 1 = none) or a per-arm sliding window of the last `window`
+// observations (0 = none) on the policy's models. It must be called
+// before the policy absorbs any observation; the linear-model policies
+// implement it, model-free ones (Random, Oracle) do not.
+type Adaptive interface {
+	SetAdaptation(forget float64, window int) error
+}
+
+// ArmResetter is an optional Policy extension: ResetArm drops one arm's
+// learned model, restoring it to the constructed prior while leaving
+// the other arms untouched — the serving layer's response to an online
+// drift detection on that arm.
+type ArmResetter interface {
+	ResetArm(arm int) error
+}
+
+// linArms is the shared per-arm linear-model state, with optional
+// exponential forgetting or a sliding window over the last `window`
+// observations per arm (see Adaptive).
 type linArms struct {
-	dim  int
-	arms []*regress.RLS
+	dim    int
+	lambda float64
+	forget float64 // (0, 1]; 1 = none
+	window int     // 0 = none
+	arms   []*regress.RLS
+	// wxs/wys are the per-arm window buffers (window > 0 only).
+	wxs [][][]float64
+	wys [][]float64
 }
 
 func newLinArms(numArms, dim int, lambda float64) (*linArms, error) {
@@ -72,7 +98,7 @@ func newLinArms(numArms, dim int, lambda float64) (*linArms, error) {
 	if dim < 0 {
 		return nil, fmt.Errorf("policy: negative dimension %d", dim)
 	}
-	la := &linArms{dim: dim, arms: make([]*regress.RLS, numArms)}
+	la := &linArms{dim: dim, lambda: lambda, forget: 1, arms: make([]*regress.RLS, numArms)}
 	for i := range la.arms {
 		rls, err := regress.NewRLS(dim, lambda)
 		if err != nil {
@@ -83,6 +109,58 @@ func newLinArms(numArms, dim int, lambda float64) (*linArms, error) {
 	return la, nil
 }
 
+// setAdaptation configures forgetting or windowing, recreating the
+// (necessarily untrained) per-arm estimators. Implements Adaptive for
+// the owning policies.
+func (la *linArms) setAdaptation(forget float64, window int) error {
+	if forget <= 0 || forget > 1 {
+		return fmt.Errorf("policy: forgetting factor %v outside (0, 1]", forget)
+	}
+	if window < 0 {
+		return fmt.Errorf("policy: negative window %d", window)
+	}
+	if forget < 1 && window > 0 {
+		return errors.New("policy: forgetting and windowing are mutually exclusive")
+	}
+	for i, a := range la.arms {
+		if a.N() > 0 {
+			return fmt.Errorf("policy: arm %d already trained; set adaptation before updates", i)
+		}
+	}
+	la.forget = forget
+	la.window = window
+	la.wxs, la.wys = nil, nil
+	if window > 0 {
+		la.wxs = make([][][]float64, len(la.arms))
+		la.wys = make([][]float64, len(la.arms))
+	}
+	for i := range la.arms {
+		rls, err := regress.NewRLSForgetting(la.dim, la.lambda, forget)
+		if err != nil {
+			return err
+		}
+		la.arms[i] = rls
+	}
+	return nil
+}
+
+// resetArm restores one arm to its untrained prior, clearing its window
+// buffer. Implements ArmResetter for the owning policies.
+func (la *linArms) resetArm(arm int) error {
+	if arm < 0 || arm >= len(la.arms) {
+		return ErrArm
+	}
+	rls, err := regress.NewRLSForgetting(la.dim, la.lambda, la.forget)
+	if err != nil {
+		return err
+	}
+	la.arms[arm] = rls
+	if la.window > 0 {
+		la.wxs[arm], la.wys[arm] = nil, nil
+	}
+	return nil
+}
+
 func (la *linArms) update(arm int, x []float64, runtime float64) error {
 	if arm < 0 || arm >= len(la.arms) {
 		return ErrArm
@@ -90,7 +168,28 @@ func (la *linArms) update(arm int, x []float64, runtime float64) error {
 	if len(x) != la.dim {
 		return ErrDim
 	}
+	if la.window > 0 {
+		return la.updateWindowed(arm, x, runtime)
+	}
 	return la.arms[arm].Update(x, runtime)
+}
+
+// updateWindowed appends to the arm's window buffer (evicting past the
+// window) and rebuilds its estimator from the retained observations.
+// AppendWindow validates before buffering, so a rejected value never
+// poisons the window.
+func (la *linArms) updateWindowed(arm int, x []float64, runtime float64) error {
+	var err error
+	la.wxs[arm], la.wys[arm], err = regress.AppendWindow(la.wxs[arm], la.wys[arm], x, runtime, la.window)
+	if err != nil {
+		return err
+	}
+	fresh, err := regress.RefitWindow(la.dim, la.lambda, la.wxs[arm], la.wys[arm])
+	if err != nil {
+		return err
+	}
+	la.arms[arm] = fresh
+	return nil
 }
 
 func (la *linArms) predictAll(x []float64) ([]float64, error) {
@@ -548,4 +647,55 @@ func (p *Oracle) Update(arm int, x []float64, runtime float64) error {
 		return ErrArm
 	}
 	return nil
+}
+
+// --- adaptation and arm-reset wiring ----------------------------------
+
+// SetAdaptation implements Adaptive.
+func (p *FixedEpsilonGreedy) SetAdaptation(forget float64, window int) error {
+	return p.la.setAdaptation(forget, window)
+}
+
+// SetAdaptation implements Adaptive.
+func (p *Greedy) SetAdaptation(forget float64, window int) error {
+	return p.la.setAdaptation(forget, window)
+}
+
+// SetAdaptation implements Adaptive.
+func (p *LinUCB) SetAdaptation(forget float64, window int) error {
+	return p.la.setAdaptation(forget, window)
+}
+
+// SetAdaptation implements Adaptive.
+func (p *LinTS) SetAdaptation(forget float64, window int) error {
+	return p.la.setAdaptation(forget, window)
+}
+
+// SetAdaptation implements Adaptive.
+func (p *Softmax) SetAdaptation(forget float64, window int) error {
+	return p.la.setAdaptation(forget, window)
+}
+
+// ResetArm implements ArmResetter.
+func (p *FixedEpsilonGreedy) ResetArm(arm int) error { return p.la.resetArm(arm) }
+
+// ResetArm implements ArmResetter.
+func (p *Greedy) ResetArm(arm int) error { return p.la.resetArm(arm) }
+
+// ResetArm implements ArmResetter.
+func (p *LinUCB) ResetArm(arm int) error { return p.la.resetArm(arm) }
+
+// ResetArm implements ArmResetter.
+func (p *LinTS) ResetArm(arm int) error { return p.la.resetArm(arm) }
+
+// ResetArm implements ArmResetter.
+func (p *Softmax) ResetArm(arm int) error { return p.la.resetArm(arm) }
+
+// ResetArm implements ArmResetter via the wrapped bandit.
+func (p *DecayingEpsilonGreedy) ResetArm(arm int) error {
+	err := p.B.ResetArm(arm)
+	if errors.Is(err, core.ErrArm) {
+		return ErrArm
+	}
+	return err
 }

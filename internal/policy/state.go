@@ -59,6 +59,15 @@ type State struct {
 	Beta    float64 `json:"beta,omitempty"`    // linucb
 	Scale   float64 `json:"scale,omitempty"`   // lints posterior scale
 	Temp    float64 `json:"temp,omitempty"`    // softmax temperature
+	// Adaptation (linear-model policies; see Adaptive). Forget is the
+	// exponential forgetting factor (omitted when 1 — no forgetting);
+	// Window is the sliding-window length with WindowXs/WindowYs the
+	// live per-arm buffers (omitted when 0). States written before
+	// adaptation existed carry none of these and restore unchanged.
+	Forget   float64       `json:"forget,omitempty"`
+	Window   int           `json:"window,omitempty"`
+	WindowXs [][][]float64 `json:"window_xs,omitempty"`
+	WindowYs [][]float64   `json:"window_ys,omitempty"`
 	// Arms holds the per-arm least-squares estimators of linear-model
 	// policies.
 	Arms []*regress.RLS `json:"arms,omitempty"`
@@ -71,6 +80,62 @@ type State struct {
 // serialised and later restored with Restore.
 type Snapshotter interface {
 	Snapshot() (State, error)
+}
+
+// adaptState records the linArms adaptation configuration (and live
+// window buffers) in st. Non-adaptive policies record nothing, so their
+// states are byte-identical to the pre-adaptation format.
+func (la *linArms) adaptState(st *State) {
+	if la.forget < 1 {
+		st.Forget = la.forget
+	}
+	if la.window > 0 {
+		st.Window = la.window
+		st.WindowXs = la.wxs
+		st.WindowYs = la.wys
+	}
+}
+
+// restoreAdapt applies a snapshotted adaptation configuration,
+// validating the window buffers against the policy's shape. The
+// per-arm estimators (already restored) carry their own forgetting.
+func (la *linArms) restoreAdapt(st State) error {
+	forget := st.Forget
+	if forget == 0 {
+		forget = 1 // states written before adaptation existed
+	}
+	if forget < 0 || forget > 1 {
+		return fmt.Errorf("policy: corrupt state: forgetting factor %v", forget)
+	}
+	if st.Window < 0 {
+		return fmt.Errorf("policy: corrupt state: negative window %d", st.Window)
+	}
+	if forget < 1 && st.Window > 0 {
+		return errors.New("policy: corrupt state: both forgetting and window set")
+	}
+	la.forget = forget
+	la.window = st.Window
+	if st.Window == 0 {
+		return nil
+	}
+	if len(st.WindowXs) != len(la.arms) || len(st.WindowYs) != len(la.arms) {
+		return fmt.Errorf("policy: corrupt state: %d/%d window buffers for %d arms",
+			len(st.WindowXs), len(st.WindowYs), len(la.arms))
+	}
+	for i := range st.WindowXs {
+		if len(st.WindowXs[i]) != len(st.WindowYs[i]) || len(st.WindowYs[i]) > st.Window {
+			return fmt.Errorf("policy: corrupt state: arm %d window holds %d/%d values (cap %d)",
+				i, len(st.WindowXs[i]), len(st.WindowYs[i]), st.Window)
+		}
+		for _, x := range st.WindowXs[i] {
+			if len(x) != la.dim {
+				return fmt.Errorf("%w: arm %d window features have dim %d, want %d",
+					ErrDim, i, len(x), la.dim)
+			}
+		}
+	}
+	la.wxs, la.wys = st.WindowXs, st.WindowYs
+	return nil
 }
 
 // Snapshot implements Snapshotter via the wrapped bandit's SaveState.
@@ -89,24 +154,28 @@ func (p *DecayingEpsilonGreedy) Snapshot() (State, error) {
 
 // Snapshot implements Snapshotter.
 func (p *FixedEpsilonGreedy) Snapshot() (State, error) {
-	return State{
+	st := State{
 		Type:    TypeEpsGreedy,
 		NumArms: len(p.la.arms),
 		Dim:     p.la.dim,
 		Seed:    p.seed,
 		Epsilon: p.eps,
 		Arms:    p.la.arms,
-	}, nil
+	}
+	p.la.adaptState(&st)
+	return st, nil
 }
 
 // Snapshot implements Snapshotter.
 func (p *Greedy) Snapshot() (State, error) {
-	return State{
+	st := State{
 		Type:    TypeGreedy,
 		NumArms: len(p.la.arms),
 		Dim:     p.la.dim,
 		Arms:    p.la.arms,
-	}, nil
+	}
+	p.la.adaptState(&st)
+	return st, nil
 }
 
 // Snapshot implements Snapshotter.
@@ -116,37 +185,43 @@ func (p *Random) Snapshot() (State, error) {
 
 // Snapshot implements Snapshotter.
 func (p *LinUCB) Snapshot() (State, error) {
-	return State{
+	st := State{
 		Type:    TypeLinUCB,
 		NumArms: len(p.la.arms),
 		Dim:     p.la.dim,
 		Beta:    p.beta,
 		Arms:    p.la.arms,
-	}, nil
+	}
+	p.la.adaptState(&st)
+	return st, nil
 }
 
 // Snapshot implements Snapshotter.
 func (p *LinTS) Snapshot() (State, error) {
-	return State{
+	st := State{
 		Type:    TypeLinTS,
 		NumArms: len(p.la.arms),
 		Dim:     p.la.dim,
 		Seed:    p.seed,
 		Scale:   p.v,
 		Arms:    p.la.arms,
-	}, nil
+	}
+	p.la.adaptState(&st)
+	return st, nil
 }
 
 // Snapshot implements Snapshotter.
 func (p *Softmax) Snapshot() (State, error) {
-	return State{
+	st := State{
 		Type:    TypeSoftmax,
 		NumArms: len(p.la.arms),
 		Dim:     p.la.dim,
 		Seed:    p.seed,
 		Temp:    p.temp,
 		Arms:    p.la.arms,
-	}, nil
+	}
+	p.la.adaptState(&st)
+	return st, nil
 }
 
 // Snapshot implements Snapshotter by refusing: the oracle's ground-truth
@@ -175,6 +250,9 @@ func Restore(st State) (Policy, error) {
 		if err := p.la.restoreArms(st.Arms); err != nil {
 			return nil, err
 		}
+		if err := p.la.restoreAdapt(st); err != nil {
+			return nil, err
+		}
 		return p, nil
 	case TypeGreedy:
 		p, err := NewGreedy(st.NumArms, st.Dim)
@@ -182,6 +260,9 @@ func Restore(st State) (Policy, error) {
 			return nil, err
 		}
 		if err := p.la.restoreArms(st.Arms); err != nil {
+			return nil, err
+		}
+		if err := p.la.restoreAdapt(st); err != nil {
 			return nil, err
 		}
 		return p, nil
@@ -195,6 +276,9 @@ func Restore(st State) (Policy, error) {
 		if err := p.la.restoreArms(st.Arms); err != nil {
 			return nil, err
 		}
+		if err := p.la.restoreAdapt(st); err != nil {
+			return nil, err
+		}
 		return p, nil
 	case TypeLinTS:
 		p, err := NewLinTS(st.NumArms, st.Dim, st.Scale, st.Seed)
@@ -204,6 +288,9 @@ func Restore(st State) (Policy, error) {
 		if err := p.la.restoreArms(st.Arms); err != nil {
 			return nil, err
 		}
+		if err := p.la.restoreAdapt(st); err != nil {
+			return nil, err
+		}
 		return p, nil
 	case TypeSoftmax:
 		p, err := NewSoftmax(st.NumArms, st.Dim, st.Temp, st.Seed)
@@ -211,6 +298,9 @@ func Restore(st State) (Policy, error) {
 			return nil, err
 		}
 		if err := p.la.restoreArms(st.Arms); err != nil {
+			return nil, err
+		}
+		if err := p.la.restoreAdapt(st); err != nil {
 			return nil, err
 		}
 		return p, nil

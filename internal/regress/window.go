@@ -1,0 +1,44 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"banditware/internal/linalg"
+)
+
+// AppendWindow appends one observation to a sliding-window buffer,
+// evicting the oldest entries so at most limit remain, and returns the
+// updated buffers. The observation is validated (finite x and y)
+// before it is buffered, so a rejected value never poisons the window
+// — both the Algorithm 1 bandit and the linear-model policies slide
+// their windows through this one helper, keeping the two paths
+// behaviourally identical. x is copied; the caller may reuse it.
+func AppendWindow(xs [][]float64, ys []float64, x []float64, y float64, limit int) ([][]float64, []float64, error) {
+	if !linalg.VecIsFinite(x) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return xs, ys, fmt.Errorf("%w: non-finite observation", ErrBadInput)
+	}
+	xs = append(xs, append([]float64(nil), x...))
+	ys = append(ys, y)
+	if drop := len(ys) - limit; drop > 0 {
+		xs = append(xs[:0], xs[drop:]...)
+		ys = append(ys[:0], ys[drop:]...)
+	}
+	return xs, ys, nil
+}
+
+// RefitWindow builds a fresh no-forgetting estimator from a window
+// buffer — the rebuild step of a sliding-window update. lambda <= 0
+// selects DefaultLambda, as in NewRLS.
+func RefitWindow(dim int, lambda float64, xs [][]float64, ys []float64) (*RLS, error) {
+	fresh, err := NewRLS(dim, lambda)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ys {
+		if err := fresh.Update(xs[i], ys[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fresh, nil
+}

@@ -65,6 +65,14 @@ type CIProvider interface {
 	PredictWithCI(x []float64, z float64) ([]core.Interval, error)
 }
 
+// ArmResetter is an optional Engine extension: ResetArm drops one arm's
+// learned model, restoring it to the constructed prior while leaving
+// the other arms, the round counter, and ε untouched — the on-drift
+// "reset" response. Model-free policies (random) do not implement it.
+type ArmResetter interface {
+	ResetArm(arm int) error
+}
+
 // Engine/policy errors.
 var (
 	// ErrUnknownPolicy reports a PolicySpec.Type no engine adapter
@@ -170,8 +178,12 @@ func defaulted(v, def float64) float64 {
 
 // newEngine builds the engine a stream (or shadow) serves from. opts
 // parameterises Algorithm 1 and is ignored by the other policies, which
-// take their parameters from spec.
-func newEngine(hw hardware.Set, dim int, opts core.Options, spec PolicySpec) (Engine, error) {
+// take their parameters from spec. adapt (already canonical — see
+// compileAdapt) configures model forgetting or windowing: Algorithm 1
+// takes it through its Options, the linear-model policies through
+// policy.Adaptive; policies without models (random) reject any mode but
+// "none".
+func newEngine(hw hardware.Set, dim int, opts core.Options, spec PolicySpec, adapt AdaptSpec) (Engine, error) {
 	kind, err := spec.kind()
 	if err != nil {
 		return nil, err
@@ -179,6 +191,25 @@ func newEngine(hw hardware.Set, dim int, opts core.Options, spec PolicySpec) (En
 	if kind == PolicyAlgorithm1 {
 		if spec.Seed != 0 {
 			opts.Seed = spec.Seed
+		}
+		if adapt.Mode != AdaptNone {
+			// The adaptation spec is the single source of truth for the
+			// memory knobs: a stream that also sets the raw Options
+			// equivalents is ambiguous and rejected, not silently merged.
+			if opts.ForgettingFactor != 0 {
+				return nil, fmt.Errorf("%w: adaptation mode %q conflicts with the stream's forgetting_factor option",
+					ErrBadAdapt, adapt.Mode)
+			}
+			if opts.WindowSize != 0 {
+				return nil, fmt.Errorf("%w: adaptation mode %q conflicts with the stream's WindowSize option",
+					ErrBadAdapt, adapt.Mode)
+			}
+		}
+		switch adapt.Mode {
+		case AdaptForgetting:
+			opts.ForgettingFactor = adapt.Factor
+		case AdaptWindow:
+			opts.WindowSize = adapt.Window
 		}
 		b, err := core.New(hw, dim, opts)
 		if err != nil {
@@ -217,6 +248,27 @@ func newEngine(hw hardware.Set, dim int, opts core.Options, spec PolicySpec) (En
 	}
 	if err != nil {
 		return nil, err
+	}
+	if adapt.Mode != AdaptNone {
+		ad, ok := p.(policy.Adaptive)
+		if !ok {
+			return nil, fmt.Errorf("%w: policy %s has no models to adapt", ErrBadAdapt, kind)
+		}
+		forget, window := 1.0, 0
+		if adapt.Mode == AdaptForgetting {
+			forget = adapt.Factor
+		} else {
+			window = adapt.Window
+		}
+		if err := ad.SetAdaptation(forget, window); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadAdapt, err)
+		}
+	}
+	if adapt.OnDrift == DriftReset {
+		if _, ok := p.(policy.ArmResetter); !ok {
+			return nil, fmt.Errorf("%w: policy %s cannot reset arms (on_drift %q)",
+				ErrBadAdapt, kind, DriftReset)
+		}
 	}
 	return &policyEngine{spec: canonical, hw: hw, dim: dim, p: p}, nil
 }
@@ -322,6 +374,16 @@ func (e *policyEngine) PredictAll(x []float64) ([]float64, error) {
 	}
 	preds, err := pr.PredictAll(x)
 	return preds, mapPolicyErr(err)
+}
+
+// ResetArm implements ArmResetter for policies that can drop one arm's
+// model.
+func (e *policyEngine) ResetArm(arm int) error {
+	ar, ok := e.p.(policy.ArmResetter)
+	if !ok {
+		return fmt.Errorf("%w (%s)", ErrUnsupported, e.spec.Type)
+	}
+	return mapPolicyErr(ar.ResetArm(arm))
 }
 
 // Model implements ModelProvider for policies that expose per-arm

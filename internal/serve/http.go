@@ -29,12 +29,15 @@ import (
 //	GET    /v1/streams/{name}/shadows           shadow evaluation counters
 //	POST   /v1/streams/{name}/shadows           attach a shadow policy
 //	DELETE /v1/streams/{name}/shadows/{shadow}  detach a shadow policy
+//	GET    /v1/streams/{name}/drift             drift-monitoring state
 //
 // Observe routes accept either the scalar {"runtime": ...} form or a
 // structured {"outcome": {"runtime": ..., "success": ..., "metrics":
 // {...}}} body; stream creation and shadow attachment accept a
 // "reward" spec (bare string or object) selecting the stream's reward
-// function.
+// function, and stream creation an "adapt" spec (bare mode string or
+// object) selecting its non-stationarity adaptation and on-drift
+// response.
 //
 // All bodies are JSON. Errors are {"error": "..."} with conventional
 // status codes (404 unknown stream/ticket/shadow, 410 expired ticket,
@@ -93,6 +96,14 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("shadow")})
+	})
+	mux.HandleFunc("GET /v1/streams/{name}/drift", func(w http.ResponseWriter, r *http.Request) {
+		info, err := svc.Drift(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 	return mux
 }
@@ -217,6 +228,11 @@ type createStreamRequest struct {
 	// ("cost_weighted") or an object ({"type": "cost_weighted",
 	// "lambda": 0.5}). Absent means the runtime reward.
 	Reward *RewardSpec `json:"reward,omitempty"`
+	// Adapt selects the stream's non-stationarity adaptation — a bare
+	// mode string ("forgetting") or an object ({"mode": "forgetting",
+	// "factor": 0.95, "on_drift": "reset"}). Absent means mode "none"
+	// with observe-only drift detection.
+	Adapt *AdaptSpec `json:"adapt,omitempty"`
 	// Shadows are shadow policies to attach at creation time.
 	Shadows []shadowDTO `json:"shadows,omitempty"`
 
@@ -281,6 +297,20 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 			spec.Seed = req.Seed
 		}
 	}
+	var adaptSpec AdaptSpec
+	if req.Adapt != nil {
+		adaptSpec = *req.Adapt
+	}
+	// The canonical adaptation the stream will carry: shadows replay
+	// under it (see attachShadow), so shadow pre-validation must build
+	// engines the same way. A bad spec fails here, before anything is
+	// created.
+	shadowAdapt, err := compileAdapt(adaptSpec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	shadowAdapt.OnDrift = DriftObserve
 	// Validate every shadow before creating the stream, so a bad shadow
 	// never leaves a transiently servable half-configured stream behind.
 	// Engine construction is deterministic, so specs that pass here
@@ -306,7 +336,11 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 		if req.Schema != nil {
 			shadowDim = req.Schema.EncodedDim()
 		}
-		if _, err := newEngine(set, shadowDim, core.Options{Seed: sh.Policy.Seed}, sh.Policy); err != nil {
+		shAdapt := shadowAdapt
+		if k, kerr := sh.Policy.kind(); kerr == nil && k == PolicyRandom {
+			shAdapt = defaultAdapt()
+		}
+		if _, err := newEngine(set, shadowDim, core.Options{Seed: sh.Policy.Seed}, sh.Policy, shAdapt); err != nil {
 			writeError(w, fmt.Errorf("shadow %q: %w", sh.Name, err))
 			return
 		}
@@ -322,13 +356,14 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if req.Reward != nil {
 		rewardSpec = *req.Reward
 	}
-	err := svc.CreateStream(req.Name, StreamConfig{
+	err = svc.CreateStream(req.Name, StreamConfig{
 		Hardware:   set,
 		Dim:        req.Dim,
 		Schema:     req.Schema,
 		Options:    opts,
 		Policy:     spec,
 		Reward:     rewardSpec,
+		Adapt:      adaptSpec,
 		MaxPending: req.MaxPending,
 		TicketTTL:  time.Duration(req.TicketTTLSeconds * float64(time.Second)),
 	})
@@ -591,16 +626,21 @@ func handleObserveBatch(svc *Service, w http.ResponseWriter, r *http.Request) {
 	// Tickets belonging to another stream fail their own index (without
 	// ever reaching that other stream) instead of rejecting the batch:
 	// the rest of the observations still land, and the per-index results
-	// say exactly which.
+	// say exactly which. The cross-stream check applies only to valid
+	// observations — a malformed observation must report ErrBadOutcome
+	// whatever its ticket, exactly like the single observe route (pinned
+	// by TestHTTPObserveErrorConsistency).
 	name := r.PathValue("name")
 	errs := make([]error, len(req.Observations))
 	var forward []TicketObservation
 	var forwardIdx []int
 	for i, o := range req.Observations {
-		owner, _, err := ParseTicketID(o.TicketID)
-		if err == nil && owner != name {
-			errs[i] = fmt.Errorf("ticket %q belongs to stream %q, not %q", o.TicketID, owner, name)
-			continue
+		if out, oerr := o.outcome(); oerr == nil && validateOutcome(out) == nil {
+			owner, _, err := ParseTicketID(o.TicketID)
+			if err == nil && owner != name {
+				errs[i] = fmt.Errorf("ticket %q belongs to stream %q, not %q", o.TicketID, owner, name)
+				continue
+			}
 		}
 		forward = append(forward, o)
 		forwardIdx = append(forwardIdx, i)

@@ -1,0 +1,157 @@
+package serve
+
+// HTTP coverage for the adaptation/drift surface: the "adapt" create
+// field (bare string and object forms), the drift endpoint's success
+// and error paths, and the drift counters in stream info and stats.
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestHTTPCreateWithAdaptSpec: the create route accepts an adapt spec
+// in both JSON forms, canonicalises it into the stream info, and
+// rejects malformed specs with 400.
+func TestHTTPCreateWithAdaptSpec(t *testing.T) {
+	_, srv := newTestServer(t)
+	var info StreamInfo
+	code := doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+		"name": "bare", "hardware_spec": "H0=2x16;H1=3x24", "dim": 1,
+		"adapt": "forgetting",
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("bare-string adapt: status %d", code)
+	}
+	if info.Adapt.Mode != AdaptForgetting || info.Adapt.Factor != 0.98 || info.Adapt.OnDrift != DriftObserve {
+		t.Fatalf("bare-string adapt canonicalised to %+v", info.Adapt)
+	}
+	code = doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+		"name": "obj", "hardware_spec": "H0=2x16;H1=3x24", "dim": 1,
+		"adapt": map[string]any{"mode": "window", "window": 32, "on_drift": "reset"},
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("object adapt: status %d", code)
+	}
+	if info.Adapt.Mode != AdaptWindow || info.Adapt.Window != 32 || info.Adapt.OnDrift != DriftReset {
+		t.Fatalf("object adapt canonicalised to %+v", info.Adapt)
+	}
+	// A stream that never declared adaptation reports the canonical
+	// default.
+	code = doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+		"name": "plain", "hardware_spec": "H0=2x16;H1=3x24", "dim": 1,
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("plain create: status %d", code)
+	}
+	if info.Adapt.Mode != AdaptNone || info.Adapt.OnDrift != DriftObserve {
+		t.Fatalf("default adapt = %+v", info.Adapt)
+	}
+	// Malformed specs fail with 400 before anything is created.
+	var errResp map[string]string
+	for _, adapt := range []any{
+		"quantum",
+		map[string]any{"mode": "forgetting", "factor": 2},
+		map[string]any{"mode": "none", "window": 5},
+		map[string]any{"mode": "window", "typo_field": 1},
+	} {
+		code = doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+			"name": "bad", "hardware_spec": "H0=2x16", "dim": 1, "adapt": adapt,
+		}, &errResp)
+		if code != http.StatusBadRequest {
+			t.Fatalf("adapt %v: status %d, want 400 (%v)", adapt, code, errResp)
+		}
+	}
+	var infos []StreamInfo
+	doJSON(t, "GET", srv.URL+"/v1/streams", nil, &infos)
+	if len(infos) != 3 {
+		t.Fatalf("rejected creates left streams behind: %d", len(infos))
+	}
+}
+
+// TestHTTPDriftEndpoint: the drift route reports per-arm detector
+// state, and its counters match stream info and stats after a
+// detection.
+func TestHTTPDriftEndpoint(t *testing.T) {
+	_, srv := newTestServer(t)
+	var info StreamInfo
+	code := doJSON(t, "POST", srv.URL+"/v1/streams", map[string]any{
+		"name": "jobs", "hardware_spec": "H0=2x16;H1=3x24", "dim": 1, "seed": 1,
+		"epsilon0": 0,
+		"adapt": map[string]any{
+			"drift_delta": 0.5, "drift_threshold": 20,
+			"drift_min_samples": 3, "drift_warmup": 5,
+		},
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var di DriftInfo
+	code = doJSON(t, "GET", srv.URL+"/v1/streams/jobs/drift", nil, &di)
+	if code != http.StatusOK {
+		t.Fatalf("drift: status %d", code)
+	}
+	if di.Stream != "jobs" || len(di.Arms) != 2 || di.Detections != 0 {
+		t.Fatalf("pristine drift info: %+v", di)
+	}
+	if di.Arms[1].Hardware == "" || di.Arms[1].Threshold != 20 {
+		t.Fatalf("arm drift info: %+v", di.Arms[1])
+	}
+	// Feed a stable regime then a level shift on arm 0.
+	observe := func(rt float64) {
+		code := doJSON(t, "POST", srv.URL+"/v1/streams/jobs/observe", map[string]any{
+			"arm": 0, "features": []float64{3}, "runtime": rt,
+		}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("observe: status %d", code)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		observe(50)
+	}
+	for i := 0; i < 15; i++ {
+		observe(500)
+	}
+	code = doJSON(t, "GET", srv.URL+"/v1/streams/jobs/drift", nil, &di)
+	if code != http.StatusOK {
+		t.Fatalf("drift after traffic: status %d", code)
+	}
+	if di.Detections < 1 || di.Arms[0].Detections < 1 {
+		t.Fatalf("no detection after level shift: %+v", di)
+	}
+	if di.Arms[1].Detections != 0 {
+		t.Fatalf("idle arm detected drift: %+v", di)
+	}
+	doJSON(t, "GET", srv.URL+"/v1/streams/jobs", nil, &info)
+	if info.DriftEvents != di.Detections {
+		t.Fatalf("stream info drift_events %d, drift endpoint %d", info.DriftEvents, di.Detections)
+	}
+	if len(info.DriftByArm) != 2 || info.DriftByArm[0] != di.Arms[0].Detections {
+		t.Fatalf("stream info drift_by_arm %v", info.DriftByArm)
+	}
+	var stats Stats
+	doJSON(t, "GET", srv.URL+"/v1/stats", nil, &stats)
+	if stats.TotalDriftEvents != di.Detections {
+		t.Fatalf("stats total_drift_events %d, want %d", stats.TotalDriftEvents, di.Detections)
+	}
+}
+
+// TestHTTPDriftEndpointErrors: the error paths — unknown stream (404)
+// and unsupported methods (405).
+func TestHTTPDriftEndpointErrors(t *testing.T) {
+	_, srv := newTestServer(t)
+	var errResp map[string]string
+	code := doJSON(t, "GET", srv.URL+"/v1/streams/ghost/drift", nil, &errResp)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown stream: status %d, want 404", code)
+	}
+	if errResp["error"] == "" {
+		t.Fatal("unknown stream: empty error body")
+	}
+	createJobsStream(t, srv.URL)
+	if code := doJSON(t, "POST", srv.URL+"/v1/streams/jobs/drift", map[string]any{}, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST drift: status %d, want 405", code)
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/v1/streams/jobs/drift", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE drift: status %d, want 405", code)
+	}
+}

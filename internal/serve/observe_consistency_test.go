@@ -1,0 +1,143 @@
+package serve
+
+// Pins the unified error behaviour of every observe path: the scalar
+// and outcome forms, single and batch, Go API and HTTP, must classify
+// the same failure identically — observation validity first
+// (ErrBadOutcome, HTTP 422), then ticket shape (ErrBadTicket), then
+// stream resolution (ErrStreamNotFound), then ticket redemption.
+// Before this was pinned, a malformed observation on the batch path
+// reported "stream not found" or "bad ticket" while the single HTTP
+// route reported 422 for the identical request.
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// badObservations enumerate observation-level failures: each must
+// report ErrBadOutcome on every path regardless of the ticket.
+func badObservations() map[string]TicketObservation {
+	neg := Outcome{Runtime: -5}
+	ok := Outcome{Runtime: 5}
+	return map[string]TicketObservation{
+		"negative runtime (scalar)":  {Runtime: -5},
+		"negative runtime (outcome)": {Outcome: &neg},
+		"unknown metric":             {Outcome: &Outcome{Runtime: 5, Metrics: map[string]float64{"memoryGB": 1}}},
+		"both forms":                 {Runtime: 5, Outcome: &ok},
+	}
+}
+
+// TestObserveErrorConsistency drives the failure matrix through the Go
+// single and batch paths and asserts identical error classes and
+// messages.
+func TestObserveErrorConsistency(t *testing.T) {
+	svc := newTestService(t, ServiceOptions{}, "jobs")
+	live, err := svc.Recommend("jobs", []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets := map[string]string{
+		"live ticket":    live.ID,
+		"unknown ticket": "jobs#ffff",
+		"unknown stream": "ghost#1",
+		"malformed id":   "no-separator",
+	}
+	for obsName, obs := range badObservations() {
+		for tkName, id := range tickets {
+			obs := obs
+			obs.TicketID = id
+			// Single path: outcome form goes through ObserveOutcome, the
+			// scalar form through Observe.
+			var single error
+			if obs.Outcome != nil && obs.Runtime == 0 {
+				single = svc.ObserveOutcome(id, *obs.Outcome)
+			} else if obs.Outcome == nil {
+				single = svc.Observe(id, obs.Runtime)
+			}
+			if single != nil && !errors.Is(single, ErrBadOutcome) {
+				t.Errorf("%s / %s: single error %v, want ErrBadOutcome", obsName, tkName, single)
+			}
+			// Batch path: must classify identically, whatever the ticket.
+			applied, errs := svc.ObserveBatchIndexed([]TicketObservation{obs})
+			if applied != 0 || errs[0] == nil {
+				t.Fatalf("%s / %s: batch applied a malformed observation", obsName, tkName)
+			}
+			if !errors.Is(errs[0], ErrBadOutcome) {
+				t.Errorf("%s / %s: batch error %v, want ErrBadOutcome", obsName, tkName, errs[0])
+			}
+			if single != nil && errs[0].Error() != single.Error() {
+				t.Errorf("%s / %s: batch message %q, single message %q", obsName, tkName, errs[0], single)
+			}
+		}
+	}
+	// The live ticket survived every malformed observation above.
+	if err := svc.Observe(live.ID, 7); err != nil {
+		t.Fatalf("live ticket was burned by a rejected observation: %v", err)
+	}
+
+	// With a valid observation, ticket/stream failures classify
+	// identically on both paths too.
+	for tkName, want := range map[string]error{
+		"jobs#ffff":    ErrTicketNotFound,
+		"ghost#1":      ErrStreamNotFound,
+		"no-separator": ErrBadTicket,
+	} {
+		single := svc.Observe(tkName, 5)
+		_, errs := svc.ObserveBatchIndexed([]TicketObservation{{TicketID: tkName, Runtime: 5}})
+		if !errors.Is(single, want) || !errors.Is(errs[0], want) {
+			t.Errorf("ticket %q: single %v / batch %v, want %v", tkName, single, errs[0], want)
+		}
+		if single.Error() != errs[0].Error() {
+			t.Errorf("ticket %q: batch message %q, single message %q", tkName, errs[0], single)
+		}
+	}
+}
+
+// TestHTTPObserveErrorConsistency drives the same matrix over HTTP: the
+// single route answers 422 for every malformed observation (whatever
+// the ticket), and the batch route reports the identical error text at
+// the item's index.
+func TestHTTPObserveErrorConsistency(t *testing.T) {
+	svc, srv := newTestServer(t)
+	createJobsStream(t, srv.URL)
+	live, err := svc.Recommend("jobs", []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := map[string]map[string]any{
+		"negative runtime (scalar)":  {"runtime": -5},
+		"negative runtime (outcome)": {"outcome": map[string]any{"runtime": -5}},
+		"unknown metric":             {"outcome": map[string]any{"runtime": 5, "metrics": map[string]any{"memoryGB": 1}}},
+		"both forms":                 {"runtime": 5, "outcome": map[string]any{"runtime": 5}},
+	}
+	for obsName, body := range bodies {
+		for _, id := range []string{live.ID, "jobs#ffff", "ghost#1", "no-separator"} {
+			single := map[string]any{"ticket": id}
+			for k, v := range body {
+				single[k] = v
+			}
+			var errResp map[string]any
+			code := doJSON(t, "POST", srv.URL+"/v1/observe", single, &errResp)
+			if code != http.StatusUnprocessableEntity {
+				t.Errorf("%s / %s: single status %d, want 422 (%v)", obsName, id, code, errResp)
+				continue
+			}
+			var batchResp observeBatchResponse
+			code = doJSON(t, "POST", srv.URL+"/v1/streams/jobs/observe/batch", map[string]any{
+				"observations": []map[string]any{single},
+			}, &batchResp)
+			if code != http.StatusOK || batchResp.Applied != 0 {
+				t.Fatalf("%s / %s: batch status %d applied %d", obsName, id, code, batchResp.Applied)
+			}
+			if got, want := batchResp.Results[0].Error, errResp["error"].(string); got != want {
+				t.Errorf("%s / %s: batch error %q, single error %q", obsName, id, got, want)
+			}
+		}
+	}
+	// The live ticket still redeems after every rejection above.
+	code := doJSON(t, "POST", srv.URL+"/v1/observe", map[string]any{"ticket": live.ID, "runtime": 9}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("live ticket was burned: status %d", code)
+	}
+}

@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"banditware/internal/core"
+	"banditware/internal/drift"
 	"banditware/internal/hardware"
 	"banditware/internal/regress"
 	"banditware/internal/reward"
@@ -185,6 +186,12 @@ type StreamConfig struct {
 	// engine learns from; the zero value is the runtime reward (the
 	// measured runtime unchanged — the paper's Algorithm 1 signal).
 	Reward RewardSpec
+	// Adapt selects the stream's adaptation to non-stationary
+	// environments (model forgetting or sliding windows, plus the
+	// on-drift response); the zero value is mode "none" — infinite
+	// horizon learning with observe-only drift detection, exactly the
+	// pre-adaptation behaviour.
+	Adapt AdaptSpec
 	// MaxPending overrides the service default ledger capacity (0 = inherit).
 	MaxPending int
 	// TicketTTL overrides the service default ticket lifetime (0 = inherit).
@@ -255,6 +262,14 @@ type StreamInfo struct {
 	RewardTotal  float64 `json:"reward_total"`
 	RuntimeTotal float64 `json:"runtime_total"`
 	Failures     uint64  `json:"failures"`
+	// Adapt is the stream's canonical adaptation spec (mode "none" for
+	// streams that never declared one); DriftEvents totals the online
+	// drift detections across arms, with DriftByArm splitting them per
+	// arm (absent until the first detection). The drift endpoint
+	// (Service.Drift) carries the full per-arm detector state.
+	Adapt       AdaptSpec `json:"adapt"`
+	DriftEvents uint64    `json:"drift_events"`
+	DriftByArm  []uint64  `json:"drift_by_arm,omitempty"`
 	// Shadows summarises the stream's shadow policies, in attachment
 	// order; absent when none are attached.
 	Shadows []ShadowInfo `json:"shadows,omitempty"`
@@ -271,6 +286,8 @@ type Stats struct {
 	TotalReward   float64 `json:"total_reward"`
 	TotalRuntime  float64 `json:"total_runtime"`
 	TotalFailures uint64  `json:"total_failures"`
+	// TotalDriftEvents sums the per-stream drift-detection counts.
+	TotalDriftEvents uint64 `json:"total_drift_events"`
 }
 
 // stream is one registered recommender: a decision engine plus its
@@ -295,11 +312,18 @@ type stream struct {
 	shadows []*shadow
 	// rw scores every observed Outcome into the engine's learning
 	// signal. Always compiled; the default is the runtime reward.
-	rw       rewardState
-	ledger   *ledger
-	nextSeq  uint64
-	issued   uint64
-	observed uint64
+	rw rewardState
+	// adapt is the stream's canonical adaptation spec and detectors its
+	// per-arm drift monitors (never nil; every stream watches for drift
+	// even in mode "none"). driftResets counts the arm-model resets an
+	// on_drift="reset" stream has performed.
+	adapt       AdaptSpec
+	detectors   []*drift.PageHinkley
+	driftResets uint64
+	ledger      *ledger
+	nextSeq     uint64
+	issued      uint64
+	observed    uint64
 	// rewardTotal sums the scalar rewards fed to the engine;
 	// runtimeTotal the measured runtimes; failures counts outcomes
 	// explicitly marked unsuccessful.
@@ -388,11 +412,15 @@ func (s *Service) CreateStream(name string, cfg StreamConfig) error {
 	if err != nil {
 		return err
 	}
-	eng, err := newEngine(cfg.Hardware, dim, cfg.Options, cfg.Policy)
+	adapt, err := compileAdapt(cfg.Adapt)
 	if err != nil {
 		return err
 	}
-	return s.adopt(name, eng, sch, rw, cfg.MaxPending, cfg.TicketTTL)
+	eng, err := newEngine(cfg.Hardware, dim, cfg.Options, cfg.Policy, adapt)
+	if err != nil {
+		return err
+	}
+	return s.adopt(name, eng, sch, rw, adapt, cfg.MaxPending, cfg.TicketTTL)
 }
 
 // AdoptBandit registers an already-constructed Algorithm 1 bandit as a
@@ -400,14 +428,24 @@ func (s *Service) CreateStream(name string, cfg StreamConfig) error {
 // from legacy snapshot restore. The caller must not use the bandit
 // directly afterwards.
 func (s *Service) AdoptBandit(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
-	return s.adopt(name, banditEngine{b}, nil, defaultReward(), maxPending, ttl)
+	return s.adopt(name, banditEngine{b}, nil, defaultReward(), defaultAdapt(), maxPending, ttl)
+}
+
+// defaultAdapt is the canonical default adaptation every pre-adaptation
+// caller gets: mode "none", observe-only drift detection.
+func defaultAdapt() AdaptSpec {
+	a, err := compileAdapt(AdaptSpec{})
+	if err != nil {
+		panic("serve: default adaptation failed to compile: " + err.Error())
+	}
+	return a
 }
 
 // adopt registers an engine as a stream. sch is the stream's declared
 // feature schema (already cloned and validated, its encoded dimension
 // equal to the engine's); nil selects the identity schema. rw is the
-// stream's compiled reward.
-func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardState, maxPending int, ttl time.Duration) error {
+// stream's compiled reward and adapt its canonical adaptation spec.
+func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardState, adapt AdaptSpec, maxPending int, ttl time.Duration) error {
 	if !ValidStreamName(name) {
 		return fmt.Errorf("%w: %q", ErrBadStreamName, name)
 	}
@@ -423,8 +461,10 @@ func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardSt
 	}
 	st := &stream{
 		name: name, engine: eng, sch: sch, schemaDeclared: declared,
-		rw:     rw,
-		ledger: newLedger(maxPending, ttl),
+		rw:        rw,
+		adapt:     adapt,
+		detectors: newDetectors(adapt, len(eng.Hardware())),
+		ledger:    newLedger(maxPending, ttl),
 	}
 	st.armLabels = make([]string, len(eng.Hardware()))
 	for i, hw := range eng.Hardware() {
@@ -700,6 +740,14 @@ func (st *stream) applyOutcomeLocked(arm int, x []float64, o Outcome) error {
 		return fmt.Errorf("%w (arm %d of %d)", core.ErrArm, arm, len(hw))
 	}
 	score := st.rw.fn(o, hw[arm])
+	// Drift monitoring residual: the engine's estimate for the chosen
+	// arm, taken before the observation refits it (an honest
+	// out-of-sample error). Model-free policies have no prediction and
+	// are not monitored.
+	pred, havePred := 0.0, false
+	if preds, err := st.engine.PredictAll(x); err == nil && arm < len(preds) {
+		pred, havePred = preds[arm], true
+	}
 	if err := st.engine.Observe(arm, x, score); err != nil {
 		return err
 	}
@@ -708,6 +756,9 @@ func (st *stream) applyOutcomeLocked(arm int, x []float64, o Outcome) error {
 	st.runtimeTotal += o.Runtime
 	if o.Failed() {
 		st.failures++
+	}
+	if havePred {
+		st.observeDriftLocked(arm, score-pred)
 	}
 	return nil
 }
@@ -741,7 +792,14 @@ func (st *stream) observeTicketLocked(now time.Time, id string, o Outcome) error
 // function, the stream's model for that arm is refit on the score, and
 // ε decays. Each ticket can be observed exactly once; a malformed
 // outcome is rejected with ErrBadOutcome without burning the ticket.
+//
+// The outcome is validated before the ticket is resolved, so a
+// malformed observation reports ErrBadOutcome whatever the state of
+// its ticket — the same precedence as every other observe path.
 func (s *Service) ObserveOutcome(ticketID string, o Outcome) error {
+	if err := validateOutcome(o); err != nil {
+		return err
+	}
 	name, _, err := ParseTicketID(ticketID)
 	if err != nil {
 		return err
@@ -768,11 +826,26 @@ func (s *Service) Observe(ticketID string, runtime float64) error {
 // observations do not abort the rest. The returned slice has one entry
 // per input observation — nil when it was applied, its error otherwise
 // — so batch callers can tell exactly which observations landed.
+//
+// Each observation is resolved and validated before its ticket, so a
+// malformed observation fails its index with ErrBadOutcome whatever
+// the state of its ticket or stream — identical precedence to the
+// single observe paths (pinned by TestObserveErrorConsistency).
 func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, errs []error) {
 	errs = make([]error, len(obs))
+	outcomes := make([]Outcome, len(obs))
 	// Group indices by stream, preserving input order within a stream.
 	byStream := make(map[string][]int)
 	for i, o := range obs {
+		out, err := o.outcome()
+		if err == nil {
+			err = validateOutcome(out)
+		}
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		outcomes[i] = out
 		name, _, err := ParseTicketID(o.TicketID)
 		if err != nil {
 			errs[i] = err
@@ -791,12 +864,7 @@ func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, err
 		st.mu.Lock()
 		now := s.now()
 		for _, i := range idxs {
-			o, err := obs[i].outcome()
-			if err != nil {
-				errs[i] = err
-				continue
-			}
-			if err := st.observeTicketLocked(now, obs[i].TicketID, o); err != nil {
+			if err := st.observeTicketLocked(now, obs[i].TicketID, outcomes[i]); err != nil {
 				errs[i] = err
 				continue
 			}
@@ -828,15 +896,15 @@ func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
 // each selects on x, is scored against arm, and learns from its own
 // reward of the same Outcome.
 func (s *Service) ObserveDirectOutcome(name string, arm int, x []float64, o Outcome) error {
+	if err := validateOutcome(o); err != nil {
+		return err
+	}
 	st, err := s.stream(name)
 	if err != nil {
 		return err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if err := validateOutcome(o); err != nil {
-		return err
-	}
 	return st.observeDirectLocked(arm, x, o)
 }
 
@@ -852,15 +920,15 @@ func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float
 // RecommendCtx would have) before training the engine. The outcome is
 // validated first, so a bad outcome advances no statistic.
 func (s *Service) ObserveDirectOutcomeCtx(name string, arm int, ctx schema.Context, o Outcome) error {
+	if err := validateOutcome(o); err != nil {
+		return err
+	}
 	st, err := s.stream(name)
 	if err != nil {
 		return err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if err := validateOutcome(o); err != nil {
-		return err
-	}
 	x, err := st.sch.Encode(ctx)
 	if err != nil {
 		return err
@@ -1040,6 +1108,9 @@ func (st *stream) infoLocked() StreamInfo {
 		RewardTotal:  st.rewardTotal,
 		RuntimeTotal: st.runtimeTotal,
 		Failures:     st.failures,
+		Adapt:        st.adapt,
+		DriftEvents:  st.driftEventsLocked(),
+		DriftByArm:   st.driftByArmLocked(),
 		Shadows:      st.shadowsInfoLocked(),
 	}
 }
@@ -1071,6 +1142,7 @@ func (s *Service) Stats() Stats {
 		out.TotalReward += info.RewardTotal
 		out.TotalRuntime += info.RuntimeTotal
 		out.TotalFailures += info.Failures
+		out.TotalDriftEvents += info.DriftEvents
 	}
 	return out
 }

@@ -225,7 +225,20 @@ func (s *Service) attachShadow(streamName, shadowName string, spec PolicySpec, r
 			return fmt.Errorf("%w: %q", ErrShadowExists, shadowName)
 		}
 	}
-	eng, err := newEngine(st.engine.Hardware(), st.engine.Dim(), core.Options{Seed: spec.Seed}, spec)
+	// Shadows replay under the stream's adaptation mode, so their models
+	// forget (or slide) exactly like the primary's and the A/B
+	// comparison stays fair in non-stationary environments. The on-drift
+	// response is the primary's alone: shadows are never auto-reset (and
+	// carry no detectors), so a model-free shadow attaches fine to a
+	// reset stream.
+	shAdapt := st.adapt
+	shAdapt.OnDrift = DriftObserve
+	if k, kerr := spec.kind(); kerr == nil && k == PolicyRandom {
+		// Model-free shadows have nothing to forget; attaching one to an
+		// adaptive stream must not fail.
+		shAdapt = defaultAdapt()
+	}
+	eng, err := newEngine(st.engine.Hardware(), st.engine.Dim(), core.Options{Seed: spec.Seed}, spec, shAdapt)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"banditware/internal/core"
+	"banditware/internal/drift"
 	"banditware/internal/schema"
 )
 
@@ -37,12 +38,21 @@ import (
 //     stream's reward omit theirs, and all aggregates are omitted when
 //     zero — so a default-reward v4 stream body freshly loaded from a
 //     v3 file re-saves byte-identically to its v3 form.
+//   - Version 5 adds non-stationary serving: an optional per-stream
+//     "adapt" field carrying the canonical AdaptSpec (omitted for the
+//     default mode-"none"/observe-only spec) and an optional "drift"
+//     block persisting the per-arm Page-Hinkley detector states and the
+//     auto-reset counter (omitted while every detector is pristine).
+//     Engine-side adaptation state — forgetting factors, sliding-window
+//     buffers — travels inside the engine payloads (core Options /
+//     policy.State), so a default-adaptation stream freshly loaded from
+//     a v4 file re-saves byte-identically to its v4 form.
 //
-// Load reads versions 1–4 plus the pre-envelope legacy
+// Load reads versions 1–5 plus the pre-envelope legacy
 // single-recommender format; Save always writes the current version.
 const (
 	snapshotFormat  = "banditware-service"
-	snapshotVersion = 4
+	snapshotVersion = 5
 )
 
 type pendingSnap struct {
@@ -87,19 +97,34 @@ type streamSnap struct {
 	// RuntimeTotal / Failures its outcome aggregates (version 4+).
 	// Default-reward streams omit the spec; zero aggregates are omitted
 	// — so a stream loaded from a v3 file re-saves byte-identically.
-	Reward       *RewardSpec   `json:"reward,omitempty"`
-	RewardTotal  float64       `json:"reward_total,omitempty"`
-	RuntimeTotal float64       `json:"runtime_total,omitempty"`
-	Failures     uint64        `json:"failures,omitempty"`
-	Shadows      []shadowSnap  `json:"shadows,omitempty"`
-	MaxPending   int           `json:"max_pending"`
-	TicketTTL    time.Duration `json:"ticket_ttl_ns"`
-	NextSeq      uint64        `json:"next_seq"`
-	Issued       uint64        `json:"issued"`
-	Observed     uint64        `json:"observed"`
-	Evicted      uint64        `json:"evicted"`
-	Expired      uint64        `json:"expired"`
-	Pending      []pendingSnap `json:"pending,omitempty"`
+	Reward       *RewardSpec `json:"reward,omitempty"`
+	RewardTotal  float64     `json:"reward_total,omitempty"`
+	RuntimeTotal float64     `json:"runtime_total,omitempty"`
+	Failures     uint64      `json:"failures,omitempty"`
+	// Adapt is the stream's canonical adaptation spec and Drift its
+	// per-arm detector states plus auto-reset counter (version 5+).
+	// Default-adaptation streams omit the spec; the drift block is
+	// omitted while every detector is pristine — so a stream loaded
+	// from a v4 file re-saves byte-identically.
+	Adapt      *AdaptSpec      `json:"adapt,omitempty"`
+	Drift      json.RawMessage `json:"drift,omitempty"`
+	Shadows    []shadowSnap    `json:"shadows,omitempty"`
+	MaxPending int             `json:"max_pending"`
+	TicketTTL  time.Duration   `json:"ticket_ttl_ns"`
+	NextSeq    uint64          `json:"next_seq"`
+	Issued     uint64          `json:"issued"`
+	Observed   uint64          `json:"observed"`
+	Evicted    uint64          `json:"evicted"`
+	Expired    uint64          `json:"expired"`
+	Pending    []pendingSnap   `json:"pending,omitempty"`
+}
+
+// driftSnap is the wire form of a stream's drift-monitoring state: one
+// Page-Hinkley detector per arm (in arm order) and the auto-reset
+// counter.
+type driftSnap struct {
+	Arms   []*drift.PageHinkley `json:"arms"`
+	Resets uint64               `json:"resets,omitempty"`
 }
 
 type serviceSnap struct {
@@ -168,6 +193,25 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 		spec := st.rw.spec
 		rewardSpec = &spec
 	}
+	var adaptSpec *AdaptSpec
+	if !st.adapt.IsDefault() {
+		spec := st.adapt
+		adaptSpec = &spec
+	}
+	var driftRaw json.RawMessage
+	touched := st.driftResets > 0
+	for _, d := range st.detectors {
+		touched = touched || d.Touched()
+	}
+	if touched {
+		// Marshalled under the stream lock: Add mutates the detectors,
+		// and the envelope encode happens after the locks are released.
+		raw, err := json.Marshal(driftSnap{Arms: st.detectors, Resets: st.driftResets})
+		if err != nil {
+			return streamSnap{}, fmt.Errorf("serve: snapshotting drift state of stream %q: %w", st.name, err)
+		}
+		driftRaw = raw
+	}
 	ss := streamSnap{
 		Name:         st.name,
 		Policy:       st.engine.Kind(),
@@ -177,6 +221,8 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 		RewardTotal:  st.rewardTotal,
 		RuntimeTotal: st.runtimeTotal,
 		Failures:     st.failures,
+		Adapt:        adaptSpec,
+		Drift:        driftRaw,
 		MaxPending:   st.ledger.cap,
 		TicketTTL:    st.ledger.ttl,
 		NextSeq:      st.nextSeq,
@@ -241,11 +287,11 @@ func (s *Service) SaveStream(name string, w io.Writer) error {
 }
 
 // Load restores a service from a snapshot written by Save: the current
-// version-4 envelope, the earlier envelope versions (3: schemas, 2:
-// policy-typed streams, 1: pre-policy), or — for backward compatibility
-// — the legacy single-recommender state format (core.SaveState /
-// Recommender.Save), which is restored as a single Algorithm 1 stream
-// named "default".
+// version-5 envelope, the earlier envelope versions (4: rewards, 3:
+// schemas, 2: policy-typed streams, 1: pre-policy), or — for backward
+// compatibility — the legacy single-recommender state format
+// (core.SaveState / Recommender.Save), which is restored as a single
+// Algorithm 1 stream named "default".
 func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -307,12 +353,36 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 				return nil, fmt.Errorf("serve: restoring reward of stream %q: %w", ss.Name, err)
 			}
 		}
-		if err := s.adopt(ss.Name, eng, sch, rw, ss.MaxPending, ss.TicketTTL); err != nil {
+		adapt := defaultAdapt()
+		if ss.Adapt != nil {
+			adapt, err = compileAdapt(*ss.Adapt)
+			if err != nil {
+				return nil, fmt.Errorf("serve: restoring adaptation of stream %q: %w", ss.Name, err)
+			}
+		}
+		if err := s.adopt(ss.Name, eng, sch, rw, adapt, ss.MaxPending, ss.TicketTTL); err != nil {
 			return nil, err
 		}
 		st, err := s.stream(ss.Name)
 		if err != nil {
 			return nil, err
+		}
+		if ss.Drift != nil {
+			var ds driftSnap
+			if err := json.Unmarshal(ss.Drift, &ds); err != nil {
+				return nil, fmt.Errorf("serve: restoring drift state of stream %q: %w", ss.Name, err)
+			}
+			if len(ds.Arms) != len(st.detectors) {
+				return nil, fmt.Errorf("serve: restoring drift state of stream %q: %d detectors for %d arms",
+					ss.Name, len(ds.Arms), len(st.detectors))
+			}
+			for i, d := range ds.Arms {
+				if d == nil {
+					return nil, fmt.Errorf("serve: restoring drift state of stream %q: arm %d detector missing", ss.Name, i)
+				}
+			}
+			st.detectors = ds.Arms
+			st.driftResets = ds.Resets
 		}
 		st.nextSeq = ss.NextSeq
 		st.issued = ss.Issued

@@ -1,16 +1,18 @@
 package serve
 
 // Cross-version snapshot coverage: every format the loader claims to
-// read (legacy, v1, v2, v3, v4) loads into the current service,
-// re-saves as v4, and — for the current format — round-trips
-// byte-for-byte, with and without declared schemas, rewards, and live
-// normalization state. TestSnapshotReadsV1 (v1 → v4) and
-// TestLoadLegacySingleRecommenderState (legacy → v4) cover the older
-// two writers; TestSnapshotReadsV3 pins the byte-stable v3 → v4
-// upgrade for default-reward streams.
+// read (legacy, v1, v2, v3, v4, v5) loads into the current service,
+// re-saves as v5, and — for the current format — round-trips
+// byte-for-byte, with and without declared schemas, rewards, live
+// normalization state, and drift-detector state. TestSnapshotReadsV1
+// (v1 → v5) and TestLoadLegacySingleRecommenderState (legacy → v5)
+// cover the older two writers; TestSnapshotReadsV3 and
+// TestSnapshotReadsV4 pin the byte-stable upgrades for default-reward /
+// default-adaptation streams.
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"testing"
 	"time"
@@ -66,11 +68,11 @@ func buildMixedService(t *testing.T, clock *fakeClock) (*Service, []Ticket) {
 	return s, pendings
 }
 
-// TestSnapshotV4ByteForByte: the current envelope — schemas, live
-// normalization statistics, outcome aggregates, shadows, pending
-// tickets — survives a load/save cycle byte-for-byte, and the restored
-// service still serves.
-func TestSnapshotV4ByteForByte(t *testing.T) {
+// TestSnapshotV5ByteForByte: the current envelope — schemas, live
+// normalization statistics, outcome aggregates, drift-detector state,
+// shadows, pending tickets — survives a load/save cycle byte-for-byte,
+// and the restored service still serves.
+func TestSnapshotV5ByteForByte(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(9500, 0)}
 	s, pendings := buildMixedService(t, clock)
 
@@ -78,11 +80,14 @@ func TestSnapshotV4ByteForByte(t *testing.T) {
 	if err := s.Save(&first); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(first.Bytes(), []byte(`"version": 4`)) {
-		t.Fatalf("save is not version 4:\n%.120s", first.String())
+	if !bytes.Contains(first.Bytes(), []byte(`"version": 5`)) {
+		t.Fatalf("save is not version 5:\n%.120s", first.String())
 	}
 	if !bytes.Contains(first.Bytes(), []byte(`"schema"`)) {
-		t.Fatal("v4 envelope is missing the schema field")
+		t.Fatal("v5 envelope is missing the schema field")
+	}
+	if !bytes.Contains(first.Bytes(), []byte(`"drift"`)) {
+		t.Fatal("v5 envelope is missing the drift block (detectors saw traffic)")
 	}
 	back, err := Load(bytes.NewReader(first.Bytes()), ServiceOptions{Now: clock.now})
 	if err != nil {
@@ -93,7 +98,7 @@ func TestSnapshotV4ByteForByte(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
-		t.Fatal("v4 snapshot not byte-for-byte stable across load/save")
+		t.Fatal("v5 snapshot not byte-for-byte stable across load/save")
 	}
 	// Restored pending tickets (on both the schema and the raw stream)
 	// still redeem.
@@ -149,8 +154,9 @@ func TestSnapshotReadsV2(t *testing.T) {
 		t.Fatal(err)
 	}
 	// What the PR 2 writer would have produced: the same schemaless
-	// stream bodies under "version": 2, without the v4 reward fields.
-	v2 := stripRewardFields(reversion(t, current.Bytes(), 4, 2))
+	// stream bodies under "version": 2, without the v4 reward fields or
+	// the v5 drift blocks.
+	v2 := stripRewardFields(stripDriftBlocks(t, reversion(t, current.Bytes(), 5, 2)))
 	back, err := Load(bytes.NewReader(v2), ServiceOptions{Now: clock.now})
 	if err != nil {
 		t.Fatalf("loading v2 envelope: %v", err)
@@ -169,15 +175,15 @@ func TestSnapshotReadsV2(t *testing.T) {
 		t.Fatalf("v2 restore policy = %q", p)
 	}
 	// The v2 pending ticket still redeems, and re-saving upgrades the
-	// envelope to a v4 that differs from the v2 file only in its
-	// version number (the reward aggregates restart at zero, which the
-	// writer omits).
+	// envelope to a v5 that differs from the v2 file only in its
+	// version number (the reward aggregates and drift detectors restart
+	// pristine, which the writer omits).
 	var resaved bytes.Buffer
 	if err := back.Save(&resaved); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(resaved.Bytes(), reversion(t, v2, 2, 4)) {
-		t.Fatal("v2 → v4 upgrade is not byte-identical modulo the version number")
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v2, 2, 5)) {
+		t.Fatal("v2 → v5 upgrade is not byte-identical modulo the version number")
 	}
 	if err := back.Observe(pending.ID, 44); err != nil {
 		t.Fatalf("v2 pending ticket: %v", err)
@@ -219,9 +225,9 @@ func stripRewardFields(b []byte) []byte {
 
 // TestSnapshotReadsV3: a version-3 envelope (PR 3 format: schemas, no
 // reward fields) loads into the current service — default runtime
-// reward, zero aggregates — and upgrades on re-save to a v4 that
-// differs from the v3 file only in its version number: the promised
-// byte-stable upgrade for default-reward streams.
+// reward, zero aggregates, pristine detectors — and upgrades on
+// re-save to a v5 that differs from the v3 file only in its version
+// number: the promised byte-stable upgrade for default-reward streams.
 func TestSnapshotReadsV3(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(9650, 0)}
 	s, pendings := buildMixedService(t, clock)
@@ -230,7 +236,7 @@ func TestSnapshotReadsV3(t *testing.T) {
 		t.Fatal(err)
 	}
 	// What the PR 3 writer would have produced for the same service.
-	v3 := stripRewardFields(reversion(t, current.Bytes(), 4, 3))
+	v3 := stripRewardFields(stripDriftBlocks(t, reversion(t, current.Bytes(), 5, 3)))
 	back, err := Load(bytes.NewReader(v3), ServiceOptions{Now: clock.now})
 	if err != nil {
 		t.Fatalf("loading v3 envelope: %v", err)
@@ -249,8 +255,8 @@ func TestSnapshotReadsV3(t *testing.T) {
 	if err := back.Save(&resaved); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(resaved.Bytes(), reversion(t, v3, 3, 4)) {
-		t.Fatal("v3 → v4 upgrade is not byte-stable for default-reward streams")
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v3, 3, 5)) {
+		t.Fatal("v3 → v5 upgrade is not byte-stable for default-reward streams")
 	}
 	// The restored service keeps serving: pending v3 tickets redeem and
 	// the reward aggregates resume from zero.
@@ -293,5 +299,256 @@ func TestSnapshotRestoreRejectsCorruptSchema(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(corrupt), ServiceOptions{}); err == nil {
 		t.Fatal("invalid schema accepted")
+	}
+}
+
+// stripDriftBlocks removes the version-5 "drift" members — multi-line
+// JSON objects holding the per-arm detector states — from an indented
+// envelope, producing the bytes the v4 writer emitted. Each block opens
+// with a `"drift": {` line and closes at the first `},`/`}` line of the
+// same indentation.
+func stripDriftBlocks(t *testing.T, b []byte) []byte {
+	t.Helper()
+	lines := bytes.Split(b, []byte("\n"))
+	var out [][]byte
+	stripped := 0
+	for i := 0; i < len(lines); i++ {
+		trimmed := bytes.TrimLeft(lines[i], " ")
+		if !bytes.HasPrefix(trimmed, []byte(`"drift": {`)) {
+			out = append(out, lines[i])
+			continue
+		}
+		indent := len(lines[i]) - len(trimmed)
+		j := i + 1
+		for ; j < len(lines); j++ {
+			tj := bytes.TrimLeft(lines[j], " ")
+			if len(lines[j])-len(tj) == indent && (bytes.Equal(tj, []byte("},")) || bytes.Equal(tj, []byte("}"))) {
+				break
+			}
+		}
+		if j == len(lines) {
+			t.Fatal("unterminated drift block")
+		}
+		i = j // skip the whole block including its closing line
+		stripped++
+	}
+	if stripped == 0 {
+		t.Fatal("no drift blocks found to strip")
+	}
+	return bytes.Join(out, []byte("\n"))
+}
+
+// TestSnapshotReadsV4: a version-4 envelope (PR 4 format: rewards, no
+// adapt/drift fields) loads into the current service — default
+// adaptation, pristine detectors — and upgrades on re-save to a v5
+// that differs from the v4 file only in its version number: the
+// promised byte-stable upgrade for default-adaptation streams.
+func TestSnapshotReadsV4(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9800, 0)}
+	s, pendings := buildMixedService(t, clock)
+	var current bytes.Buffer
+	if err := s.Save(&current); err != nil {
+		t.Fatal(err)
+	}
+	// What the PR 4 writer would have produced for the same service.
+	v4 := stripDriftBlocks(t, reversion(t, current.Bytes(), 5, 4))
+	back, err := Load(bytes.NewReader(v4), ServiceOptions{Now: clock.now})
+	if err != nil {
+		t.Fatalf("loading v4 envelope: %v", err)
+	}
+	info, err := back.StreamInfo("typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Adapt.Mode != AdaptNone || info.Adapt.OnDrift != DriftObserve {
+		t.Fatalf("v4 restore adaptation = %+v, want none/observe default", info.Adapt)
+	}
+	if info.DriftEvents != 0 || info.DriftByArm != nil {
+		t.Fatalf("v4 restore drift counters = %d/%v, want pristine", info.DriftEvents, info.DriftByArm)
+	}
+	di, err := back.Drift("typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range di.Arms {
+		if a.Samples != 0 || a.Detections != 0 {
+			t.Fatalf("v4 restore arm %d detector not pristine: %+v", a.Arm, a)
+		}
+	}
+	var resaved bytes.Buffer
+	if err := back.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v4, 4, 5)) {
+		t.Fatal("v4 → v5 upgrade is not byte-stable for default-adaptation streams")
+	}
+	// The restored service keeps serving: pending v4 tickets redeem and
+	// the detectors resume monitoring from zero.
+	for _, tk := range pendings {
+		if err := back.Observe(tk.ID, 55); err != nil {
+			t.Fatalf("v4 pending ticket %s: %v", tk.ID, err)
+		}
+	}
+	di, _ = back.Drift("typed")
+	warmed := false
+	for _, a := range di.Arms {
+		warmed = warmed || a.Samples > 0
+	}
+	if !warmed {
+		t.Fatal("post-upgrade detectors absorbed no residuals")
+	}
+}
+
+// TestSnapshotRestoreRejectsCorruptDriftState: a v5 drift block whose
+// detector set disagrees with the stream's arms, or whose detector
+// state fails validation, is refused rather than silently monitoring
+// the wrong thing.
+func TestSnapshotRestoreRejectsCorruptDriftState(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9900, 0)}
+	s, _ := buildMixedService(t, clock)
+	var snap bytes.Buffer
+	if err := s.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Detector-level corruption: a negative min_samples fails the drift
+	// package's config validation.
+	corrupt := bytes.Replace(snap.Bytes(), []byte(`"min_samples": 30`), []byte(`"min_samples": -30`), 1)
+	if bytes.Equal(corrupt, snap.Bytes()) {
+		t.Fatal("min_samples marker not found")
+	}
+	if _, err := Load(bytes.NewReader(corrupt), ServiceOptions{}); err == nil {
+		t.Fatal("corrupt detector config accepted")
+	}
+	// Structural corruption: drop one arm's detector so the count no
+	// longer matches the hardware set (via generic JSON surgery — the
+	// loader must reject whatever the formatting).
+	var env map[string]any
+	if err := json.Unmarshal(snap.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	mangled := false
+	for _, raw := range env["streams"].([]any) {
+		stream := raw.(map[string]any)
+		if d, ok := stream["drift"].(map[string]any); ok {
+			arms := d["arms"].([]any)
+			d["arms"] = arms[:len(arms)-1]
+			mangled = true
+			break
+		}
+	}
+	if !mangled {
+		t.Fatal("no drift block found to mangle")
+	}
+	blob, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(blob), ServiceOptions{}); err == nil {
+		t.Fatal("detector/arm count mismatch accepted")
+	}
+}
+
+// TestSnapshotAdaptiveStreamRoundTrip: adaptive streams — forgetting,
+// window (with live buffers), and an on_drift reset stream with
+// recorded detections — survive save/load byte-for-byte and keep their
+// adaptation semantics.
+func TestSnapshotAdaptiveStreamRoundTrip(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9950, 0)}
+	s := NewService(ServiceOptions{Now: clock.now})
+	mk := func(name string, adapt AdaptSpec, policy PolicySpec) {
+		t.Helper()
+		if err := s.CreateStream(name, StreamConfig{
+			Hardware: testHW(), Dim: 1, Policy: policy, Adapt: adapt,
+			Options: core.Options{ZeroEpsilon: true, Seed: 9},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("forget", AdaptSpec{Mode: AdaptForgetting, Factor: 0.9}, PolicySpec{})
+	mk("window", AdaptSpec{Mode: AdaptWindow, Window: 8}, PolicySpec{})
+	mk("window-ucb", AdaptSpec{Mode: AdaptWindow, Window: 8}, PolicySpec{Type: PolicyLinUCB})
+	mk("reset", AdaptSpec{OnDrift: DriftReset, DriftThreshold: 10, DriftDelta: 0.1,
+		DriftMinSamples: 3, DriftWarmup: 3}, PolicySpec{})
+	names := []string{"forget", "window", "window-ucb", "reset"}
+	for i := 0; i < 30; i++ {
+		x := []float64{float64(i%5 + 1)}
+		for _, name := range names {
+			if err := s.ObserveDirect(name, i%3, x, 10+2*x[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Push the reset stream's arm 0 through a drift so detections and
+	// resets are non-zero in the snapshot.
+	for i := 0; i < 20; i++ {
+		if err := s.ObserveDirect("reset", 0, []float64{3}, 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	di, err := s.Drift("reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.Detections == 0 || di.Resets == 0 {
+		t.Fatalf("reset stream recorded %d detections / %d resets, want both > 0", di.Detections, di.Resets)
+	}
+
+	var first bytes.Buffer
+	if err := s.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(first.Bytes()), ServiceOptions{Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := back.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("adaptive snapshot not byte-for-byte stable across load/save")
+	}
+	for _, name := range names {
+		adapt, err := back.StreamAdapt(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := s.StreamAdapt(name)
+		if adapt != want {
+			t.Fatalf("stream %q restored adapt %+v, want %+v", name, adapt, want)
+		}
+	}
+	rdi, err := back.Drift("reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdi.Detections != di.Detections || rdi.Resets != di.Resets {
+		t.Fatalf("restored drift state %d/%d, want %d/%d", rdi.Detections, rdi.Resets, di.Detections, di.Resets)
+	}
+	// The restored window streams keep sliding identically to the
+	// originals under further identical traffic.
+	for i := 0; i < 20; i++ {
+		x := []float64{float64(i%5 + 1)}
+		for _, name := range []string{"window", "window-ucb"} {
+			if err := s.ObserveDirect(name, 1, x, 100+5*x[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := back.ObserveDirect(name, 1, x, 100+5*x[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, name := range []string{"window", "window-ucb"} {
+		a, err := s.PredictAll(name, []float64{3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.PredictAll(name, []float64{3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[1] != b[1] {
+			t.Fatalf("stream %q diverged after restore: %v vs %v", name, a[1], b[1])
+		}
 	}
 }

@@ -66,6 +66,35 @@ const (
 	RewardFailurePenalty = serve.RewardFailurePenalty
 )
 
+// AdaptSpec selects and parameterises a stream's adaptation to
+// non-stationary environments — how its models forget (mode "none",
+// "forgetting", or "window") and how the stream responds to online
+// drift detections (on_drift "observe" or "reset", plus Page-Hinkley
+// detector tuning). The zero value is mode "none" with observe-only
+// detection: infinite-horizon learning, exactly the pre-adaptation
+// behaviour. In JSON a spec may be a bare mode string ("forgetting")
+// or an object with parameters.
+type AdaptSpec = serve.AdaptSpec
+
+// Canonical adaptation modes for AdaptSpec.Mode and the on-drift
+// responses for AdaptSpec.OnDrift.
+const (
+	AdaptNone       = serve.AdaptNone
+	AdaptForgetting = serve.AdaptForgetting
+	AdaptWindow     = serve.AdaptWindow
+	DriftObserve    = serve.DriftObserve
+	DriftReset      = serve.DriftReset
+)
+
+// DriftInfo is a point-in-time summary of one stream's online drift
+// monitoring: the adaptation spec, total detections and auto-resets,
+// and each arm's live Page-Hinkley detector state (Service.Drift, or
+// GET /v1/streams/{name}/drift over HTTP).
+type DriftInfo = serve.DriftInfo
+
+// ArmDrift is one arm's drift-monitoring state inside DriftInfo.
+type ArmDrift = serve.ArmDrift
+
 // ShadowInfo summarises one shadow policy's live evaluation counters:
 // decisions, observations, agreements with the primary, the
 // replay-style matched-runtime total, and the model-estimated
@@ -113,9 +142,11 @@ var (
 	// or non-finite runtime, unknown metric, negative metric value);
 	// outcomes are validated before a ticket is redeemed, so a bad
 	// outcome never burns the ticket. ErrBadReward reports a RewardSpec
-	// no reward function accepts.
+	// no reward function accepts. ErrBadAdapt reports an AdaptSpec no
+	// adaptation mode accepts (or one the stream's policy cannot honour).
 	ErrBadOutcome = serve.ErrBadOutcome
 	ErrBadReward  = serve.ErrBadReward
+	ErrBadAdapt   = serve.ErrBadAdapt
 )
 
 // NewService constructs an empty serving layer. Register streams with
@@ -124,11 +155,12 @@ var (
 func NewService(opts ServiceOptions) *Service { return serve.NewService(opts) }
 
 // LoadService restores a service from a snapshot written by
-// Service.Save — the current version-4 envelope (reward specs and
-// outcome aggregates) or any earlier envelope version (3: feature
-// schemas, 2: policy-typed streams and shadows, 1: pre-policy). It also
-// accepts the legacy single-recommender format written by
-// Recommender.Save, restoring it as stream "default".
+// Service.Save — the current version-5 envelope (adaptation specs and
+// drift-detector state) or any earlier envelope version (4: reward
+// specs and outcome aggregates, 3: feature schemas, 2: policy-typed
+// streams and shadows, 1: pre-policy). It also accepts the legacy
+// single-recommender format written by Recommender.Save, restoring it
+// as stream "default".
 func LoadService(r io.Reader) (*Service, error) {
 	return serve.Load(r, ServiceOptions{})
 }
