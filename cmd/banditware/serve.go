@@ -146,10 +146,10 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	server := &http.Server{
-		Handler:           banditware.ServiceHandler(svc),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	// Hardened server: read/write/idle timeouts and a header-size cap
+	// alongside the header-read timeout, so a slow client (or a load
+	// generator gone wrong) can never wedge the serving path.
+	server := banditware.NewServiceServer(svc)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

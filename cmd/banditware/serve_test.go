@@ -204,3 +204,29 @@ func TestParseAdaptToken(t *testing.T) {
 		t.Fatalf("bare mode token: %v", err)
 	}
 }
+
+// TestServeServerHardened pins the serve subcommand's http.Server
+// configuration: every slow-client avenue must be bounded, not just
+// the header-read timeout.
+func TestServeServerHardened(t *testing.T) {
+	svc := banditware.NewService(banditware.ServiceOptions{})
+	srv := banditware.NewServiceServer(svc)
+	if srv.Handler == nil {
+		t.Fatal("server has no handler")
+	}
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unbounded")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unbounded")
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unbounded")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unbounded")
+	}
+	if srv.MaxHeaderBytes <= 0 {
+		t.Error("MaxHeaderBytes unbounded")
+	}
+}

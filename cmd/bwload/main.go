@@ -1,0 +1,270 @@
+// Command bwload is the serving-path load generator and profiling
+// harness (distinct from cmd/bwbench, which regenerates the paper's
+// offline figures). It synthesises a seeded Zipf-skewed multi-stream
+// trace from the internal/workloads generators and replays it against
+// one or both serving targets:
+//
+//   - inproc: a banditware.Service in the same process (engine +
+//     registry + ledger cost, no transport);
+//   - http: the HTTP front-end over a real loopback socket, self-hosted
+//     with the hardened production server (or an external server via
+//     -addr).
+//
+// Modes: closed-loop (-mode closed: fixed concurrency, measures
+// capacity) and open-loop (-mode open: Poisson arrivals at -qps,
+// measures user-visible latency). Results stream into log-bucketed
+// histograms and serialize to the stable JSON report schema
+// (internal/loadgen.Report); BENCH_serve_baseline.json at the repo
+// root is this tool's pinned-seed output.
+//
+// Profiling: -cpuprofile, -memprofile, and -trace capture pprof/trace
+// artifacts of the whole run, wired the same way as the
+// SchemaTreeRecommender evaluation harness.
+//
+// Examples:
+//
+//	bwload -quick                               # CI smoke: both targets, seconds
+//	bwload -target inproc -n 200000 -conc 8     # capacity run
+//	bwload -target http -mode open -qps 2000    # latency under offered load
+//	bwload -cpuprofile cpu.out -n 500000        # profile the serving path
+//	bwload -validate BENCH_serve_baseline.json  # schema-check a report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"time"
+
+	"banditware/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "bwload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bwload", flag.ExitOnError)
+	target := fs.String("target", "both", "serving target: inproc, http, or both")
+	addr := fs.String("addr", "", "drive an external HTTP server at this base URL (e.g. http://127.0.0.1:8080) instead of self-hosting; implies -target http")
+	mode := fs.String("mode", "closed", "load mode: closed (fixed concurrency) or open (Poisson arrivals at -qps)")
+	conc := fs.Int("conc", runtime.GOMAXPROCS(0), "closed-loop workers / open-loop in-flight slots")
+	n := fs.Int("n", 50000, "recommend requests in the trace")
+	durCap := fs.Duration("duration", 0, "wall-clock cap per run (0 = run the whole trace)")
+	streams := fs.Int("streams", 64, "stream population size")
+	skew := fs.Float64("skew", 1.1, "Zipf skew of stream popularity (0 < s; ~0 = uniform)")
+	observe := fs.Float64("observe", 0.5, "fraction of recommends followed by an observe")
+	app := fs.String("app", "cycles", "workload family for contexts and runtimes: cycles, bp3d, matmul, llm")
+	qps := fs.Float64("qps", 2000, "open-loop target QPS (Poisson arrival rate)")
+	seed := fs.Uint64("seed", 1, "trace seed; same seed, same trace")
+	raw := fs.Bool("raw", false, "send positional feature vectors instead of named schema contexts")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	quick := fs.Bool("quick", false, "CI smoke preset: small trace, both targets, fail on any error")
+	failOnErr := fs.Bool("failonerr", false, "exit non-zero when any request errored")
+	validate := fs.String("validate", "", "validate an existing report file against the schema and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write cpu profile to `file`")
+	memprofile := fs.String("memprofile", "", "write memory profile to `file`")
+	traceFile := fs.String("trace", "", "write execution trace to `file`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *validate != "" {
+		return validateReport(*validate)
+	}
+
+	if *quick {
+		*n = 3000
+		*streams = 16
+		if *conc > 4 {
+			*conc = 4
+		}
+		if *durCap == 0 {
+			*durCap = 20 * time.Second
+		}
+		*failOnErr = true
+	}
+	if *addr != "" {
+		*target = "http"
+	}
+	if *target != "inproc" && *target != "http" && *target != "both" {
+		return fmt.Errorf("unknown -target %q (want inproc, http, both)", *target)
+	}
+	runMode := loadgen.Mode(*mode)
+	if runMode != loadgen.ModeClosed && runMode != loadgen.ModeOpen {
+		return fmt.Errorf("unknown -mode %q (want closed, open)", *mode)
+	}
+
+	// Profiling wiring, as in the SchemaTreeRecommender evaluation
+	// harness: CPU profile and trace bracket the run; the heap profile
+	// snapshots after a final GC on the way out.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("could not create CPU profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("could not start CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bwload: could not create memory profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bwload: could not write memory profile: %v\n", err)
+			}
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("could not create trace file: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("could not start tracing: %w", err)
+		}
+		defer trace.Stop()
+	}
+
+	traceCfg := loadgen.TraceConfig{
+		Seed:         *seed,
+		App:          *app,
+		Streams:      *streams,
+		Requests:     *n,
+		ZipfSkew:     *skew,
+		ObserveRatio: *observe,
+	}
+	if runMode == loadgen.ModeOpen {
+		traceCfg.QPS = *qps
+	}
+	opts := loadgen.RunOptions{
+		Mode:        runMode,
+		Concurrency: *conc,
+		Duration:    *durCap,
+		Raw:         *raw,
+	}
+
+	report := &loadgen.Report{
+		Format:    loadgen.ReportFormat,
+		Version:   loadgen.ReportVersion,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Trace:     traceCfg,
+	}
+
+	for _, name := range targetList(*target) {
+		// Each target replays an identically-generated trace against a
+		// fresh stream population, so results are comparable and runs
+		// never share learned state.
+		tr, err := loadgen.Generate(traceCfg)
+		if err != nil {
+			return err
+		}
+		tgt, err := makeTarget(name, *addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bwload: %s/%s: %d streams, %d recommends (observe ratio %g, skew %g)...\n",
+			name, runMode, len(tr.Streams), len(tr.Ops), traceCfg.ObserveRatio, traceCfg.ZipfSkew)
+		res, err := loadgen.Run(tgt, tr, opts)
+		cerr := tgt.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "bwload: closing %s target: %v\n", name, cerr)
+		}
+		report.Results = append(report.Results, *res)
+		fmt.Fprintf(os.Stderr, "bwload: %s/%s: %.0f req/s, recommend p50 %.1fµs p99 %.1fµs p999 %.1fµs, %d errors\n",
+			name, runMode, res.ThroughputRPS, res.Recommend.P50US, res.Recommend.P99US, res.Recommend.P999US, res.Errors)
+	}
+
+	if err := report.Validate(); err != nil {
+		return err
+	}
+	data, err := report.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bwload: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if *failOnErr {
+		if errs := report.TotalErrors(); errs > 0 {
+			return fmt.Errorf("%d request errors (first: %s)", errs, firstSample(report))
+		}
+	}
+	return nil
+}
+
+func targetList(sel string) []string {
+	if sel == "both" {
+		return []string{"inproc", "http"}
+	}
+	return []string{sel}
+}
+
+func makeTarget(name, addr string) (loadgen.Target, error) {
+	switch name {
+	case "inproc":
+		return loadgen.NewInProc(), nil
+	case "http":
+		if addr != "" {
+			return loadgen.NewHTTP(addr), nil
+		}
+		return loadgen.NewSelfHTTP()
+	}
+	return nil, fmt.Errorf("unknown target %q", name)
+}
+
+func firstSample(r *loadgen.Report) string {
+	for i := range r.Results {
+		if len(r.Results[i].ErrorSamples) > 0 {
+			return r.Results[i].ErrorSamples[0]
+		}
+	}
+	return "no sample recorded"
+}
+
+// validateReport strictly parses the report (unknown fields rejected),
+// checks the schema invariants, and reports any recorded request
+// errors as a failure — the CI smoke contract.
+func validateReport(path string) error {
+	rep, err := loadgen.ReadReport(path)
+	if err != nil {
+		return err
+	}
+	if errs := rep.TotalErrors(); errs > 0 {
+		return fmt.Errorf("%s: report records %d request errors", path, errs)
+	}
+	fmt.Printf("%s: valid %s v%d, %d result(s), 0 errors\n", path, rep.Format, rep.Version, len(rep.Results))
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		fmt.Printf("  %s/%s: %d reqs, %.0f req/s, recommend p50 %.1fµs p99 %.1fµs p999 %.1fµs\n",
+			res.Target, res.Mode, res.Requests, res.ThroughputRPS, res.Recommend.P50US, res.Recommend.P99US, res.Recommend.P999US)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ReportFormat and ReportVersion identify the bwload report schema.
+// Consumers (CI validation, later perf-comparison tooling) key on
+// these fields; bump the version on any incompatible shape change and
+// teach Validate both.
+const (
+	ReportFormat  = "banditware-bwload-report"
+	ReportVersion = 1
+)
+
+// Report is the stable JSON document bwload emits: environment, trace
+// configuration, and one Result per (target, mode) run. The checked-in
+// BENCH_serve_baseline.json is exactly this document from a pinned-seed
+// run.
+type Report struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Date is the RFC3339 day the report was recorded (informational).
+	Date      string `json:"date,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Trace echoes the generation config so a reader can regenerate the
+	// identical trace.
+	Trace   TraceConfig `json:"trace"`
+	Results []Result    `json:"results"`
+}
+
+// ErrBadReport reports a document that fails report-schema validation.
+var ErrBadReport = errors.New("loadgen: bad report")
+
+// Validate checks the report's structural invariants: format/version
+// markers, at least one result, positive counts and throughput, and
+// monotone latency quantiles. It does not fail on recorded errors —
+// whether errors are acceptable is the caller's policy (bwload -quick
+// treats any as fatal).
+func (r *Report) Validate() error {
+	if r.Format != ReportFormat {
+		return fmt.Errorf("%w: format %q, want %q", ErrBadReport, r.Format, ReportFormat)
+	}
+	if r.Version != ReportVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadReport, r.Version, ReportVersion)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" || r.NumCPU < 1 {
+		return fmt.Errorf("%w: missing environment fields", ErrBadReport)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("%w: no results", ErrBadReport)
+	}
+	for i := range r.Results {
+		if err := r.Results[i].validate(); err != nil {
+			return fmt.Errorf("%w: result %d (%s/%s): %v", ErrBadReport, i, r.Results[i].Target, r.Results[i].Mode, err)
+		}
+	}
+	return nil
+}
+
+func (res *Result) validate() error {
+	if res.Target == "" {
+		return errors.New("missing target")
+	}
+	if res.Mode != string(ModeClosed) && res.Mode != string(ModeOpen) {
+		return fmt.Errorf("unknown mode %q", res.Mode)
+	}
+	if res.Requests == 0 {
+		return errors.New("zero requests")
+	}
+	if res.Requests != res.Recommends+res.Observes {
+		return fmt.Errorf("requests %d != recommends %d + observes %d", res.Requests, res.Recommends, res.Observes)
+	}
+	if res.ElapsedSeconds <= 0 || res.ThroughputRPS <= 0 {
+		return errors.New("non-positive elapsed/throughput")
+	}
+	if res.Recommend.Count == 0 {
+		return errors.New("empty recommend latency summary")
+	}
+	for _, s := range []LatencySummary{res.Recommend, res.Observe} {
+		if s.Count == 0 {
+			continue
+		}
+		if !(s.P50US > 0) {
+			return errors.New("non-positive p50")
+		}
+		if s.P50US > s.P90US || s.P90US > s.P99US || s.P99US > s.P999US || s.P999US > s.MaxUS {
+			return fmt.Errorf("non-monotone quantiles p50=%g p90=%g p99=%g p999=%g max=%g",
+				s.P50US, s.P90US, s.P99US, s.P999US, s.MaxUS)
+		}
+	}
+	return nil
+}
+
+// TotalErrors sums recorded errors across results.
+func (r *Report) TotalErrors() uint64 {
+	var n uint64
+	for i := range r.Results {
+		n += r.Results[i].Errors
+	}
+	return n
+}
+
+// ParseReport strictly decodes and validates a report document:
+// unknown fields are rejected, so drift between a writer and this
+// schema fails loudly.
+func ParseReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadReport loads and validates a report file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseReport(data)
+}
+
+// EncodeJSON serialises the report with stable indentation for
+// check-in and diffing.
+func (r *Report) EncodeJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

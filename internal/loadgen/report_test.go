@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func sampleReport(t *testing.T) *Report {
+	t.Helper()
+	tr := smokeTrace(t, 0)
+	tgt := NewInProc()
+	defer tgt.Close()
+	res, err := Run(tgt, tr, RunOptions{Mode: ModeClosed, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Report{
+		Format:    ReportFormat,
+		Version:   ReportVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Trace:     tr.Config,
+		Results:   []Result{*res},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Requests != rep.Results[0].Requests {
+		t.Fatalf("round trip lost requests: %d != %d", back.Results[0].Requests, rep.Results[0].Requests)
+	}
+	if back.Trace != rep.Trace {
+		t.Fatalf("round trip changed trace config: %+v != %+v", back.Trace, rep.Trace)
+	}
+}
+
+func TestReportValidateRejects(t *testing.T) {
+	base := sampleReport(t)
+	mutations := []struct {
+		name string
+		mut  func(*Report)
+	}{
+		{"wrong format", func(r *Report) { r.Format = "nope" }},
+		{"wrong version", func(r *Report) { r.Version = 99 }},
+		{"no results", func(r *Report) { r.Results = nil }},
+		{"missing env", func(r *Report) { r.GoVersion = "" }},
+		{"zero requests", func(r *Report) { r.Results[0].Requests = 0 }},
+		{"count mismatch", func(r *Report) { r.Results[0].Recommends++ }},
+		{"bad mode", func(r *Report) { r.Results[0].Mode = "sideways" }},
+		{"no throughput", func(r *Report) { r.Results[0].ThroughputRPS = 0 }},
+		{"non-monotone quantiles", func(r *Report) { r.Results[0].Recommend.P99US = r.Results[0].Recommend.P50US / 2 }},
+	}
+	for _, m := range mutations {
+		rep := sampleReport(t)
+		m.mut(rep)
+		err := rep.Validate()
+		if err == nil {
+			t.Errorf("%s: validation passed", m.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadReport) {
+			t.Errorf("%s: error %v is not ErrBadReport", m.name, err)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("unmutated report invalid: %v", err)
+	}
+}
+
+func TestParseReportRejectsUnknownFields(t *testing.T) {
+	rep := sampleReport(t)
+	data, err := rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"format"`, `"surprise": 1, "format"`, 1)
+	if _, err := ParseReport([]byte(tampered)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Server hardening defaults. A serving front-end sits behind load
+// generators and untrusted clients, so every slow-client avenue is
+// bounded: header read, whole-request read, response write, idle
+// keep-alive, and header size. Request bodies are small JSON documents
+// and responses are bounded stream summaries, so generous single-digit
+// to double-digit second limits cut off wedged connections without
+// ever clipping a legitimate exchange.
+const (
+	// DefaultReadHeaderTimeout bounds how long a client may dribble
+	// request headers.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultReadTimeout bounds reading an entire request including the
+	// body, so a slow-loris body can't hold a handler goroutine.
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds writing the response.
+	DefaultWriteTimeout = 30 * time.Second
+	// DefaultIdleTimeout bounds how long a keep-alive connection may sit
+	// idle between requests before the server reclaims it.
+	DefaultIdleTimeout = 120 * time.Second
+	// DefaultMaxHeaderBytes caps request header size (1 MiB, the Go
+	// default made explicit so it is pinned by tests).
+	DefaultMaxHeaderBytes = 1 << 20
+)
+
+// NewServer wraps a handler in an http.Server hardened with the
+// default timeouts above. `banditware serve` and the bwload
+// self-hosted HTTP target both serve exactly this configuration, so
+// load tests measure the production server, not a bare default one.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    DefaultMaxHeaderBytes,
+	}
+}

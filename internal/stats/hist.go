@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogHistogram is a bounded streaming histogram with HDR-style
+// log-spaced buckets: values in [Min, Max] land in geometrically
+// growing buckets whose width bounds the relative quantile error, so
+// millions of per-request latencies can be recorded in O(1) time and
+// fixed memory, then queried for p50/p99/p999 without retaining the
+// samples. Values below Min clamp into the first bucket and values
+// above Max into a dedicated overflow bucket, so Add never loses a
+// count. The zero value is not usable; construct with NewLogHistogram.
+//
+// LogHistogram is not safe for concurrent use. Load-generator workers
+// each own one and Merge them at the end, which keeps the record path
+// free of atomics and locks.
+type LogHistogram struct {
+	min, max  float64
+	base      float64 // bucket growth factor, 1+2*relErr
+	invLnBase float64 // 1/ln(base), cached for Add
+	counts    []uint64
+	overflow  uint64
+	total     uint64
+	sum       float64
+	vmin      float64 // smallest value observed
+	vmax      float64 // largest value observed
+}
+
+// ErrHistogramConfig reports an invalid histogram construction or an
+// attempt to merge histograms with different bucket layouts.
+var ErrHistogramConfig = errors.New("stats: bad histogram config")
+
+// NewLogHistogram builds a histogram tracking values in [min, max] with
+// relative quantile error at most relErr (e.g. 0.01 for 1%). min and
+// max must be positive with min < max, and relErr in (0, 1).
+func NewLogHistogram(min, max, relErr float64) (*LogHistogram, error) {
+	if !(min > 0) || !(max > min) || math.IsInf(max, 0) {
+		return nil, fmt.Errorf("%w: need 0 < min < max, got [%g, %g]", ErrHistogramConfig, min, max)
+	}
+	if !(relErr > 0) || relErr >= 1 {
+		return nil, fmt.Errorf("%w: relErr %g outside (0, 1)", ErrHistogramConfig, relErr)
+	}
+	// A value anywhere inside a bucket is reported as the bucket's
+	// geometric midpoint, so a growth factor of 1+2e keeps the
+	// round-trip error within e of the true value.
+	base := 1 + 2*relErr
+	n := int(math.Ceil(math.Log(max/min)/math.Log(base))) + 1
+	return &LogHistogram{
+		min:       min,
+		max:       max,
+		base:      base,
+		invLnBase: 1 / math.Log(base),
+		counts:    make([]uint64, n),
+		vmin:      math.Inf(1),
+		vmax:      math.Inf(-1),
+	}, nil
+}
+
+// bucket returns the bucket index for v, clamped to the tracked range;
+// values above max return len(counts) to select the overflow bucket.
+func (h *LogHistogram) bucket(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	if v > h.max {
+		return len(h.counts)
+	}
+	i := int(math.Log(v/h.min) * h.invLnBase)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// bucketValue returns the representative (geometric midpoint) value of
+// bucket i.
+func (h *LogHistogram) bucketValue(i int) float64 {
+	if i >= len(h.counts) {
+		// Overflow bucket: the best available answer is the largest
+		// value actually seen.
+		return h.vmax
+	}
+	lo := h.min * math.Pow(h.base, float64(i))
+	return lo * math.Sqrt(h.base)
+}
+
+// Add records one value. NaN values are ignored.
+func (h *LogHistogram) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if i := h.bucket(v); i >= len(h.counts) {
+		h.overflow++
+	} else {
+		h.counts[i]++
+	}
+	h.total++
+	h.sum += v
+	if v < h.vmin {
+		h.vmin = v
+	}
+	if v > h.vmax {
+		h.vmax = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *LogHistogram) Count() uint64 { return h.total }
+
+// Sum returns the exact sum of recorded values.
+func (h *LogHistogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact mean of recorded values (NaN when empty).
+func (h *LogHistogram) Mean() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest recorded value exactly (+Inf when empty).
+func (h *LogHistogram) Min() float64 { return h.vmin }
+
+// Max returns the largest recorded value exactly (-Inf when empty).
+func (h *LogHistogram) Max() float64 { return h.vmax }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the recorded
+// values to within the histogram's relative error. The extremes are
+// exact: Quantile(0) is Min and Quantile(1) is Max. It returns NaN for
+// an empty histogram or q outside [0, 1].
+func (h *LogHistogram) Quantile(q float64) float64 {
+	if h.total == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if q == 0 {
+		return h.vmin
+	}
+	if q == 1 {
+		return h.vmax
+	}
+	// Rank of the target observation, 1-based, matching the nearest-rank
+	// definition; the bucket holding that rank answers the query.
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := h.bucketValue(i)
+			// Never report outside the observed range: the first and
+			// last buckets cover values beyond vmin/vmax.
+			return math.Min(math.Max(v, h.vmin), h.vmax)
+		}
+	}
+	return h.vmax
+}
+
+// Merge folds another histogram with the identical bucket layout into
+// h, summing counts. Worker-local histograms merge this way after a
+// run so the hot path stays lock-free.
+func (h *LogHistogram) Merge(o *LogHistogram) error {
+	if o.min != h.min || o.max != h.max || o.base != h.base || len(o.counts) != len(h.counts) {
+		return fmt.Errorf("%w: merging [%g, %g]x%g into [%g, %g]x%g",
+			ErrHistogramConfig, o.min, o.max, o.base, h.min, h.max, h.base)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.overflow += o.overflow
+	h.total += o.total
+	h.sum += o.sum
+	if o.vmin < h.vmin {
+		h.vmin = o.vmin
+	}
+	if o.vmax > h.vmax {
+		h.vmax = o.vmax
+	}
+	return nil
+}
+
+// Overflow returns how many recorded values exceeded the tracked max
+// (they are still counted in totals and report as Max in quantiles).
+func (h *LogHistogram) Overflow() uint64 { return h.overflow }

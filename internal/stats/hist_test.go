@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"banditware/internal/rng"
+)
+
+func TestLogHistogramConfigErrors(t *testing.T) {
+	cases := []struct{ min, max, relErr float64 }{
+		{0, 1, 0.01},
+		{-1, 1, 0.01},
+		{1, 1, 0.01},
+		{2, 1, 0.01},
+		{1, math.Inf(1), 0.01},
+		{1, 10, 0},
+		{1, 10, -0.5},
+		{1, 10, 1},
+	}
+	for _, c := range cases {
+		if _, err := NewLogHistogram(c.min, c.max, c.relErr); err == nil {
+			t.Errorf("NewLogHistogram(%g, %g, %g): want error", c.min, c.max, c.relErr)
+		}
+	}
+}
+
+func TestLogHistogramEmpty(t *testing.T) {
+	h, err := NewLogHistogram(1e-6, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", h.Count())
+	}
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram should report NaN quantiles and mean")
+	}
+}
+
+// quantilesAgree asserts the histogram's quantile estimates track the
+// exact stats.Quantile of the raw sample within the configured relative
+// resolution (plus the rank-definition gap between nearest-rank and
+// interpolated quantiles, which one sample's spacing bounds).
+func quantilesAgree(t *testing.T, xs []float64, relErr float64) {
+	t.Helper()
+	h, err := NewLogHistogram(1e-7, 1e4, relErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	if h.Count() != uint64(len(xs)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(xs))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Quantile(xs, q)
+		got := h.Quantile(q)
+		// Nearest-rank vs interpolated can differ by one order
+		// statistic; bound the comparison by the neighbouring exact
+		// quantiles widened by the bucket resolution.
+		lo := Quantile(xs, math.Max(0, q-1.5/float64(len(xs)))) * (1 - 3*relErr)
+		hi := Quantile(xs, math.Min(1, q+1.5/float64(len(xs)))) * (1 + 3*relErr)
+		if got < lo || got > hi {
+			t.Errorf("q=%g: histogram %.6g outside [%.6g, %.6g] (exact %.6g)", q, got, lo, hi, exact)
+		}
+	}
+	if got, want := h.Quantile(0), Min(xs); got != want {
+		t.Errorf("Quantile(0) = %g, want exact min %g", got, want)
+	}
+	if got, want := h.Quantile(1), Max(xs); got != want {
+		t.Errorf("Quantile(1) = %g, want exact max %g", got, want)
+	}
+	if got, want := h.Mean(), Mean(xs); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("Mean = %g, want exact %g", got, want)
+	}
+}
+
+func TestLogHistogramQuantilesUniform(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Uniform(1e-5, 2.0)
+	}
+	quantilesAgree(t, xs, 0.01)
+}
+
+func TestLogHistogramQuantilesHeavyTail(t *testing.T) {
+	// Log-normal-ish latencies: most mass near 100µs with a long tail —
+	// the shape per-request latency actually has.
+	r := rng.New(11)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = 1e-4 * math.Exp(r.Normal(0, 1.5))
+	}
+	quantilesAgree(t, xs, 0.005)
+}
+
+func TestLogHistogramClampsOutOfRange(t *testing.T) {
+	h, err := NewLogHistogram(1e-3, 1.0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1e-9) // below min: clamps into first bucket
+	h.Add(50)   // above max: overflow bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("Overflow = %d, want 1", h.Overflow())
+	}
+	// Quantiles stay inside the observed range even for clamped values.
+	if q := h.Quantile(0.5); q < 1e-9 || q > 50 {
+		t.Fatalf("Quantile(0.5) = %g outside observed range", q)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Fatalf("Quantile(1) = %g, want 50", got)
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Uniform(1e-5, 1.0)
+	}
+	whole, err := NewLogHistogram(1e-7, 1e4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*LogHistogram, 4)
+	for i := range parts {
+		parts[i], _ = NewLogHistogram(1e-7, 1e4, 0.01)
+	}
+	for i, x := range xs {
+		whole.Add(x)
+		parts[i%len(parts)].Add(x)
+	}
+	merged, _ := NewLogHistogram(1e-7, 1e4, 0.01)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), whole.Count())
+	}
+	// Summation order differs between the merged and whole-sample paths,
+	// so compare sums to floating-point tolerance only.
+	if math.Abs(merged.Sum()-whole.Sum()) > 1e-9*whole.Sum() {
+		t.Fatalf("merged sum = %g, want %g", merged.Sum(), whole.Sum())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged min/max differ from whole-sample histogram")
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q=%g: merged %g != whole %g", q, got, want)
+		}
+	}
+	other, _ := NewLogHistogram(1e-6, 1e4, 0.01)
+	if err := merged.Merge(other); err == nil {
+		t.Fatal("merging a histogram with a different layout should fail")
+	}
+}
+
+func BenchmarkLogHistogramAdd(b *testing.B) {
+	h, err := NewLogHistogram(1e-7, 1e4, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		h.Add(1e-4 + float64(i%1000)*1e-6)
+	}
+}

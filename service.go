@@ -179,6 +179,17 @@ func LoadServiceOptions(r io.Reader, opts ServiceOptions) (*Service, error) {
 // handler; docs/API.md is the route-by-route reference.
 func ServiceHandler(svc *Service) http.Handler { return serve.NewHandler(svc) }
 
+// NewServiceServer wraps ServiceHandler(svc) in an http.Server
+// hardened against slow or wedged clients: read-header, whole-read,
+// write, and idle timeouts plus a header-size cap are all bounded.
+// `banditware serve` and the bwload self-hosted HTTP target both run
+// exactly this server, so load-test numbers measure the production
+// configuration. Callers needing different limits can adjust the
+// returned server before Serve.
+func NewServiceServer(svc *Service) *http.Server {
+	return serve.NewServer(serve.NewHandler(svc))
+}
+
 // ParseTicketID splits a decision-ticket ID into its stream name and
 // per-stream sequence number.
 func ParseTicketID(id string) (stream string, seq uint64, err error) {
