@@ -21,16 +21,26 @@
 // artifacts of the whole run, wired the same way as the
 // SchemaTreeRecommender evaluation harness.
 //
+// Scenario mode (-scenario serverless) swaps the synthetic trace for
+// the internal/scenario serverless-fleet trace: thousands of Zipf-skewed
+// function streams with diurnal + flash-crowd arrival patterns and
+// end-to-end latencies (service + queueing + cold starts), so scenario
+// traffic joins the same perf trajectory and report schema. -quick
+// selects the small pinned preset; -n/-streams/-skew/-observe/-app are
+// ignored in scenario mode (the scenario pins its own population).
+//
 // Examples:
 //
 //	bwload -quick                               # CI smoke: both targets, seconds
 //	bwload -target inproc -n 200000 -conc 8     # capacity run
 //	bwload -target http -mode open -qps 2000    # latency under offered load
+//	bwload -scenario serverless -quick          # serverless-fleet scenario smoke
 //	bwload -cpuprofile cpu.out -n 500000        # profile the serving path
 //	bwload -validate BENCH_serve_baseline.json  # schema-check a report
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +50,7 @@ import (
 	"time"
 
 	"banditware/internal/loadgen"
+	"banditware/internal/scenario"
 )
 
 func main() {
@@ -60,7 +71,9 @@ func run(args []string) error {
 	streams := fs.Int("streams", 64, "stream population size")
 	skew := fs.Float64("skew", 1.1, "Zipf skew of stream popularity (0 < s; ~0 = uniform)")
 	observe := fs.Float64("observe", 0.5, "fraction of recommends followed by an observe")
-	app := fs.String("app", "cycles", "workload family for contexts and runtimes: cycles, bp3d, matmul, llm")
+	app := fs.String("app", "cycles", "workload family for contexts and runtimes: cycles, bp3d, matmul, llm, serverless")
+	scenarioName := fs.String("scenario", "", "replay a scenario trace instead of a synthetic one: serverless")
+	timeScale := fs.Float64("timescale", 0, "compress (>1) or stretch (<1) open-loop arrival times (0 = replay at recorded rate)")
 	qps := fs.Float64("qps", 2000, "open-loop target QPS (Poisson arrival rate)")
 	seed := fs.Uint64("seed", 1, "trace seed; same seed, same trace")
 	raw := fs.Bool("raw", false, "send positional feature vectors instead of named schema contexts")
@@ -99,6 +112,9 @@ func run(args []string) error {
 	runMode := loadgen.Mode(*mode)
 	if runMode != loadgen.ModeClosed && runMode != loadgen.ModeOpen {
 		return fmt.Errorf("unknown -mode %q (want closed, open)", *mode)
+	}
+	if *scenarioName != "" && *scenarioName != "serverless" {
+		return fmt.Errorf("unknown -scenario %q (want serverless)", *scenarioName)
 	}
 
 	// Profiling wiring, as in the SchemaTreeRecommender evaluation
@@ -141,22 +157,50 @@ func run(args []string) error {
 		defer trace.Stop()
 	}
 
-	traceCfg := loadgen.TraceConfig{
-		Seed:         *seed,
-		App:          *app,
-		Streams:      *streams,
-		Requests:     *n,
-		ZipfSkew:     *skew,
-		ObserveRatio: *observe,
-	}
-	if runMode == loadgen.ModeOpen {
-		traceCfg.QPS = *qps
+	// genTrace builds a fresh copy of the identical trace for each
+	// target run. In scenario mode the scenario package pins its own
+	// population and arrival process; the trace flags are ignored.
+	var genTrace func() (*loadgen.Trace, error)
+	var traceCfg loadgen.TraceConfig
+	if *scenarioName != "" {
+		scfg := scenario.Default(*seed)
+		if *quick {
+			scfg = scenario.Quick(*seed)
+		}
+		tr, err := scenario.Trace(scfg)
+		if err != nil {
+			return err
+		}
+		traceCfg = tr.Config
+		first := tr
+		genTrace = func() (*loadgen.Trace, error) {
+			if first != nil {
+				tr := first
+				first = nil
+				return tr, nil
+			}
+			return scenario.Trace(scfg)
+		}
+	} else {
+		traceCfg = loadgen.TraceConfig{
+			Seed:         *seed,
+			App:          *app,
+			Streams:      *streams,
+			Requests:     *n,
+			ZipfSkew:     *skew,
+			ObserveRatio: *observe,
+		}
+		if runMode == loadgen.ModeOpen {
+			traceCfg.QPS = *qps
+		}
+		genTrace = func() (*loadgen.Trace, error) { return loadgen.Generate(traceCfg) }
 	}
 	opts := loadgen.RunOptions{
 		Mode:        runMode,
 		Concurrency: *conc,
 		Duration:    *durCap,
 		Raw:         *raw,
+		TimeScale:   *timeScale,
 	}
 
 	report := &loadgen.Report{
@@ -170,11 +214,12 @@ func run(args []string) error {
 		Trace:     traceCfg,
 	}
 
+	var runErr error
 	for _, name := range targetList(*target) {
 		// Each target replays an identically-generated trace against a
 		// fresh stream population, so results are comparable and runs
 		// never share learned state.
-		tr, err := loadgen.Generate(traceCfg)
+		tr, err := genTrace()
 		if err != nil {
 			return err
 		}
@@ -183,34 +228,44 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "bwload: %s/%s: %d streams, %d recommends (observe ratio %g, skew %g)...\n",
-			name, runMode, len(tr.Streams), len(tr.Ops), traceCfg.ObserveRatio, traceCfg.ZipfSkew)
+			name, runMode, len(tr.Streams), len(tr.Ops), tr.Config.ObserveRatio, tr.Config.ZipfSkew)
 		res, err := loadgen.Run(tgt, tr, opts)
 		cerr := tgt.Close()
-		if err != nil {
-			return err
-		}
 		if cerr != nil {
 			fmt.Fprintf(os.Stderr, "bwload: closing %s target: %v\n", name, cerr)
 		}
-		report.Results = append(report.Results, *res)
+		if res != nil {
+			// On error this is a failed partial result: it still records
+			// the run configuration (target QPS included) so the report
+			// stays schema-valid and diffable.
+			report.Results = append(report.Results, *res)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bwload: %s/%s failed: %v\n", name, runMode, err)
+			runErr = errors.Join(runErr, fmt.Errorf("%s/%s: %w", name, runMode, err))
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "bwload: %s/%s: %.0f req/s, recommend p50 %.1fµs p99 %.1fµs p999 %.1fµs, %d errors\n",
 			name, runMode, res.ThroughputRPS, res.Recommend.P50US, res.Recommend.P99US, res.Recommend.P999US, res.Errors)
 	}
 
 	if err := report.Validate(); err != nil {
-		return err
+		return errors.Join(runErr, err)
 	}
 	data, err := report.EncodeJSON()
 	if err != nil {
-		return err
+		return errors.Join(runErr, err)
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			return err
+			return errors.Join(runErr, err)
 		}
 		fmt.Fprintf(os.Stderr, "bwload: report written to %s\n", *out)
 	} else {
 		os.Stdout.Write(data)
+	}
+	if runErr != nil {
+		return runErr
 	}
 	if *failOnErr {
 		if errs := report.TotalErrors(); errs > 0 {
@@ -251,11 +306,17 @@ func firstSample(r *loadgen.Report) string {
 
 // validateReport strictly parses the report (unknown fields rejected),
 // checks the schema invariants, and reports any recorded request
-// errors as a failure — the CI smoke contract.
+// errors or failed partial results as a failure — the CI smoke
+// contract.
 func validateReport(path string) error {
 	rep, err := loadgen.ReadReport(path)
 	if err != nil {
 		return err
+	}
+	for i := range rep.Results {
+		if res := &rep.Results[i]; res.Failed != "" {
+			return fmt.Errorf("%s: result %d (%s/%s) records a failed run: %s", path, i, res.Target, res.Mode, res.Failed)
+		}
 	}
 	if errs := rep.TotalErrors(); errs > 0 {
 		return fmt.Errorf("%s: report records %d request errors", path, errs)

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"banditware/internal/loadgen"
+)
+
+// TestRunWritesPartialReportOnFailure is the regression test for the
+// partial-report contract: when the run dies before measuring (here a
+// dead external server), bwload must still write a schema-valid report
+// that records the configured target QPS and the failure, and exit
+// non-zero.
+func TestRunWritesPartialReportOnFailure(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-target", "http",
+		"-addr", "http://127.0.0.1:1", // reserved port: connection refused
+		"-mode", "open",
+		"-qps", "123",
+		"-n", "40",
+		"-streams", "4",
+		"-out", out,
+	})
+	if err == nil {
+		t.Fatal("run against a dead server succeeded")
+	}
+	rep, rerr := loadgen.ReadReport(out)
+	if rerr != nil {
+		t.Fatalf("partial report is not schema-valid: %v", rerr)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("partial report has %d results, want 1", len(rep.Results))
+	}
+	res := rep.Results[0]
+	if res.Failed == "" {
+		t.Fatalf("partial result does not record the failure: %+v", res)
+	}
+	if res.Target != "http" || res.Mode != "open" {
+		t.Fatalf("partial result misattributed: %+v", res)
+	}
+	if res.TargetQPS != 123 {
+		t.Fatalf("partial result target QPS %g, want 123", res.TargetQPS)
+	}
+	// The failed report must not pass the CI validation gate.
+	if verr := validateReport(out); verr == nil {
+		t.Fatal("validateReport accepted a report with a failed run")
+	}
+}
+
+// TestRunScenarioQuick exercises the -scenario serverless path end to
+// end against the in-process target: the scenario trace replays with
+// zero request errors and lands in the standard report schema with the
+// scenario marker set.
+func TestRunScenarioQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario replay; run without -short")
+	}
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := run([]string{
+		"-scenario", "serverless",
+		"-quick",
+		"-target", "inproc",
+		"-out", out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport(out); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Scenario != "serverless" || rep.Trace.App != "serverless" {
+		t.Fatalf("report trace %+v not marked as the serverless scenario", rep.Trace)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Errors != 0 {
+		t.Fatalf("scenario replay results: %+v", rep.Results)
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "bogus"}); err == nil {
+		t.Fatal("unknown -scenario accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Serverless fleet: the end-to-end serving scenario as a demo.
+//
+// Runs the seeded serverless/HPC-fleet simulation from internal/scenario
+// — thousands of Zipf-skewed function streams on a five-tier fleet,
+// diurnal traffic, a mid-run flash crowd that thrashes two tiers' warm
+// pools — through the real banditware service, then renders what the
+// acceptance suite asserts: cumulative end-to-end latency regret versus
+// the random and hindsight-static baselines, per-phase decision
+// accuracy, and how fast the drift detectors localized the flash crowd.
+//
+//	go run ./examples/serverless            # quick preset (~1 s)
+//	go run ./examples/serverless -full      # full acceptance-scale fleet
+//	go run ./examples/serverless -svg out.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"banditware/internal/scenario"
+	"banditware/internal/svgplot"
+	"banditware/internal/textplot"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full acceptance-scale fleet (2000 streams, 100k invocations)")
+	seed := flag.Uint64("seed", 1, "scenario seed; same seed, same fleet")
+	svg := flag.String("svg", "", "also write the regret curves as an SVG chart to this file")
+	flag.Parse()
+
+	cfg := scenario.Quick(*seed)
+	if *full {
+		cfg = scenario.Default(*seed)
+	}
+	fmt.Printf("serverless fleet: %d streams, %d invocations over %.0f min, flash crowd at [%.0f s, %.0f s)\n",
+		cfg.Streams, cfg.Requests, cfg.Horizon/60, cfg.FlashStart, cfg.FlashEnd)
+
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Errors != 0 {
+		log.Fatalf("%d request errors (first: %v)", res.Errors, res.ErrSamples)
+	}
+
+	fmt.Printf("\n%d decisions, %d cold starts, %d/%d streams served\n",
+		res.Decisions, res.ColdStarts, res.ServedStreams, cfg.Streams)
+	fmt.Printf("cumulative end-to-end latency above oracle (regret, seconds):\n")
+	fmt.Printf("  bandit %9.0f\n  static %9.0f  (hindsight-best fixed tier: %s)\n  random %9.0f\n",
+		res.BanditRegret(), res.StaticRegret(), cfg.Hardware[res.StaticArm].Name, res.RandomRegret())
+
+	// Regret growth over the run; the dashed baseline is the random
+	// policy's final regret.
+	bandit := make([]float64, len(res.Curve))
+	random := make([]float64, len(res.Curve))
+	for i, p := range res.Curve {
+		bandit[i] = p.Bandit - p.Oracle
+		random[i] = p.Random - p.Oracle
+	}
+	if len(bandit) > 0 {
+		fmt.Println("\ncumulative regret over the run (dashes = random policy's final regret):")
+		fmt.Print(textplot.Line(bandit, 64, 10, random[len(random)-1]))
+	}
+
+	fmt.Println("\nper-phase decision accuracy (fraction of invocations sent to the truly best tier):")
+	labels := make([]string, len(res.Phases))
+	accs := make([]float64, len(res.Phases))
+	for i, p := range res.Phases {
+		labels[i] = fmt.Sprintf("%s (%d)", p.Name, p.Decisions)
+		accs[i] = p.Accuracy
+	}
+	fmt.Print(textplot.Histogram(labels, accs, 48))
+
+	fmt.Println("\nflash-crowd drift detection (Page-Hinkley on reward residuals):")
+	for _, fd := range res.FlashDetections {
+		if fd.Detected {
+			fmt.Printf("  %s: detected %.1f s after onset\n", fd.Stream, fd.DelaySeconds)
+		} else {
+			fmt.Printf("  %s: NOT detected\n", fd.Stream)
+		}
+	}
+	fmt.Printf("  stray detections outside the flash set: %d\n", res.StrayDetections)
+
+	if *svg != "" {
+		t := make([]float64, len(res.Curve))
+		for i, p := range res.Curve {
+			t[i] = p.T
+		}
+		plot := svgplot.New("Serverless fleet: cumulative latency regret", "time (s)", "regret (s)")
+		plot.Add(svgplot.Series{Name: "bandit", X: t, Y: bandit})
+		plot.Add(svgplot.Series{Name: "random", X: t, Y: random, Dashed: true})
+		f, err := os.Create(*svg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plot.Render(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nregret chart written to %s\n", *svg)
+	}
+}

@@ -245,6 +245,21 @@ func SyntheticDefault() Set {
 	}
 }
 
+// ServerlessDefault is the five-tier function-fleet hardware set used by
+// the serverless scenario (internal/scenario): four CPU sizes mirroring
+// common FaaS memory/CPU tiers plus one accelerator-bearing tier. Bigger
+// tiers run a given invocation faster but cost more and pay longer cold
+// starts, so no tier dominates.
+func ServerlessDefault() Set {
+	return Set{
+		{Name: "edge-1c", CPUs: 1, MemoryGB: 2},
+		{Name: "small-2c", CPUs: 2, MemoryGB: 4},
+		{Name: "std-4c", CPUs: 4, MemoryGB: 8},
+		{Name: "large-8c", CPUs: 8, MemoryGB: 16},
+		{Name: "gpu-1g", CPUs: 4, MemoryGB: 16, GPUs: 1},
+	}
+}
+
 // GPUDefault is a GPU-bearing hardware set for the LLM-inference workload
 // (the paper's future-work direction: "enabling us to incorporate GPU
 // information into hardware recommendations").

@@ -114,9 +114,18 @@ type Result struct {
 	// not launch on time because every slot was busy — nonzero means
 	// the measured latency underestimates the queueing a real client
 	// would see at this load.
-	BehindScheduleOps uint64         `json:"behind_schedule_ops,omitempty"`
-	Recommend         LatencySummary `json:"recommend"`
-	Observe           LatencySummary `json:"observe"`
+	BehindScheduleOps uint64 `json:"behind_schedule_ops,omitempty"`
+	// BehindFraction is BehindScheduleOps over dispatched recommends —
+	// the share of the offered schedule the driver failed to keep.
+	BehindFraction float64 `json:"behind_fraction,omitempty"`
+	// Failed carries the run-level error when the run died before
+	// producing measurements (e.g. target setup refused). A failed
+	// result keeps its configuration fields (target, mode, concurrency,
+	// target QPS) so partial reports stay schema-valid and diagnosable;
+	// the measurement invariants are not enforced on it.
+	Failed    string         `json:"failed,omitempty"`
+	Recommend LatencySummary `json:"recommend"`
+	Observe   LatencySummary `json:"observe"`
 	// AllocsPerOp and BytesPerOp are heap allocation deltas across the
 	// run divided by total ops. They include the driver's own footprint
 	// (trace replay, histograms), so treat them as an upper bound on
@@ -195,6 +204,12 @@ func (w *workerState) session(tgt Target, tr *Trace, op *Op, raw bool) {
 // Run replays the trace against the target under opts and returns the
 // measured result. Setup (stream creation) happens inside Run but is
 // excluded from the measured window.
+//
+// When the run dies before measuring (target setup failure), Run
+// returns the error alongside a non-nil partial Result: configuration
+// fields filled in, Failed set, measurements zero. Callers that emit
+// reports should record the partial result so an errored run still
+// leaves a schema-valid document behind.
 func Run(tgt Target, tr *Trace, opts RunOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.Mode != ModeClosed && opts.Mode != ModeOpen {
@@ -204,7 +219,17 @@ func Run(tgt Target, tr *Trace, opts RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("loadgen: open-loop replay needs a trace generated with qps > 0")
 	}
 	if err := tgt.Setup(tr); err != nil {
-		return nil, err
+		res := &Result{
+			Target:      tgt.Name(),
+			Mode:        string(opts.Mode),
+			Concurrency: opts.Concurrency,
+			Raw:         opts.Raw,
+			Failed:      err.Error(),
+		}
+		if opts.Mode == ModeOpen {
+			res.TargetQPS = tr.Config.QPS * opts.TimeScale
+		}
+		return res, err
 	}
 
 	states := make([]*workerState, opts.Concurrency)
@@ -265,6 +290,9 @@ func Run(tgt Target, tr *Trace, opts RunOptions) (*Result, error) {
 	res.Requests = res.Recommends + res.Observes
 	if elapsed > 0 {
 		res.ThroughputRPS = float64(res.Requests) / elapsed.Seconds()
+	}
+	if res.Recommends > 0 {
+		res.BehindFraction = float64(behind) / float64(res.Recommends)
 	}
 	res.Recommend = summarize(rh)
 	res.Observe = summarize(oh)

@@ -72,6 +72,11 @@ func (res *Result) validate() error {
 	if res.Mode != string(ModeClosed) && res.Mode != string(ModeOpen) {
 		return fmt.Errorf("unknown mode %q", res.Mode)
 	}
+	if res.Failed != "" {
+		// A failed partial result records configuration only; the
+		// measurement invariants below do not apply to it.
+		return nil
+	}
 	if res.Requests == 0 {
 		return errors.New("zero requests")
 	}

@@ -82,6 +82,73 @@ func TestReportValidateRejects(t *testing.T) {
 	}
 }
 
+// TestFailedPartialResultValidates pins the partial-report contract: a
+// run that dies before measuring still yields a schema-valid result
+// (configuration recorded, measurements zero) so the report file stays
+// parseable, while a non-failed result keeps the full invariants.
+func TestFailedPartialResultValidates(t *testing.T) {
+	rep := sampleReport(t)
+	rep.Results = append(rep.Results, Result{
+		Target:    "http",
+		Mode:      string(ModeOpen),
+		TargetQPS: 1234,
+		Failed:    "setup: connection refused",
+	})
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report with failed partial result rejected: %v", err)
+	}
+	data, err := rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Results[len(back.Results)-1]
+	if got.Failed == "" || got.TargetQPS != 1234 {
+		t.Fatalf("partial result lost failure context: %+v", got)
+	}
+	// A failed partial still needs target and mode to be attributable.
+	rep.Results[1].Target = ""
+	if err := rep.Validate(); err == nil {
+		t.Fatal("failed partial without a target validated")
+	}
+}
+
+// TestRunSetupFailureReturnsPartial drives Run against a target whose
+// Setup cannot succeed and checks the returned partial result records
+// the configured open-loop QPS alongside the error.
+func TestRunSetupFailureReturnsPartial(t *testing.T) {
+	tr := smokeTrace(t, 0)
+	tr.Config.QPS = 500
+	tgt := NewHTTP("http://127.0.0.1:1") // reserved port: connection refused
+	defer tgt.Close()
+	res, err := Run(tgt, tr, RunOptions{Mode: ModeOpen, Concurrency: 2, TimeScale: 4})
+	if err == nil {
+		t.Fatal("Run against a dead server succeeded")
+	}
+	if res == nil {
+		t.Fatal("Run returned no partial result alongside the error")
+	}
+	if res.Failed == "" {
+		t.Fatalf("partial result has no failure recorded: %+v", res)
+	}
+	if res.TargetQPS != 500*4 {
+		t.Fatalf("partial result target QPS %g, want %g", res.TargetQPS, 500.0*4)
+	}
+	if res.Requests != 0 || res.ThroughputRPS != 0 {
+		t.Fatalf("failed run recorded measurements: %+v", res)
+	}
+	if err := (&Report{
+		Format: ReportFormat, Version: ReportVersion,
+		GoVersion: "go", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		Results: []Result{*res},
+	}).Validate(); err != nil {
+		t.Fatalf("partial result does not validate: %v", err)
+	}
+}
+
 func TestParseReportRejectsUnknownFields(t *testing.T) {
 	rep := sampleReport(t)
 	data, err := rep.EncodeJSON()

@@ -1,0 +1,55 @@
+package loadgen
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestOpenLoopStress hammers the open-loop (Poisson arrival) driver
+// with a hot-stream trace, high time compression, and more in-flight
+// slots than cores, so the arrival dispatcher and the worker-state
+// merge run maximally concurrent. Its job is to give the race detector
+// surface area: `go test -race -run TestOpenLoopStress` is the CI race
+// smoke for this path. The trace's Zipf skew near zero spreads load
+// across streams, and the near-uniform popularity plus compressed
+// schedule force constant slot churn.
+func TestOpenLoopStress(t *testing.T) {
+	tr, err := Generate(TraceConfig{
+		Seed:         11,
+		App:          "cycles",
+		Streams:      16,
+		Requests:     3000,
+		ZipfSkew:     0.05,
+		ObserveRatio: 0.9,
+		QPS:          1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewInProc()
+	defer tgt.Close()
+	conc := 4 * runtime.GOMAXPROCS(0)
+	// TimeScale 200 compresses the 2 s schedule to ~10 ms of arrival
+	// gaps: every op is behind schedule immediately, so all slots stay
+	// saturated for the whole run.
+	res, err := Run(tgt, tr, RunOptions{Mode: ModeOpen, Concurrency: conc, TimeScale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors; samples: %s", res.Errors, strings.Join(res.ErrorSamples, " | "))
+	}
+	if res.Recommends != 3000 {
+		t.Fatalf("recommends = %d, want 3000 (dispatcher lost arrivals)", res.Recommends)
+	}
+	if res.Requests != res.Recommends+res.Observes {
+		t.Fatalf("requests = %d, want %d", res.Requests, res.Recommends+res.Observes)
+	}
+	if res.Recommend.Count != res.Recommends || res.Observe.Count != res.Observes {
+		t.Fatalf("latency summaries inconsistent with counts: %+v / %+v", res.Recommend, res.Observe)
+	}
+	if res.BehindFraction < 0 || res.BehindFraction > 1 {
+		t.Fatalf("behind fraction %g outside [0, 1]", res.BehindFraction)
+	}
+}

@@ -32,8 +32,14 @@ type TraceConfig struct {
 	// Seed drives every random choice. Same seed, same trace.
 	Seed uint64 `json:"seed"`
 	// App selects the workload whose contexts and runtime ground truth
-	// the trace draws from: "cycles" (default), "bp3d", "matmul", "llm".
+	// the trace draws from: "cycles" (default), "bp3d", "matmul", "llm",
+	// "serverless".
 	App string `json:"app"`
+	// Scenario names the scenario the trace was derived from, when it
+	// was built by internal/scenario rather than Generate ("" for plain
+	// generated traces). Informational: it flows into the report so
+	// scenario runs are distinguishable in the perf trajectory.
+	Scenario string `json:"scenario,omitempty"`
 	// Streams is the number of recommender streams in the population
 	// (default 64). Stream 0 is the Zipf head.
 	Streams int `json:"streams"`
@@ -210,8 +216,10 @@ func generateDataset(app string, seed uint64) (*workloads.Dataset, error) {
 		return workloads.GenerateMatMul(workloads.MatMulOptions{Seed: seed})
 	case "llm":
 		return workloads.GenerateLLM(workloads.LLMOptions{Seed: seed})
+	case "serverless":
+		return workloads.GenerateServerless(workloads.ServerlessOptions{Seed: seed})
 	default:
-		return nil, fmt.Errorf("loadgen: unknown app %q (want cycles, bp3d, matmul, llm)", app)
+		return nil, fmt.Errorf("loadgen: unknown app %q (want cycles, bp3d, matmul, llm, serverless)", app)
 	}
 }
 

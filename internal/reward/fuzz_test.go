@@ -1,0 +1,63 @@
+package reward
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"banditware/internal/hardware"
+)
+
+// FuzzRewardSpec drives the reward-spec wire decoder and compiler with
+// arbitrary documents. Invariants: decoding and compiling never panic;
+// a compiled spec is canonical (compiling it again is the identity);
+// and the compiled function returns a finite score for a plain
+// successful outcome.
+func FuzzRewardSpec(f *testing.F) {
+	seeds := []string{
+		`"runtime"`,
+		`"cost"`,
+		`"queue_weighted"`,
+		`"latency"`,
+		`{"type":"cost_weighted","lambda":0.5}`,
+		`{"type":"queue_weighted","lambda":2}`,
+		`{"type":"deadline","deadline_seconds":10,"penalty":3}`,
+		`{"type":"success","penalty":100}`,
+		`{"type":"runtime","lambda":1}`,
+		`{"type":"nope"}`,
+		`{"type":"cost_weighted","lambda":-1}`,
+		`{"lambda":0.5}`,
+		`{"type":"queue_weighted","lambda":1e400}`,
+		`{"typ":"runtime"}`,
+		`42`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	probe := Outcome{
+		Runtime: 3.5,
+		Metrics: map[string]float64{MetricQueueSeconds: 0.25},
+	}
+	hw := hardware.Config{Name: "std-4c", CPUs: 4, MemoryGB: 8}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		fn, canon, err := Compile(spec)
+		if err != nil {
+			return
+		}
+		_, canon2, err := Compile(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %+v does not re-compile: %v", canon, err)
+		}
+		if canon2 != canon {
+			t.Fatalf("Compile is not idempotent: %+v then %+v", canon, canon2)
+		}
+		if score := fn(probe, hw); math.IsNaN(score) || math.IsInf(score, 0) {
+			t.Fatalf("spec %+v scored a plain outcome %v", canon, score)
+		}
+	})
+}

@@ -26,6 +26,11 @@
 //   - failure_penalty: runtime + penalty when the run failed — failed
 //     runs produce nothing, so arms that fail must look expensive even
 //     when they fail fast.
+//   - queue_weighted: runtime + λ·queue_seconds — end-to-end latency for
+//     fleets where an allocation waits in a queue or pays a cold start
+//     before it runs (the serverless scenario): the engine learns the
+//     latency a client experiences, not just the execution time, so an
+//     arm that runs fast but queues long loses to one that starts warm.
 package reward
 
 import (
@@ -57,6 +62,7 @@ const (
 	TypeCostWeighted   = "cost_weighted"
 	TypeDeadline       = "deadline"
 	TypeFailurePenalty = "failure_penalty"
+	TypeQueueWeighted  = "queue_weighted"
 )
 
 // Canonical metric names accepted in Outcome.Metrics. The set is closed
@@ -94,6 +100,10 @@ const (
 	// run's runtime, chosen large against typical workflow runtimes so a
 	// fast-failing arm never looks attractive.
 	DefaultFailurePenalty = 1000.0
+	// DefaultQueueWeight weights queue_seconds in queue_weighted when λ
+	// is unset: one queued second costs one running second — plain
+	// end-to-end latency.
+	DefaultQueueWeight = 1.0
 )
 
 // Outcome is the structured observation of one completed workflow run:
@@ -167,7 +177,8 @@ type Spec struct {
 	// failure_penalty).
 	Type string `json:"type,omitempty"`
 	// Lambda is cost_weighted's cost weight in seconds per cost unit
-	// (0 = DefaultLambda).
+	// (0 = DefaultLambda), and queue_weighted's queue weight in seconds
+	// per queued second (0 = DefaultQueueWeight).
 	Lambda float64 `json:"lambda,omitempty"`
 	// DeadlineSeconds is deadline's SLO target; required (> 0) for that
 	// type.
@@ -212,6 +223,8 @@ func (s Spec) kind() (string, error) {
 		return TypeDeadline, nil
 	case TypeFailurePenalty, "failure":
 		return TypeFailurePenalty, nil
+	case TypeQueueWeighted, "queue", "latency":
+		return TypeQueueWeighted, nil
 	}
 	return "", fmt.Errorf("%w: unknown reward type %q", ErrBadSpec, s.Type)
 }
@@ -300,6 +313,21 @@ func Compile(spec Spec) (Func, Spec, error) {
 				return o.Runtime + penalty
 			}
 			return o.Runtime
+		}, canonical, nil
+
+	case TypeQueueWeighted:
+		if err := finite("lambda", spec.Lambda); err != nil {
+			return nil, Spec{}, err
+		}
+		lambda := spec.Lambda
+		if lambda == 0 {
+			lambda = DefaultQueueWeight
+		}
+		canonical := Spec{Type: TypeQueueWeighted, Lambda: lambda}
+		return func(o Outcome, _ hardware.Config) float64 {
+			// Outcomes without the metric queue for free: the zero read
+			// reproduces the runtime reward exactly.
+			return o.Runtime + lambda*o.Metrics[MetricQueueSeconds]
 		}, canonical, nil
 	}
 	// kind() only returns the four cases above.

@@ -38,6 +38,11 @@ func TestGoldenRewardValues(t *testing.T) {
 		{"deadline/miss-default-penalty", Spec{Type: TypeDeadline, DeadlineSeconds: 60}, Outcome{Runtime: 65}, cheap, 65 + 10*5},
 		{"deadline/miss-penalty", Spec{Type: "slo", DeadlineSeconds: 100, Penalty: 3}, Outcome{Runtime: 110}, big, 110 + 3*10},
 
+		{"queue_weighted/default-lambda", Spec{Type: TypeQueueWeighted}, Outcome{Runtime: 10, Metrics: map[string]float64{MetricQueueSeconds: 3}}, cheap, 10 + 1*3},
+		{"queue_weighted/lambda", Spec{Type: TypeQueueWeighted, Lambda: 0.5}, Outcome{Runtime: 10, Metrics: map[string]float64{MetricQueueSeconds: 4}}, big, 10 + 0.5*4},
+		{"queue_weighted/no-metric", Spec{Type: "queue"}, Outcome{Runtime: 7}, cheap, 7},
+		{"queue_weighted/alias-latency", Spec{Type: "latency", Lambda: 2}, Outcome{Runtime: 1, Metrics: map[string]float64{MetricQueueSeconds: 0.25}}, gpu, 1 + 2*0.25},
+
 		{"failure_penalty/success", Spec{Type: TypeFailurePenalty, Penalty: 500}, Outcome{Runtime: 12, Success: bp(true)}, cheap, 12},
 		{"failure_penalty/unreported", Spec{Type: TypeFailurePenalty, Penalty: 500}, Outcome{Runtime: 12}, cheap, 12},
 		{"failure_penalty/failed", Spec{Type: "failure", Penalty: 500}, Outcome{Runtime: 12, Success: bp(false)}, cheap, 512},
@@ -67,6 +72,8 @@ func TestCompileCanonicalises(t *testing.T) {
 		{Spec{Type: TypeCostWeighted, Lambda: 0.25}, Spec{Type: TypeCostWeighted, Lambda: 0.25}},
 		{Spec{Type: "slo", DeadlineSeconds: 30}, Spec{Type: TypeDeadline, DeadlineSeconds: 30, Penalty: 10}},
 		{Spec{Type: "failure"}, Spec{Type: TypeFailurePenalty, Penalty: 1000}},
+		{Spec{Type: "queue"}, Spec{Type: TypeQueueWeighted, Lambda: 1}},
+		{Spec{Type: "latency", Lambda: 0.5}, Spec{Type: TypeQueueWeighted, Lambda: 0.5}},
 	}
 	for _, tc := range cases {
 		_, got, err := Compile(tc.in)
@@ -94,6 +101,8 @@ func TestCompileRejectsBadSpecs(t *testing.T) {
 		{Type: TypeCostWeighted, Lambda: math.NaN()},             // non-finite λ
 		{Type: TypeCostWeighted, Lambda: -1},                     // negative λ
 		{Type: TypeFailurePenalty, Penalty: -3},                  // negative penalty
+		{Type: TypeQueueWeighted, Lambda: math.NaN()},            // non-finite λ
+		{Type: TypeQueueWeighted, Lambda: -2},                    // negative λ
 		{Type: TypeDeadline, DeadlineSeconds: 10, Penalty: -0.5}, // negative penalty
 	}
 	for _, spec := range bad {

@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"encoding/json"
+)
+
+// PhaseNames label the three flash phases of PhaseStats, in order.
+var PhaseNames = [3]string{"pre-flash", "flash", "recovery"}
+
+// PhaseStats is the decision accuracy of one flash phase: the fraction
+// of decisions that picked the true lowest-latency tier.
+type PhaseStats struct {
+	Name      string  `json:"name"`
+	Decisions int     `json:"decisions"`
+	Accuracy  float64 `json:"accuracy"`
+}
+
+// FlashDetection is one flash stream's first drift detection.
+type FlashDetection struct {
+	Stream string `json:"stream"`
+	// Detected reports whether any detection fired at all.
+	Detected bool `json:"detected"`
+	// DelaySeconds is first-detection time minus flash start (valid
+	// when Detected).
+	DelaySeconds float64 `json:"delay_seconds"`
+}
+
+// CurvePoint is one sample of the cumulative end-to-end latency totals
+// (the demo's regret curve is Bandit−Oracle and Random−Oracle).
+type CurvePoint struct {
+	T      float64 `json:"t"`
+	Bandit float64 `json:"bandit"`
+	Oracle float64 `json:"oracle"`
+	Random float64 `json:"random"`
+}
+
+// Result is the end-of-run summary a scenario produces: every total
+// the acceptance invariants are asserted over, JSON-serialisable for
+// the demo report.
+type Result struct {
+	Config Config `json:"config"`
+
+	Decisions  int      `json:"decisions"`
+	Observes   int      `json:"observes"`
+	Errors     int      `json:"errors"`
+	ErrSamples []string `json:"error_samples,omitempty"`
+	ColdStarts int      `json:"cold_starts"`
+	// ServedStreams counts streams that received at least one decision.
+	ServedStreams int `json:"served_streams"`
+
+	// Cumulative end-to-end latency (service + queue + cold start)
+	// under the bandit's choices, the per-decision oracle, the uniform
+	// random policy, and the best single tier in hindsight.
+	BanditLatency float64 `json:"bandit_latency"`
+	OracleLatency float64 `json:"oracle_latency"`
+	RandomLatency float64 `json:"random_latency"`
+	StaticLatency float64 `json:"static_latency"`
+	// StaticArm is the hindsight-best fixed tier StaticLatency belongs to.
+	StaticArm int `json:"static_arm"`
+
+	Phases []PhaseStats `json:"phases"`
+
+	// Tail service quality: mean per-decision latency over the bottom
+	// half of the popularity ranking, bandit vs. random.
+	TailDecisions  int     `json:"tail_decisions"`
+	TailBanditMean float64 `json:"tail_bandit_mean"`
+	TailRandomMean float64 `json:"tail_random_mean"`
+
+	// Drift localization: one entry per flash stream, plus the count of
+	// detections that fired anywhere outside the flash (stream, arm)
+	// set.
+	FlashDetections []FlashDetection `json:"flash_detections"`
+	StrayDetections uint64           `json:"stray_detections"`
+	// FlashArmDetections totals detections on flash streams' flash arms.
+	FlashArmDetections uint64 `json:"flash_arm_detections"`
+
+	Curve []CurvePoint `json:"curve,omitempty"`
+}
+
+// BanditRegret is the bandit's cumulative latency above the oracle.
+func (r *Result) BanditRegret() float64 { return r.BanditLatency - r.OracleLatency }
+
+// RandomRegret is the random policy's cumulative latency above the oracle.
+func (r *Result) RandomRegret() float64 { return r.RandomLatency - r.OracleLatency }
+
+// StaticRegret is the hindsight-best fixed tier's latency above the oracle.
+func (r *Result) StaticRegret() float64 { return r.StaticLatency - r.OracleLatency }
+
+// EncodeJSON serialises the result deterministically.
+func (r *Result) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Result snapshots the run metrics. Call after Steps has consumed every
+// event (earlier calls summarise the run so far; in-flight invocations
+// past the current clock are still unobserved).
+func (rn *Runner) Result() *Result {
+	a := &rn.acct
+	res := &Result{
+		Config:     rn.cfg,
+		Decisions:  a.decisions,
+		Observes:   a.observes,
+		Errors:     a.errs,
+		ErrSamples: a.errSamples,
+		ColdStarts: a.coldStarts,
+
+		BanditLatency: a.bandit,
+		OracleLatency: a.oracle,
+		RandomLatency: a.random,
+
+		Curve: a.curve,
+	}
+	for _, s := range a.served {
+		if s {
+			res.ServedStreams++
+		}
+	}
+	res.StaticArm = 0
+	for arm, tot := range a.armTotals {
+		if tot < a.armTotals[res.StaticArm] {
+			res.StaticArm = arm
+		}
+	}
+	res.StaticLatency = a.armTotals[res.StaticArm]
+	for i, name := range PhaseNames {
+		ps := PhaseStats{Name: name, Decisions: a.phaseN[i]}
+		if ps.Decisions > 0 {
+			ps.Accuracy = float64(a.phaseHit[i]) / float64(ps.Decisions)
+		}
+		res.Phases = append(res.Phases, ps)
+	}
+	res.TailDecisions = a.tailN
+	if a.tailN > 0 {
+		res.TailBanditMean = a.tailBandit / float64(a.tailN)
+		res.TailRandomMean = a.tailRandom / float64(a.tailN)
+	}
+	rn.sweepDrift(res)
+	return res
+}
+
+// sweepDrift walks every stream's drift state and splits detections
+// into the expected set (flash streams × flash arms) and strays.
+func (rn *Runner) sweepDrift(res *Result) {
+	for i, name := range rn.names {
+		info, err := rn.svc.Drift(name)
+		if err != nil {
+			continue
+		}
+		for _, ad := range info.Arms {
+			if ad.Detections == 0 {
+				continue
+			}
+			if rn.isFlash[i] && rn.flashA[ad.Arm] {
+				res.FlashArmDetections += ad.Detections
+			} else {
+				res.StrayDetections += ad.Detections
+			}
+		}
+		if rn.isFlash[i] {
+			fd := FlashDetection{Stream: name}
+			if at := rn.acct.detectAt[i]; at >= 0 {
+				fd.Detected = true
+				fd.DelaySeconds = at - rn.cfg.FlashStart
+			}
+			res.FlashDetections = append(res.FlashDetections, fd)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"banditware/internal/loadgen"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Streams: -1},
+		{ZipfSkew: -0.5},
+		{DiurnalDepth: 1.5},
+		{FlashStreams: 50, Streams: 10},
+		{FlashShare: 2},
+		{FlashArms: []int{9}},
+		{FlashSlowdown: -1},
+		{KeepAlive: -10},
+	}
+	for _, cfg := range bad {
+		if _, err := NewRunner(cfg); err == nil {
+			t.Fatalf("NewRunner(%+v) accepted a bad config", cfg)
+		}
+	}
+}
+
+// TestQuickScenarioDeterministic runs the Quick preset twice and
+// demands bit-identical results: the whole simulation — arrivals,
+// contexts, decisions, drift, curve — is a pure function of the seed.
+func TestQuickScenarioDeterministic(t *testing.T) {
+	run := func() []byte {
+		res, err := Run(Quick(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%d errors: %v", res.Errors, res.ErrSamples)
+		}
+		if res.Decisions != res.Config.Requests || res.Observes != res.Decisions {
+			t.Fatalf("decisions=%d observes=%d want %d each", res.Decisions, res.Observes, res.Config.Requests)
+		}
+		data, err := res.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical seeds produced different results")
+	}
+}
+
+// TestQuickScenarioLearns sanity-checks the small preset: the bandit
+// must beat random comfortably even at 1/7 scale, and drift must
+// localize to the flash streams' crowded tiers.
+func TestQuickScenarioLearns(t *testing.T) {
+	res, err := Run(Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.BanditRegret() / res.RandomRegret(); r > 0.7 {
+		t.Fatalf("bandit/random regret ratio %.3f, want < 0.7", r)
+	}
+	if res.StrayDetections != 0 {
+		t.Fatalf("%d stray drift detections outside the flash set", res.StrayDetections)
+	}
+	for _, fd := range res.FlashDetections {
+		if !fd.Detected {
+			t.Fatalf("flash stream %s never detected drift", fd.Stream)
+		}
+	}
+}
+
+func TestFlashDisabled(t *testing.T) {
+	cfg := Quick(3)
+	cfg.FlashStart, cfg.FlashEnd = 10, 10 // empty window disables the crowd
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FlashDetections) != 0 {
+		t.Fatalf("flash detections recorded with the crowd disabled")
+	}
+	if res.Phases[1].Decisions != 0 || res.Phases[2].Decisions != 0 {
+		t.Fatalf("flash/recovery phases non-empty with the crowd disabled: %+v", res.Phases)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors: %v", res.Errors, res.ErrSamples)
+	}
+}
+
+// TestTraceConversion pins the loadgen bridge: the converted trace
+// must be structurally sound, carry the burst's arrival pattern, and
+// replay cleanly through the standard in-process target.
+func TestTraceConversion(t *testing.T) {
+	cfg := Quick(7)
+	cfg.Streams = 24
+	cfg.Requests = 800
+	cfg.FlashStreams = 2
+	tr, err := Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Config.Scenario != "serverless" || tr.Config.App != "serverless" {
+		t.Fatalf("trace config %+v not marked as the serverless scenario", tr.Config)
+	}
+	if len(tr.Ops) != cfg.Requests || len(tr.Streams) != cfg.Streams {
+		t.Fatalf("trace has %d ops / %d streams, want %d / %d", len(tr.Ops), len(tr.Streams), cfg.Requests, cfg.Streams)
+	}
+	if tr.Config.QPS <= 0 {
+		t.Fatal("trace QPS unset; open-loop replay would be rejected")
+	}
+	var prev int64
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Stream < 0 || op.Stream >= cfg.Streams {
+			t.Fatalf("op %d targets stream %d", i, op.Stream)
+		}
+		if !op.Observe || len(op.Runtimes) != len(cfg.Hardware) {
+			t.Fatalf("op %d missing observe or runtimes: %+v", i, op)
+		}
+		for _, rt := range op.Runtimes {
+			if rt <= 0 {
+				t.Fatalf("op %d has non-positive runtime", i)
+			}
+		}
+		if op.AtNanos < prev {
+			t.Fatalf("op %d arrival %d before previous %d", i, op.AtNanos, prev)
+		}
+		prev = op.AtNanos
+	}
+
+	// The flash window must carry a denser burst than the run average.
+	burst, total := 0, len(tr.Ops)
+	for i := range tr.Ops {
+		at := float64(tr.Ops[i].AtNanos) / 1e9
+		if at >= cfg.FlashStart && at < cfg.FlashEnd {
+			burst++
+		}
+	}
+	flashFrac := (cfg.FlashEnd - cfg.FlashStart) / cfg.Horizon
+	if float64(burst)/float64(total) < 1.3*flashFrac {
+		t.Fatalf("flash window holds %d/%d ops — no burst over the %.2f baseline share", burst, total, flashFrac)
+	}
+
+	// End-to-end: the converted trace replays through the standard
+	// loadgen driver with zero request errors.
+	res, err := loadgen.Run(loadgen.NewInProc(), tr, loadgen.RunOptions{Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("replay recorded %d errors: %s", res.Errors, strings.Join(res.ErrorSamples, "; "))
+	}
+	if res.Recommends != uint64(cfg.Requests) || res.Observes != uint64(cfg.Requests) {
+		t.Fatalf("replay did %d recommends / %d observes, want %d each", res.Recommends, res.Observes, cfg.Requests)
+	}
+}

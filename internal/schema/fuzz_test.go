@@ -1,0 +1,51 @@
+package schema
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSchema drives the strict schema parser with arbitrary
+// documents. Invariants: Parse never panics; an accepted schema
+// re-validates, marshals, and re-parses (the JSON form is a fixed
+// point, which is what snapshots and the HTTP create route rely on).
+func FuzzParseSchema(f *testing.F) {
+	seeds := []string{
+		`{"fields":[{"name":"x"}]}`,
+		`{"fields":[{"name":"payload_mb","required":true,"min":0,"max":1024,"norm":"minmax"},{"name":"fanout","default":1}]}`,
+		`{"fields":[{"name":"gpu","kind":"categorical","categories":["none","a100","h100"]}]}`,
+		`{"fields":[{"name":"cpu","norm":"zscore","stats":{"count":3,"min":1,"max":9,"mean":4,"m2":38}}]}`,
+		`{"fields":[{"name":"x"},{"name":"x"}]}`,
+		`{"fields":[{"name":"x","min":5,"max":1}]}`,
+		`{"fields":[{"name":"c","kind":"categorical","categories":[]}]}`,
+		`{"fields":[{"name":"x","kind":"wibble"}]}`,
+		`{"fields":[]}`,
+		`{"fields":[{"name":"x"}]}trailing`,
+		`not json at all`,
+		`{"unknown":true}`,
+		`[]`,
+		`""`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse returned both a schema and an error: %v", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted schema fails Validate: %v", err)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted schema does not marshal: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("marshalled form of accepted schema rejected: %v\n%s", err, out)
+		}
+	})
+}

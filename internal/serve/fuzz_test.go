@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzAdaptSpec drives the adaptation-spec wire decoder and compiler
+// with arbitrary documents. Invariants: decoding and compiling never
+// panic, and a compiled spec is canonical — compiling it again is the
+// identity, which snapshot round-trips depend on.
+func FuzzAdaptSpec(f *testing.F) {
+	seeds := []string{
+		`"forgetting"`,
+		`"window"`,
+		`"none"`,
+		`"decay"`,
+		`{"mode":"forgetting","factor":0.97}`,
+		`{"mode":"window","window":200}`,
+		`{"mode":"forgetting","factor":0.9,"on_drift":"reset","drift_delta":0.1,"drift_threshold":12,"drift_min_samples":30,"drift_warmup":25}`,
+		`{"mode":"none","on_drift":"observe"}`,
+		`{"mode":"forgetting","factor":2}`,
+		`{"mode":"window","factor":0.5}`,
+		`{"mode":"sideways"}`,
+		`{"on_drift":"panic"}`,
+		`{"mode":"forgetting","factor":0.97,"bogus":1}`,
+		`{"drift_min_samples":-5}`,
+		`7`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec AdaptSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		out, err := compileAdapt(spec)
+		if err != nil {
+			return
+		}
+		again, err := compileAdapt(out)
+		if err != nil {
+			t.Fatalf("canonical spec %+v does not re-compile: %v", out, err)
+		}
+		if again != out {
+			t.Fatalf("compileAdapt is not idempotent: %+v then %+v", out, again)
+		}
+	})
+}

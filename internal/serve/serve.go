@@ -95,6 +95,7 @@ const (
 	RewardCostWeighted   = reward.TypeCostWeighted
 	RewardDeadline       = reward.TypeDeadline
 	RewardFailurePenalty = reward.TypeFailurePenalty
+	RewardQueueWeighted  = reward.TypeQueueWeighted
 )
 
 // Reward/outcome errors, re-exported for errors.Is checks.

@@ -1,0 +1,252 @@
+package serve
+
+// On-disk cross-version snapshot fixtures. The in-process version tests
+// (snapshot_version_test.go) synthesize old envelopes from the current
+// writer; these goldens pin the same compatibility promise against
+// checked-in files under testdata/snapshots/, so a loader regression
+// against bytes written by an older release fails even if the writer
+// and the strip helpers drift together.
+//
+// Regenerate with:
+//
+//	UPDATE_SNAPSHOT_GOLDENS=1 go test -run TestRegenerateSnapshotGoldens ./internal/serve/
+//
+// and review the diff — rewriting a fixture is a compatibility event.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"banditware/internal/core"
+)
+
+const goldenDir = "testdata/snapshots"
+
+// goldenClock pins saved_at in every fixture.
+func goldenClock() *fakeClock { return &fakeClock{t: time.Unix(9500, 0)} }
+
+// buildGoldenV2Service mirrors the PR 2 shape: schemaless raw-vector
+// streams, a shadow, one pending ticket.
+func buildGoldenV2Service(t *testing.T, clock *fakeClock) *Service {
+	t.Helper()
+	s := NewService(ServiceOptions{Now: clock.now, TicketTTL: time.Hour})
+	if err := s.CreateStream("alg1", StreamConfig{
+		Hardware: testHW(), Dim: 1, Options: core.Options{Seed: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateStream("ucb", StreamConfig{
+		Hardware: testHW(), Dim: 1, Policy: PolicySpec{Type: PolicyLinUCB, Beta: 1.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachShadow("alg1", "ts-shadow", PolicySpec{Type: PolicyLinTS, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for _, name := range []string{"alg1", "ucb"} {
+			tk, err := s.Recommend(name, []float64{float64(i%12 + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "alg1" && i == 29 {
+				continue // leave one ticket pending
+			}
+			if err := s.Observe(tk.ID, float64(15+i%9*6)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// buildGoldenV1Envelope mirrors the PR 1 writer: Algorithm 1 state in
+// the "bandit" field, no policy tag, one pending ticket.
+func buildGoldenV1Envelope(t *testing.T) []byte {
+	t.Helper()
+	b, err := core.New(testHW(), 1, core.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		x := []float64{float64(i%20 + 1)}
+		d, err := b.Recommend(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(d.Arm, x, 3*x[0]+float64(d.Arm)*5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var banditState bytes.Buffer
+	if err := b.SaveState(&banditState); err != nil {
+		t.Fatal(err)
+	}
+	v1 := map[string]any{
+		"format":   "banditware-service",
+		"version":  1,
+		"saved_at": time.Unix(9500, 0).UTC(),
+		"streams": []map[string]any{{
+			"name":          "legacy-v1",
+			"bandit":        json.RawMessage(banditState.Bytes()),
+			"max_pending":   64,
+			"ticket_ttl_ns": 0,
+			"next_seq":      41,
+			"issued":        41,
+			"observed":      40,
+			"evicted":       0,
+			"expired":       0,
+			"pending": []map[string]any{{
+				"id": "legacy-v1#28", "seq": 40, "arm": 1,
+				"features": []float64{7}, "issued_at_ns": time.Unix(9499, 0).UnixNano(),
+			}},
+		}},
+	}
+	blob, err := json.MarshalIndent(v1, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(blob, '\n')
+}
+
+// TestRegenerateSnapshotGoldens rewrites the fixtures from the current
+// writer. Skipped unless explicitly requested.
+func TestRegenerateSnapshotGoldens(t *testing.T) {
+	if os.Getenv("UPDATE_SNAPSHOT_GOLDENS") == "" {
+		t.Skip("set UPDATE_SNAPSHOT_GOLDENS=1 to rewrite testdata/snapshots/")
+	}
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		if err := os.WriteFile(filepath.Join(goldenDir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// v5/v4/v3 share the mixed service; the older envelopes are the
+	// byte-stable downgrades the version tests pin.
+	mixed, _ := buildMixedService(t, goldenClock())
+	var v5 bytes.Buffer
+	if err := mixed.Save(&v5); err != nil {
+		t.Fatal(err)
+	}
+	write("v5.json", v5.Bytes())
+	write("v4.json", stripDriftBlocks(t, reversion(t, v5.Bytes(), 5, 4)))
+	write("v3.json", stripRewardFields(stripDriftBlocks(t, reversion(t, v5.Bytes(), 5, 3))))
+
+	var v2cur bytes.Buffer
+	if err := buildGoldenV2Service(t, goldenClock()).Save(&v2cur); err != nil {
+		t.Fatal(err)
+	}
+	write("v2.json", stripRewardFields(stripDriftBlocks(t, reversion(t, v2cur.Bytes(), 5, 2))))
+
+	write("v1.json", buildGoldenV1Envelope(t))
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(goldenDir, name))
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with UPDATE_SNAPSHOT_GOLDENS=1): %v", err)
+	}
+	return data
+}
+
+// TestSnapshotGoldenFixtures loads every checked-in envelope version
+// into the current service and pins per-version facts plus the upgrade
+// promises: v5 round-trips byte-for-byte; v2–v4 re-save as a v5 that
+// differs from the fixture only in its version marker; v1 upgrades with
+// models, counters, and pending tickets intact.
+func TestSnapshotGoldenFixtures(t *testing.T) {
+	load := func(t *testing.T, name string) *Service {
+		t.Helper()
+		s, err := Load(bytes.NewReader(readGolden(t, name)), ServiceOptions{Now: goldenClock().now})
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		return s
+	}
+	resave := func(t *testing.T, s *Service) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	t.Run("v5", func(t *testing.T) {
+		fixture := readGolden(t, "v5.json")
+		s := load(t, "v5.json")
+		if !bytes.Equal(resave(t, s), fixture) {
+			t.Fatal("v5 fixture does not round-trip byte-for-byte")
+		}
+		info, err := s.StreamInfo("typed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Schema == nil || len(info.Shadows) != 1 || info.Pending != 5 {
+			t.Fatalf("v5 restore info = %+v", info)
+		}
+		if !bytes.Contains(fixture, []byte(`"drift"`)) {
+			t.Fatal("v5 fixture lost its drift blocks")
+		}
+	})
+
+	for _, tc := range []struct {
+		name    string
+		version int
+	}{{"v4.json", 4}, {"v3.json", 3}, {"v2.json", 2}} {
+		t.Run(tc.name, func(t *testing.T) {
+			fixture := readGolden(t, tc.name)
+			s := load(t, tc.name)
+			if got, want := resave(t, s), reversion(t, fixture, tc.version, 5); !bytes.Equal(got, want) {
+				t.Fatalf("%s → v5 upgrade is not byte-stable modulo the version marker", tc.name)
+			}
+			name := "typed"
+			if tc.version == 2 {
+				name = "alg1"
+			}
+			info, err := s.StreamInfo(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Reward.Type != RewardRuntime {
+				t.Fatalf("%s restore reward = %+v, want runtime default", tc.name, info.Reward)
+			}
+			// v4 carried reward aggregates; the pre-reward envelopes
+			// restart them at zero.
+			if tc.version >= 4 && info.RewardTotal == 0 {
+				t.Fatalf("%s restore dropped reward aggregates: %+v", tc.name, info)
+			}
+			if tc.version < 4 && info.RewardTotal != 0 {
+				t.Fatalf("%s restore invented reward aggregates: %+v", tc.name, info)
+			}
+			if len(info.Shadows) != 1 {
+				t.Fatalf("%s restore lost shadows: %+v", tc.name, info)
+			}
+		})
+	}
+
+	t.Run("v1.json", func(t *testing.T) {
+		s := load(t, "v1.json")
+		info, err := s.StreamInfo("legacy-v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Policy != PolicyAlgorithm1 || info.Round != 40 || info.Issued != 41 || info.Pending != 1 {
+			t.Fatalf("v1 restore info = %+v", info)
+		}
+		if err := s.Observe("legacy-v1#28", 42); err != nil {
+			t.Fatalf("v1 pending ticket lost: %v", err)
+		}
+		if !bytes.Contains(resave(t, s), []byte(`"version": 5`)) {
+			t.Fatal("v1 re-save is not a v5 envelope")
+		}
+	})
+}

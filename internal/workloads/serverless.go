@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"banditware/internal/hardware"
+	"banditware/internal/rng"
+)
+
+// ServerlessFeatureNames are the features of the serverless-function
+// workload: the invocation payload size in MB and the fan-out degree
+// (how many downstream calls / shards one invocation orchestrates).
+// This is the workload shape of a FaaS fleet scheduler (ReqBench-style):
+// the right tier depends on the invocation, not the function.
+var ServerlessFeatureNames = []string{"payload_mb", "fanout"}
+
+// ServerlessOptions configures the serverless trace generator.
+type ServerlessOptions struct {
+	// NumRuns is the trace size. 0 selects 1500.
+	NumRuns int
+	// RelNoise is the multiplicative runtime noise. 0 selects 0.05.
+	RelNoise float64
+	// Seed drives generation.
+	Seed uint64
+	// Hardware overrides the arm set. nil selects
+	// hardware.ServerlessDefault().
+	Hardware hardware.Set
+}
+
+func (o ServerlessOptions) withDefaults() ServerlessOptions {
+	if o.NumRuns == 0 {
+		o.NumRuns = 1500
+	}
+	if o.RelNoise == 0 {
+		o.RelNoise = 0.05
+	}
+	if o.Hardware == nil {
+		o.Hardware = hardware.ServerlessDefault()
+	}
+	return o
+}
+
+// serverlessCost models warm-path function service time:
+//
+//   - a fixed dispatch/runtime-init base that grows with the tier size
+//     (bigger sandboxes take longer to set up a request) and jumps for
+//     accelerator tiers (device context init);
+//   - payload processing that parallelises across cores (rate ∝ 1/cpus)
+//     and is dramatically faster on an accelerator;
+//   - fan-out orchestration that only the host CPUs can drive.
+//
+// The crossovers this produces: tiny invocations are fastest on the
+// small tiers, mid-size payloads on std/large, and only very large
+// payloads (≳400 MB) amortise the accelerator tier's startup cost.
+func serverlessCost(hw hardware.Config, payload, fanout float64) float64 {
+	rateP := 0.010 / float64(hw.CPUs)
+	if hw.GPUs > 0 {
+		rateP = 0.0004 / float64(hw.GPUs)
+	}
+	rateF := 0.020 / float64(hw.CPUs)
+	base := 0.04 + 0.01*float64(hw.CPUs) + 0.40*float64(hw.GPUs)
+	return base + rateP*payload + rateF*fanout
+}
+
+// ServerlessTruth returns the noise-free warm-path service time of one
+// invocation (payload MB, fan-out degree) on a tier — the generative
+// ground truth the scenario simulator and its regret accounting share.
+func ServerlessTruth(hw hardware.Config, payloadMB, fanout float64) float64 {
+	return serverlessCost(hw, payloadMB, fanout)
+}
+
+// ServerlessColdStart returns the cold-start penalty in seconds for a
+// tier: the time to provision and boot a fresh sandbox when no warm
+// instance exists. Larger tiers pull bigger images and initialise more
+// resources, so the penalty scales with the tier's resource cost
+// (≈ Cost()/3: 0.5 s for the 1-core edge tier up to 6 s for the
+// accelerator tier). The scenario simulator charges this through the
+// queue_seconds outcome metric.
+func ServerlessColdStart(hw hardware.Config) float64 {
+	return hw.Cost() / 3
+}
+
+// GenerateServerless synthesises a serverless-function invocation trace
+// over the tiered fleet. Invocations draw payloads log-uniformly over
+// 4–512 MB and fan-out log-uniformly over 1–32, covering every tier's
+// winning region.
+func GenerateServerless(opts ServerlessOptions) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if err := opts.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NumRuns < 0 {
+		return nil, fmt.Errorf("workloads: negative run count %d", opts.NumRuns)
+	}
+	hw := opts.Hardware
+	truth := func(arm int, x []float64) float64 {
+		if arm < 0 || arm >= len(hw) || len(x) < 2 {
+			return 0
+		}
+		return serverlessCost(hw[arm], x[0], x[1])
+	}
+	relNoise := opts.RelNoise
+	noise := func(arm int, x []float64) float64 {
+		return relNoise*truth(arm, x) + 0.02
+	}
+	r := rng.New(opts.Seed)
+	d := &Dataset{
+		App:          "serverless",
+		Hardware:     hw,
+		FeatureNames: append([]string(nil), ServerlessFeatureNames...),
+		Truth:        truth,
+		Noise:        noise,
+	}
+	for i := 0; i < opts.NumRuns; i++ {
+		x := []float64{
+			4 * math.Exp(r.Float64()*math.Log(128)),          // payload_mb: 4–512, log-uniform
+			math.Floor(math.Exp(r.Float64() * math.Log(32))), // fanout: 1–32, log-uniform
+		}
+		arm := i % len(hw)
+		d.Runs = append(d.Runs, Run{
+			ID:       i,
+			Arm:      arm,
+			Features: x,
+			Runtime:  d.SampleRuntime(arm, x, r),
+		})
+	}
+	return d, d.Validate()
+}

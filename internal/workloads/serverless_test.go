@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestGenerateServerlessDefaults(t *testing.T) {
+	d, err := GenerateServerless(ServerlessOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.App != "serverless" {
+		t.Fatalf("app = %q", d.App)
+	}
+	if len(d.Runs) != 1500 {
+		t.Fatalf("runs = %d, want 1500", len(d.Runs))
+	}
+	if len(d.Hardware) != 5 || d.Dim() != 2 {
+		t.Fatalf("hardware = %d arms, dim = %d", len(d.Hardware), d.Dim())
+	}
+	for _, r := range d.Runs {
+		p, f := r.Features[0], r.Features[1]
+		if p < 4 || p > 512 {
+			t.Fatalf("payload %g outside [4, 512]", p)
+		}
+		if f < 1 || f > 32 || f != float64(int(f)) {
+			t.Fatalf("fanout %g not an integer in [1, 32]", f)
+		}
+	}
+	// Determinism: same seed, same trace.
+	d2, err := GenerateServerless(ServerlessOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Runs {
+		if d.Runs[i].Runtime != d2.Runs[i].Runtime {
+			t.Fatalf("run %d runtime differs across identical seeds", i)
+		}
+	}
+}
+
+// TestServerlessTierTradeoffs pins the crossover structure the bandit
+// must learn: no tier dominates, and each invocation class has the
+// expected winner.
+func TestServerlessTierTradeoffs(t *testing.T) {
+	d, err := GenerateServerless(ServerlessOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	argmin := func(x []float64) int {
+		best := 0
+		for a := 1; a < len(d.Hardware); a++ {
+			if d.Truth(a, x) < d.Truth(best, x) {
+				best = a
+			}
+		}
+		return best
+	}
+	// Tiny invocation → a small CPU tier; mid payload → std/large;
+	// huge payload → the accelerator tier amortises its startup cost.
+	if a := argmin([]float64{4, 1}); a > 1 {
+		t.Fatalf("tiny invocation best arm = %s, want a small tier", d.Hardware[a].Name)
+	}
+	if a := argmin([]float64{64, 8}); a != 2 && a != 3 {
+		t.Fatalf("mid invocation best arm = %s, want std-4c or large-8c", d.Hardware[a].Name)
+	}
+	if a := argmin([]float64{500, 4}); a != 4 {
+		t.Fatalf("huge invocation best arm = %s, want gpu-1g", d.Hardware[a].Name)
+	}
+	// Cold starts grow with tier size.
+	prev := 0.0
+	for _, hw := range d.Hardware {
+		cs := ServerlessColdStart(hw)
+		if cs <= prev {
+			t.Fatalf("cold start %g for %s not increasing", cs, hw.Name)
+		}
+		prev = cs
+	}
+}

@@ -64,6 +64,7 @@ const (
 	RewardCostWeighted   = serve.RewardCostWeighted
 	RewardDeadline       = serve.RewardDeadline
 	RewardFailurePenalty = serve.RewardFailurePenalty
+	RewardQueueWeighted  = serve.RewardQueueWeighted
 )
 
 // AdaptSpec selects and parameterises a stream's adaptation to
