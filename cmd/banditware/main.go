@@ -6,7 +6,8 @@
 //	banditware init      -state state.json -hardware "H0=2x16;H1=3x24" -dim D
 //	banditware recommend -state state.json -features 1,2,...
 //	banditware observe   -state state.json -arm K -features 1,2,... -runtime S
-//	banditware serve     [-port P] [-state svc.json] [-snapshot 30s] [-ttl 1h] [-pending N] [-create name:dim:hwspec]
+//	banditware serve     [-port P] [-state svc.json] [-snapshot 30s] [-ttl 1h] [-pending N] [-create name:dim:hwspec] [-peers URL,URL] [-sync 1s] [-bootstrap]
+//	banditware router    -replicas URL,URL,... [-port P] [-poll 2s] [-vnodes N]
 //	banditware kernel    -size N [-workers W] [-sparsity F]
 //
 // generate synthesises one of the paper's workload traces; simulate runs
@@ -16,8 +17,11 @@
 // concurrent multi-stream HTTP service — stream management under
 // /v1/streams, decision-ticket recommend/observe (single and batch)
 // under /v1/streams/{name}/..., and /v1/stats — with optional periodic
-// state snapshots; kernel executes the real tiled parallel
-// matrix-squaring workload and reports the measured runtime.
+// state snapshots, and with -peers it joins a replicated fleet that
+// exchanges learning deltas; router fronts such a fleet, consistent-
+// hashing streams across the replicas with health-checked membership;
+// kernel executes the real tiled parallel matrix-squaring workload and
+// reports the measured runtime.
 package main
 
 import (
@@ -55,6 +59,8 @@ func main() {
 		err = cmdObserve(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "router":
+		err = cmdRouter(os.Args[2:])
 	case "kernel":
 		err = cmdKernel(os.Args[2:])
 	case "describe":
@@ -84,7 +90,13 @@ commands:
   serve      run the concurrent multi-stream HTTP recommender service
              (-port, -addr, -state snapshot file, -snapshot interval,
               -ttl ticket expiry, -pending ledger capacity,
-              -create name:dim:hwspec to register streams at startup)
+              -create name:dim:hwspec to register streams at startup;
+              -peers URL,URL to join a scale-out fleet, with -sync
+              delta push interval, -self advertised URL, and
+              -bootstrap to import a peer snapshot before serving)
+  router     front a replica fleet with the consistent-hash stream
+             router (-replicas URL,URL required; -poll readiness
+             interval, -vnodes ring granularity)
   kernel     run the real parallel matrix-squaring workload
   describe   summarise a trace CSV (per-column statistics)`)
 }

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"banditware"
+	"banditware/internal/dist"
+	"banditware/internal/serve"
 )
 
 // cmdServe runs the HTTP/JSON serving layer: a multi-stream Service
@@ -37,6 +39,10 @@ func cmdServe(args []string) error {
 	snapshot := fs.Duration("snapshot", 0, "periodic snapshot interval, e.g. 30s (0 = only on shutdown; needs -state)")
 	pending := fs.Int("pending", 0, "default per-stream pending-ticket capacity (0 = 4096)")
 	ttl := fs.Duration("ttl", 0, "default pending-ticket expiry (0 = never)")
+	peers := fs.String("peers", "", "comma-separated peer replica base URLs — join a scale-out fleet: serve the dist endpoints and push learning deltas to every peer")
+	self := fs.String("self", "", "this replica's advertised base URL, reported in /v1/dist/status (needs -peers)")
+	syncEvery := fs.Duration("sync", 0, "delta push interval to peers (0 = 1s; needs -peers)")
+	bootstrap := fs.Bool("bootstrap", false, "import a full snapshot from the first reachable peer before serving — the join/rejoin path (needs -peers)")
 	var creates []string
 	fs.Func("create", "create a stream at startup as name:dim:hwspec[:policy], e.g. jobs:1:\"H0=2x16;H1=3x24\" or jobs:1:\"H0=2x16;H1=3x24\":linucb,beta=2 (repeatable; dim 0 with -schema derives it)", func(v string) error {
 		creates = append(creates, v)
@@ -91,6 +97,12 @@ func cmdServe(args []string) error {
 	}
 	if *snapshot > 0 && *state == "" {
 		return fmt.Errorf("serve: -snapshot needs -state")
+	}
+	peerURLs := splitURLList(*peers)
+	if len(peerURLs) == 0 {
+		if *self != "" || *syncEvery != 0 || *bootstrap {
+			return fmt.Errorf("serve: -self, -sync and -bootstrap need -peers")
+		}
 	}
 
 	opts := banditware.ServiceOptions{MaxPending: *pending, TicketTTL: *ttl}
@@ -148,15 +160,42 @@ func cmdServe(args []string) error {
 	}
 	// Hardened server: read/write/idle timeouts and a header-size cap
 	// alongside the header-read timeout, so a slow client (or a load
-	// generator gone wrong) can never wedge the serving path.
-	server := banditware.NewServiceServer(svc)
+	// generator gone wrong) can never wedge the serving path. With
+	// -peers the service joins a scale-out fleet: the dist endpoints
+	// (delta ingest, snapshot, status) mount in front of the plain API
+	// and a background loop pushes learning deltas to every peer.
+	var server *http.Server
+	if len(peerURLs) > 0 {
+		rep := dist.NewReplica(svc, dist.ReplicaOptions{
+			Self:         *self,
+			Peers:        peerURLs,
+			SyncInterval: *syncEvery,
+		})
+		if *bootstrap {
+			if err := rep.Bootstrap(); err != nil {
+				ln.Close()
+				return fmt.Errorf("serve: %w", err)
+			}
+			fmt.Printf("banditware serve: bootstrapped %d streams from the fleet\n", svc.NumStreams())
+		}
+		server = serve.NewServer(rep.Handler())
+		rep.Start()
+		defer rep.Stop()
+	} else {
+		server = banditware.NewServiceServer(svc)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
-	fmt.Printf("banditware serve: listening on %s (%d streams)\n", ln.Addr(), svc.NumStreams())
+	if len(peerURLs) > 0 {
+		fmt.Printf("banditware serve: listening on %s (%d streams, %d fleet peers)\n",
+			ln.Addr(), svc.NumStreams(), len(peerURLs))
+	} else {
+		fmt.Printf("banditware serve: listening on %s (%d streams)\n", ln.Addr(), svc.NumStreams())
+	}
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time

@@ -8,7 +8,15 @@
 //     registry + ledger cost, no transport);
 //   - http: the HTTP front-end over a real loopback socket, self-hosted
 //     with the hardened production server (or an external server via
-//     -addr).
+//     -addr);
+//   - fleet: a self-hosted scale-out fleet (-fleet N replicas, default
+//     3, behind the consistent-hash router, with background delta
+//     replication) — every request takes the client → router → replica
+//     path, pricing the extra hop and sync traffic. -chaos adds the
+//     kill/restart drill inside the measured run: one replica is
+//     hard-killed a third of the way through the trace and restarted
+//     (peer bootstrap) at two thirds; failover-window errors are
+//     counted, not fatal.
 //
 // Modes: closed-loop (-mode closed: fixed concurrency, measures
 // capacity) and open-loop (-mode open: Poisson arrivals at -qps,
@@ -34,6 +42,8 @@
 //	bwload -quick                               # CI smoke: both targets, seconds
 //	bwload -target inproc -n 200000 -conc 8     # capacity run
 //	bwload -target http -mode open -qps 2000    # latency under offered load
+//	bwload -target fleet -quick                 # scale-out fleet through the router
+//	bwload -target fleet -chaos -quick          # CI chaos smoke: kill+restart mid-run
 //	bwload -scenario serverless -quick          # serverless-fleet scenario smoke
 //	bwload -cpuprofile cpu.out -n 500000        # profile the serving path
 //	bwload -validate BENCH_serve_baseline.json  # schema-check a report
@@ -62,7 +72,9 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bwload", flag.ExitOnError)
-	target := fs.String("target", "both", "serving target: inproc, http, or both")
+	target := fs.String("target", "both", "serving target: inproc, http, fleet, or both")
+	fleetN := fs.Int("fleet", 3, "replica count for -target fleet")
+	chaos := fs.Bool("chaos", false, "with -target fleet: kill a replica a third of the way through the trace and restart it at two thirds (errors in the failover window are counted, not fatal)")
 	addr := fs.String("addr", "", "drive an external HTTP server at this base URL (e.g. http://127.0.0.1:8080) instead of self-hosting; implies -target http")
 	mode := fs.String("mode", "closed", "load mode: closed (fixed concurrency) or open (Poisson arrivals at -qps)")
 	conc := fs.Int("conc", runtime.GOMAXPROCS(0), "closed-loop workers / open-loop in-flight slots")
@@ -101,13 +113,23 @@ func run(args []string) error {
 		if *durCap == 0 {
 			*durCap = 20 * time.Second
 		}
-		*failOnErr = true
+		// Chaos runs expect failover-window errors; every other quick run
+		// treats any request error as a smoke failure.
+		*failOnErr = !*chaos
 	}
 	if *addr != "" {
 		*target = "http"
 	}
-	if *target != "inproc" && *target != "http" && *target != "both" {
-		return fmt.Errorf("unknown -target %q (want inproc, http, both)", *target)
+	if *target != "inproc" && *target != "http" && *target != "fleet" && *target != "both" {
+		return fmt.Errorf("unknown -target %q (want inproc, http, fleet, both)", *target)
+	}
+	if *chaos && *target != "fleet" {
+		return fmt.Errorf("-chaos needs -target fleet")
+	}
+	if *chaos && *failOnErr {
+		// The drill's whole point is a bounded failover window; requests
+		// caught inside it error by design.
+		return fmt.Errorf("-chaos and -failonerr are mutually exclusive (chaos tolerates failover-window errors)")
 	}
 	runMode := loadgen.Mode(*mode)
 	if runMode != loadgen.ModeClosed && runMode != loadgen.ModeOpen {
@@ -223,7 +245,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		tgt, err := makeTarget(name, *addr)
+		tgt, err := makeTarget(name, *addr, *fleetN, *chaos)
 		if err != nil {
 			return err
 		}
@@ -238,6 +260,7 @@ func run(args []string) error {
 			// On error this is a failed partial result: it still records
 			// the run configuration (target QPS included) so the report
 			// stays schema-valid and diffable.
+			res.Chaos = name == "fleet" && *chaos
 			report.Results = append(report.Results, *res)
 		}
 		if err != nil {
@@ -282,7 +305,7 @@ func targetList(sel string) []string {
 	return []string{sel}
 }
 
-func makeTarget(name, addr string) (loadgen.Target, error) {
+func makeTarget(name, addr string, fleetN int, chaos bool) (loadgen.Target, error) {
 	switch name {
 	case "inproc":
 		return loadgen.NewInProc(), nil
@@ -291,6 +314,8 @@ func makeTarget(name, addr string) (loadgen.Target, error) {
 			return loadgen.NewHTTP(addr), nil
 		}
 		return loadgen.NewSelfHTTP()
+	case "fleet":
+		return loadgen.NewFleet(loadgen.FleetConfig{Replicas: fleetN, Chaos: chaos})
 	}
 	return nil, fmt.Errorf("unknown target %q", name)
 }
@@ -313,12 +338,24 @@ func validateReport(path string) error {
 	if err != nil {
 		return err
 	}
+	var errs uint64
 	for i := range rep.Results {
-		if res := &rep.Results[i]; res.Failed != "" {
+		res := &rep.Results[i]
+		if res.Failed != "" {
 			return fmt.Errorf("%s: result %d (%s/%s) records a failed run: %s", path, i, res.Target, res.Mode, res.Failed)
 		}
+		if res.Chaos {
+			// A chaos run expects failover-window errors; hold it to the
+			// drill's bound instead of zero.
+			if allowed := res.Requests / 10; res.Errors > allowed {
+				return fmt.Errorf("%s: chaos result %d (%s/%s) records %d errors, failover-window bound is %d",
+					path, i, res.Target, res.Mode, res.Errors, allowed)
+			}
+			continue
+		}
+		errs += res.Errors
 	}
-	if errs := rep.TotalErrors(); errs > 0 {
+	if errs > 0 {
 		return fmt.Errorf("%s: report records %d request errors", path, errs)
 	}
 	fmt.Printf("%s: valid %s v%d, %d result(s), 0 errors\n", path, rep.Format, rep.Version, len(rep.Results))

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"banditware/internal/regress"
+)
+
+// ErrNotMergeable reports a delta operation on a bandit whose
+// configuration is not stats-additive: sliding windows and batch refit
+// keep raw observation buffers (a delta would have to ship and splice
+// them), and exponential forgetting makes old contributions decay so
+// "state minus base" is no longer a sum of per-observation terms.
+var ErrNotMergeable = errors.New("core: bandit configuration is not delta-mergeable")
+
+// DeltaMergeable reports whether this bandit's per-arm state is a pure
+// sum of observation contributions, i.e. whether sufficient-statistic
+// deltas can be extracted from and merged into it.
+func (b *Bandit) DeltaMergeable() error {
+	if b.opts.WindowSize > 0 {
+		return fmt.Errorf("%w: sliding-window adaptation", ErrNotMergeable)
+	}
+	if b.opts.BatchRefit {
+		return fmt.Errorf("%w: batch refit retains raw observations", ErrNotMergeable)
+	}
+	if f := b.opts.ForgettingFactor; f > 0 && f < 1 {
+		return fmt.Errorf("%w: exponential forgetting", ErrNotMergeable)
+	}
+	return nil
+}
+
+// ArmSufficient returns arm i's current information-form sufficient
+// statistics (A = P + Σxxᵀ, b = Σy·x over scaled features).
+func (b *Bandit) ArmSufficient(i int) (regress.Sufficient, error) {
+	if err := b.DeltaMergeable(); err != nil {
+		return regress.Sufficient{}, err
+	}
+	if i < 0 || i >= len(b.arms) {
+		return regress.Sufficient{}, ErrArm
+	}
+	return b.arms[i].rls.Sufficient(), nil
+}
+
+// ArmPrior returns the information-form prior of arm i — its state
+// before any observation. Delta extraction falls back to the prior as
+// the base when an arm was reset since the last sync.
+func (b *Bandit) ArmPrior(i int) (regress.Sufficient, error) {
+	if err := b.DeltaMergeable(); err != nil {
+		return regress.Sufficient{}, err
+	}
+	if i < 0 || i >= len(b.arms) {
+		return regress.Sufficient{}, ErrArm
+	}
+	return b.arms[i].rls.Prior(), nil
+}
+
+// MergeArmDelta folds an additive sufficient-statistic delta (extracted
+// from a peer replica's copy of the same arm) into arm i and refreshes
+// the arm's prediction model. The residual-variance tracker is not
+// merged — it feeds only the advisory confidence intervals and remains
+// a local estimate.
+func (b *Bandit) MergeArmDelta(i int, delta regress.Sufficient) error {
+	if err := b.DeltaMergeable(); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(b.arms) {
+		return ErrArm
+	}
+	a := b.arms[i]
+	if err := a.rls.ApplyDelta(delta); err != nil {
+		return err
+	}
+	a.model = a.rls.Model()
+	return nil
+}
+
+// AbsorbRounds replays k rounds' worth of ε decay and round-counter
+// advance, as if this bandit had observed the k observations a peer's
+// delta carries. Each round applies the same ε ← α·ε (floored at
+// MinEpsilon) step as Observe, so a replica that merges peers' rounds
+// walks the exact decay schedule of a single node seeing all traffic.
+func (b *Bandit) AbsorbRounds(k int) error {
+	if k < 0 {
+		return fmt.Errorf("core: negative round count %d", k)
+	}
+	for j := 0; j < k; j++ {
+		b.decayLocked()
+	}
+	return nil
+}

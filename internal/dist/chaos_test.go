@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"banditware/internal/hardware"
+	"banditware/internal/serve"
+)
+
+// The chaos drill: drive a seeded trace through a 3-replica fleet's
+// router while one replica is killed mid-traffic and later restarted
+// (bootstrapping from its peers), then check the fleet's learned
+// models against a single node that saw the same trace uninterrupted.
+// The acceptance bars are the PR's: exploit accuracy within 3 points
+// and regret within 5 points of traffic-normalized regret of the
+// single-node baseline.
+
+const (
+	chaosStreams  = 12
+	chaosOps      = 3000
+	chaosKillAt   = 1000
+	chaosRestart  = 1800
+	chaosEvalPts  = 30
+	chaosDim      = 2
+	chaosArms     = 3
+	chaosHWSpec   = "H0=2x16;H1=3x24;H2=4x16"
+	chaosAccSlack = 3.0  // accuracy points
+	chaosRegSlack = 0.05 // fraction of the optimal runtime total
+)
+
+// chaosRuntime is the noiseless ground truth: per (stream, arm) linear
+// models whose intercepts separate the arms by far more than the
+// tolerant-selection band, with the optimal arm varying by stream.
+func chaosRuntime(stream, arm int, x []float64) float64 {
+	return 10 + 8*float64((stream+arm)%chaosArms) + 0.5*x[0] + 0.25*x[1]
+}
+
+func chaosBestArm(stream int, x []float64) int {
+	best, bestRT := 0, chaosRuntime(stream, 0, x)
+	for a := 1; a < chaosArms; a++ {
+		if rt := chaosRuntime(stream, a, x); rt < bestRT {
+			best, bestRT = a, rt
+		}
+	}
+	return best
+}
+
+func chaosOp(i int) (stream int, x []float64) {
+	return i % chaosStreams, []float64{float64(i%13+1) / 2, float64((i*5)%11+1) / 2}
+}
+
+func chaosStreamName(k int) string { return fmt.Sprintf("s%d", k) }
+
+// chaosCreateBody is the stream-creation payload both the fleet (via
+// the router) and the single-node baseline (in-proc) use, keeping
+// seeds and policies identical.
+func chaosCreateBody(k int) map[string]any {
+	return map[string]any{
+		"name":          chaosStreamName(k),
+		"hardware_spec": chaosHWSpec,
+		"dim":           chaosDim,
+		"seed":          uint64(100 + k),
+	}
+}
+
+// evalModels scores exploit decisions against the ground truth over a
+// fixed off-trace evaluation grid: accuracy (percent optimal) and
+// regret (chosen minus optimal runtime), plus the optimal total for
+// normalization.
+func evalModels(t *testing.T, exploit func(stream string, x []float64) (int, error)) (accuracy, regret, optTotal float64) {
+	t.Helper()
+	total := 0
+	for k := 0; k < chaosStreams; k++ {
+		for i := 0; i < chaosEvalPts; i++ {
+			x := []float64{float64((i*3)%14+1) / 2, float64((i*7)%9+1) / 2}
+			arm, err := exploit(chaosStreamName(k), x)
+			if err != nil {
+				t.Fatalf("exploit %s: %v", chaosStreamName(k), err)
+			}
+			best := chaosBestArm(k, x)
+			if arm == best {
+				accuracy++
+			}
+			regret += chaosRuntime(k, arm, x) - chaosRuntime(k, best, x)
+			optTotal += chaosRuntime(k, best, x)
+			total++
+		}
+	}
+	return 100 * accuracy / float64(total), regret, optTotal
+}
+
+func TestChaosKillRestartConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill drives thousands of HTTP requests")
+	}
+	f, err := NewLocalFleet(FleetOptions{
+		Replicas:     3,
+		SyncInterval: 60 * time.Millisecond,
+		PollInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	for k := 0; k < chaosStreams; k++ {
+		if code := postJSON(t, client, f.RouterURL()+"/v1/streams", chaosCreateBody(k), nil); code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", chaosStreamName(k), code)
+		}
+	}
+
+	// The single-node baseline: same streams, same seeds, same trace,
+	// no transport, no failures.
+	single := serve.NewService(serve.ServiceOptions{})
+	for k := 0; k < chaosStreams; k++ {
+		cfg := serve.StreamConfig{Hardware: mustParseHW(t), Dim: chaosDim}
+		cfg.Options.Seed = uint64(100 + k)
+		if err := single.CreateStream(chaosStreamName(k), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One op = recommend through the router, report the ground-truth
+	// runtime for the arm it picked. Failures (killed owner, rebalance
+	// window, lost ticket) are tolerated up to a bound — the fleet is
+	// mid-chaos — but every failure kicks an immediate health re-probe
+	// so the window stays short.
+	lost := 0
+	runOp := func(i int) {
+		k, x := chaosOp(i)
+		var tk struct {
+			ID  string `json:"id"`
+			Arm int    `json:"arm"`
+		}
+		url := f.RouterURL() + "/v1/streams/" + chaosStreamName(k) + "/recommend"
+		if code := postJSON(t, client, url, map[string]any{"features": x}, &tk); code != http.StatusOK || tk.ID == "" {
+			lost++
+			f.Router().CheckNow()
+			return
+		}
+		ob := map[string]any{"ticket": tk.ID, "runtime": chaosRuntime(k, tk.Arm, x)}
+		if code := postJSON(t, client, f.RouterURL()+"/v1/observe", ob, nil); code != http.StatusOK {
+			lost++
+			f.Router().CheckNow()
+		}
+	}
+	replaySingle := func(i int) {
+		k, x := chaosOp(i)
+		tk, err := single.Recommend(chaosStreamName(k), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Observe(tk.ID, chaosRuntime(k, tk.Arm, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < chaosOps; i++ {
+		switch i {
+		case chaosKillAt:
+			if err := f.Kill(1); err != nil {
+				t.Fatal(err)
+			}
+			f.Router().CheckNow()
+		case chaosRestart:
+			if err := f.Restart(1); err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			f.Router().CheckNow()
+		}
+		runOp(i)
+		replaySingle(i)
+	}
+	if maxLost := chaosOps / 10; lost > maxLost {
+		t.Fatalf("lost %d of %d ops to the chaos window, tolerate at most %d", lost, chaosOps, maxLost)
+	}
+
+	// Flush replication: every live replica pushes its outstanding
+	// deltas (the background loops may also be mid-round; SyncOnce is
+	// safe alongside them).
+	if err := f.SyncAll(); err != nil {
+		t.Fatalf("final sync: %v", err)
+	}
+
+	singleAcc, singleReg, optTotal := evalModels(t, single.Exploit)
+	t.Logf("single-node: accuracy %.1f%%, regret %.1f (optimal total %.0f); fleet lost %d/%d ops",
+		singleAcc, singleReg, optTotal, lost, chaosOps)
+	for i := 0; i < 3; i++ {
+		rep := f.Replica(i)
+		if rep == nil {
+			t.Fatalf("replica %d not alive at evaluation", i)
+		}
+		acc, reg, _ := evalModels(t, rep.Service().Exploit)
+		t.Logf("replica %d: accuracy %.1f%%, regret %.1f", i, acc, reg)
+		if acc < singleAcc-chaosAccSlack {
+			t.Fatalf("replica %d accuracy %.1f%% is more than %.0f points under single-node %.1f%%",
+				i, acc, chaosAccSlack, singleAcc)
+		}
+		if (reg-singleReg)/optTotal > chaosRegSlack {
+			t.Fatalf("replica %d regret %.2f exceeds single-node %.2f by more than %.0f%% of the optimal total %.0f",
+				i, reg, singleReg, 100*chaosRegSlack, optTotal)
+		}
+	}
+
+	// The fleet view agrees: all three members are back and serving.
+	var view struct {
+		Replicas []ReplicaInfo `json:"replicas"`
+	}
+	if code := getJSON(t, client, f.RouterURL()+"/v1/router/replicas", &view); code != http.StatusOK {
+		t.Fatalf("router replicas: %d", code)
+	}
+	ready := 0
+	for _, r := range view.Replicas {
+		if r.Ready {
+			ready++
+		}
+	}
+	if ready != 3 {
+		t.Fatalf("fleet view after recovery: %+v", view.Replicas)
+	}
+}
+
+func mustParseHW(t *testing.T) hardware.Set {
+	t.Helper()
+	hw, err := hardware.ParseSet(chaosHWSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}

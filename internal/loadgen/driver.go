@@ -96,14 +96,18 @@ func summarize(h *stats.LogHistogram) LatencySummary {
 
 // Result is the measured outcome of one run against one target.
 type Result struct {
-	Target         string  `json:"target"`
-	Mode           string  `json:"mode"`
-	Concurrency    int     `json:"concurrency"`
-	Raw            bool    `json:"raw_vectors,omitempty"`
-	Requests       uint64  `json:"requests"`
-	Recommends     uint64  `json:"recommends"`
-	Observes       uint64  `json:"observes"`
-	Errors         uint64  `json:"errors"`
+	Target      string `json:"target"`
+	Mode        string `json:"mode"`
+	Concurrency int    `json:"concurrency"`
+	Raw         bool   `json:"raw_vectors,omitempty"`
+	Requests    uint64 `json:"requests"`
+	Recommends  uint64 `json:"recommends"`
+	Observes    uint64 `json:"observes"`
+	Errors      uint64 `json:"errors"`
+	// Chaos marks a run that included the fleet kill/restart drill:
+	// errors up to the failover-window bound are expected, and
+	// validation policies should tolerate them.
+	Chaos          bool    `json:"chaos,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// ThroughputRPS counts every op (recommend and observe) per second
 	// of wall clock.

@@ -211,33 +211,48 @@ func (st *stream) observeDriftLocked(arm int, residual float64) {
 	if st.adapt.OnDrift == DriftReset {
 		if ar, ok := st.engine.(ArmResetter); ok && ar.ResetArm(arm) == nil {
 			st.driftResets++
+			// Re-anchor delta-sync baselines: the reset dropped the arm's
+			// foreign contributions along with the local ones.
+			st.bumpArmGenLocked(arm)
 		}
 	}
 }
 
-// driftEventsLocked sums the per-arm detection counts. Callers hold
+// driftEventsLocked sums the per-arm detection counts — local detector
+// detections plus detections merged from fleet peers. Callers hold
 // st.mu.
 func (st *stream) driftEventsLocked() uint64 {
 	var total uint64
-	for _, d := range st.detectors {
-		total += d.Detections()
+	for i := range st.detectors {
+		total += st.armDriftCountLocked(i)
 	}
 	return total
 }
 
-// driftByArmLocked returns the per-arm detection counts, or nil when no
-// arm has any. Callers hold st.mu.
+// driftByArmLocked returns the per-arm detection counts (local plus
+// merged), or nil when no arm has any. Callers hold st.mu.
 func (st *stream) driftByArmLocked() []uint64 {
 	any := false
 	out := make([]uint64, len(st.detectors))
-	for i, d := range st.detectors {
-		out[i] = d.Detections()
+	for i := range st.detectors {
+		out[i] = st.armDriftCountLocked(i)
 		any = any || out[i] > 0
 	}
 	if !any {
 		return nil
 	}
 	return out
+}
+
+// armDriftCountLocked is one arm's fleet-wide detection count: its
+// local detector's lifetime count plus detections replicated from
+// peers. Callers hold st.mu.
+func (st *stream) armDriftCountLocked(arm int) uint64 {
+	n := st.detectors[arm].Detections()
+	if st.merged != nil && arm < len(st.merged.drift) {
+		n += st.merged.drift[arm]
+	}
+	return n
 }
 
 // ArmDrift is the live drift-monitoring state of one arm.
@@ -288,13 +303,13 @@ func (s *Service) Drift(name string) (DriftInfo, error) {
 		info.Arms[i] = ArmDrift{
 			Arm:        i,
 			Hardware:   st.armLabels[i],
-			Detections: d.Detections(),
+			Detections: st.armDriftCountLocked(i),
 			Samples:    d.N(),
 			Mean:       d.Mean(),
 			Stat:       d.Stat(),
 			Threshold:  d.Threshold(),
 		}
-		info.Detections += d.Detections()
+		info.Detections += info.Arms[i].Detections
 	}
 	return info, nil
 }

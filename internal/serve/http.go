@@ -16,6 +16,7 @@ import (
 // docs/API.md for the full request/response reference):
 //
 //	GET    /v1/healthz                          liveness probe
+//	GET    /v1/readyz                           readiness probe (503 while restoring)
 //	GET    /v1/stats                            service-wide stats
 //	GET    /v1/streams                          list streams
 //	POST   /v1/streams                          create a stream (policy-typed)
@@ -49,6 +50,15 @@ func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Distinct from healthz: the process is alive but should not
+		// take traffic while a snapshot import or delta merge runs.
+		if !svc.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "restoring"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())

@@ -65,6 +65,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"banditware/internal/core"
@@ -321,10 +322,16 @@ type stream struct {
 	adapt       AdaptSpec
 	detectors   []*drift.PageHinkley
 	driftResets uint64
-	ledger      *ledger
-	nextSeq     uint64
-	issued      uint64
-	observed    uint64
+	// merged accumulates foreign contributions folded in via ApplyDelta
+	// (nil until the first merge) and armGen counts drift-triggered arm
+	// resets, so delta extraction can separate local learning from
+	// replicated state — see delta.go.
+	merged   *mergedState
+	armGen   []uint64
+	ledger   *ledger
+	nextSeq  uint64
+	issued   uint64
+	observed uint64
 	// rewardTotal sums the scalar rewards fed to the engine;
 	// runtimeTotal the measured runtimes; failures counts outcomes
 	// explicitly marked unsuccessful.
@@ -343,6 +350,13 @@ type registryShard struct {
 type Service struct {
 	opts   ServiceOptions
 	shards [numShards]registryShard
+
+	// maintenance counts in-flight snapshot imports and delta merges;
+	// non-zero means not-ready (see Ready and GET /v1/readyz).
+	maintenance atomic.Int64
+	// syncMu guards the per-peer delta-sync baselines (see delta.go).
+	syncMu     sync.Mutex
+	syncStates []*SyncState
 }
 
 // NewService constructs an empty service.

@@ -47,12 +47,22 @@ import (
 //     buffers — travels inside the engine payloads (core Options /
 //     policy.State), so a default-adaptation stream freshly loaded from
 //     a v4 file re-saves byte-identically to its v4 form.
+//   - Version 6 adds fleet replication (internal/dist): an optional
+//     per-stream "dist" block persisting the foreign contributions the
+//     stream absorbed from peers via delta merges (per-arm sufficient
+//     statistics, rounds, counters, drift counts — see delta.go), and
+//     a sibling *delta envelope* sharing this format name and version
+//     but marked "delta": true, carrying per-stream additive changes
+//     instead of full state. Load rejects delta envelopes (ApplyDelta
+//     consumes them); the dist block is omitted until a stream has
+//     merged foreign state — so a single-node v5 stream body re-saves
+//     byte-identically to its v5 form.
 //
-// Load reads versions 1–5 plus the pre-envelope legacy
+// Load reads versions 1–6 plus the pre-envelope legacy
 // single-recommender format; Save always writes the current version.
 const (
 	snapshotFormat  = "banditware-service"
-	snapshotVersion = 5
+	snapshotVersion = 6
 )
 
 type pendingSnap struct {
@@ -106,17 +116,20 @@ type streamSnap struct {
 	// Default-adaptation streams omit the spec; the drift block is
 	// omitted while every detector is pristine — so a stream loaded
 	// from a v4 file re-saves byte-identically.
-	Adapt      *AdaptSpec      `json:"adapt,omitempty"`
-	Drift      json.RawMessage `json:"drift,omitempty"`
-	Shadows    []shadowSnap    `json:"shadows,omitempty"`
-	MaxPending int             `json:"max_pending"`
-	TicketTTL  time.Duration   `json:"ticket_ttl_ns"`
-	NextSeq    uint64          `json:"next_seq"`
-	Issued     uint64          `json:"issued"`
-	Observed   uint64          `json:"observed"`
-	Evicted    uint64          `json:"evicted"`
-	Expired    uint64          `json:"expired"`
-	Pending    []pendingSnap   `json:"pending,omitempty"`
+	Adapt *AdaptSpec      `json:"adapt,omitempty"`
+	Drift json.RawMessage `json:"drift,omitempty"`
+	// Dist is the stream's accumulated foreign (fleet-replicated) state
+	// (version 6+); omitted until the stream has merged peer deltas.
+	Dist       *distSnap     `json:"dist,omitempty"`
+	Shadows    []shadowSnap  `json:"shadows,omitempty"`
+	MaxPending int           `json:"max_pending"`
+	TicketTTL  time.Duration `json:"ticket_ttl_ns"`
+	NextSeq    uint64        `json:"next_seq"`
+	Issued     uint64        `json:"issued"`
+	Observed   uint64        `json:"observed"`
+	Evicted    uint64        `json:"evicted"`
+	Expired    uint64        `json:"expired"`
+	Pending    []pendingSnap `json:"pending,omitempty"`
 }
 
 // driftSnap is the wire form of a stream's drift-monitoring state: one
@@ -223,6 +236,7 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 		Failures:     st.failures,
 		Adapt:        adaptSpec,
 		Drift:        driftRaw,
+		Dist:         st.distSnapLocked(),
 		MaxPending:   st.ledger.cap,
 		TicketTTL:    st.ledger.ttl,
 		NextSeq:      st.nextSeq,
@@ -299,9 +313,13 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 	}
 	var probe struct {
 		Format string `json:"format"`
+		Delta  bool   `json:"delta"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("serve: decoding snapshot: %w", err)
+	}
+	if probe.Delta {
+		return nil, fmt.Errorf("%w: delta envelopes carry changes, not full state (use Service.ApplyDelta)", ErrBadDelta)
 	}
 	s := NewService(opts)
 	if probe.Format == "" {
@@ -383,6 +401,11 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 			}
 			st.detectors = ds.Arms
 			st.driftResets = ds.Resets
+		}
+		if ss.Dist != nil {
+			if err := st.restoreDistLocked(ss.Dist); err != nil {
+				return nil, fmt.Errorf("serve: restoring dist state of stream %q: %w", ss.Name, err)
+			}
 		}
 		st.nextSeq = ss.NextSeq
 		st.issued = ss.Issued

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"banditware/internal/core"
+	"banditware/internal/schema"
 )
 
 const goldenDir = "testdata/snapshots"
@@ -113,6 +114,46 @@ func buildGoldenV1Envelope(t *testing.T) []byte {
 	return append(blob, '\n')
 }
 
+// buildGoldenDelta produces a deterministic peer delta for the mixed
+// service's two streams: a fleet peer with the same stream set learns
+// on its own traffic slice, and the delta is everything it learned.
+func buildGoldenDelta(t *testing.T) []byte {
+	t.Helper()
+	clock := goldenClock()
+	peer := NewService(ServiceOptions{Now: clock.now, TicketTTL: time.Hour})
+	if err := peer.CreateStream("typed", StreamConfig{
+		Hardware: testHW(), Schema: testSchemaFields(), Options: core.Options{Seed: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.CreateStream("plain", StreamConfig{
+		Hardware: testHW(), Dim: 1, Policy: PolicySpec{Type: PolicyLinUCB, Beta: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		ctx := schema.Context{
+			Numeric:     map[string]float64{"num_tasks": float64(10 + i*31%200), "input_mb": float64(3 + i*17%500)},
+			Categorical: map[string]string{"site": []string{"expanse", "nautilus", "local"}[i%3]},
+		}
+		if err := peer.ObserveDirectCtx("typed", i%len(testHW()), ctx, float64(12+i%11*5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.ObserveDirect("plain", i%len(testHW()), []float64{float64(i%7 + 1)}, float64(25+i%6*9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cap, err := peer.CaptureDelta(peer.NewSyncState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // TestRegenerateSnapshotGoldens rewrites the fixtures from the current
 // writer. Skipped unless explicitly requested.
 func TestRegenerateSnapshotGoldens(t *testing.T) {
@@ -128,22 +169,36 @@ func TestRegenerateSnapshotGoldens(t *testing.T) {
 		}
 	}
 
-	// v5/v4/v3 share the mixed service; the older envelopes are the
-	// byte-stable downgrades the version tests pin.
+	// v5/v4/v3 share the mixed service before any fleet merge; the
+	// older envelopes are the byte-stable downgrades the version tests
+	// pin. v6 is the same service after absorbing a peer's delta (the
+	// dist blocks appear), and v6-delta.json is that delta envelope
+	// itself.
 	mixed, _ := buildMixedService(t, goldenClock())
-	var v5 bytes.Buffer
-	if err := mixed.Save(&v5); err != nil {
+	var single bytes.Buffer
+	if err := mixed.Save(&single); err != nil {
 		t.Fatal(err)
 	}
-	write("v5.json", v5.Bytes())
-	write("v4.json", stripDriftBlocks(t, reversion(t, v5.Bytes(), 5, 4)))
-	write("v3.json", stripRewardFields(stripDriftBlocks(t, reversion(t, v5.Bytes(), 5, 3))))
+	write("v5.json", reversion(t, single.Bytes(), 6, 5))
+	write("v4.json", stripDriftBlocks(t, reversion(t, single.Bytes(), 6, 4)))
+	write("v3.json", stripRewardFields(stripDriftBlocks(t, reversion(t, single.Bytes(), 6, 3))))
+
+	delta := buildGoldenDelta(t)
+	write("v6-delta.json", delta)
+	if _, err := mixed.ApplyDelta(bytes.NewReader(delta)); err != nil {
+		t.Fatal(err)
+	}
+	var v6 bytes.Buffer
+	if err := mixed.Save(&v6); err != nil {
+		t.Fatal(err)
+	}
+	write("v6.json", v6.Bytes())
 
 	var v2cur bytes.Buffer
 	if err := buildGoldenV2Service(t, goldenClock()).Save(&v2cur); err != nil {
 		t.Fatal(err)
 	}
-	write("v2.json", stripRewardFields(stripDriftBlocks(t, reversion(t, v2cur.Bytes(), 5, 2))))
+	write("v2.json", stripRewardFields(stripDriftBlocks(t, reversion(t, v2cur.Bytes(), 6, 2))))
 
 	write("v1.json", buildGoldenV1Envelope(t))
 }
@@ -159,9 +214,11 @@ func readGolden(t *testing.T, name string) []byte {
 
 // TestSnapshotGoldenFixtures loads every checked-in envelope version
 // into the current service and pins per-version facts plus the upgrade
-// promises: v5 round-trips byte-for-byte; v2–v4 re-save as a v5 that
-// differs from the fixture only in its version marker; v1 upgrades with
-// models, counters, and pending tickets intact.
+// promises: v6 round-trips byte-for-byte (dist blocks included); the
+// delta fixture is rejected by Load, applied by ApplyDelta, and
+// reproduces the v6 fixture from the v5 one; v2–v5 re-save as a v6
+// that differs from the fixture only in its version marker; v1
+// upgrades with models, counters, and pending tickets intact.
 func TestSnapshotGoldenFixtures(t *testing.T) {
 	load := func(t *testing.T, name string) *Service {
 		t.Helper()
@@ -180,33 +237,60 @@ func TestSnapshotGoldenFixtures(t *testing.T) {
 		return buf.Bytes()
 	}
 
-	t.Run("v5", func(t *testing.T) {
-		fixture := readGolden(t, "v5.json")
-		s := load(t, "v5.json")
+	t.Run("v6", func(t *testing.T) {
+		fixture := readGolden(t, "v6.json")
+		s := load(t, "v6.json")
 		if !bytes.Equal(resave(t, s), fixture) {
-			t.Fatal("v5 fixture does not round-trip byte-for-byte")
+			t.Fatal("v6 fixture does not round-trip byte-for-byte")
 		}
 		info, err := s.StreamInfo("typed")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if info.Schema == nil || len(info.Shadows) != 1 || info.Pending != 5 {
-			t.Fatalf("v5 restore info = %+v", info)
+			t.Fatalf("v6 restore info = %+v", info)
 		}
 		if !bytes.Contains(fixture, []byte(`"drift"`)) {
-			t.Fatal("v5 fixture lost its drift blocks")
+			t.Fatal("v6 fixture lost its drift blocks")
+		}
+		// The fixture service absorbed a fleet peer's delta, so its dist
+		// blocks (the foreign-contribution accounting) must survive the
+		// round trip.
+		if !bytes.Contains(fixture, []byte(`"dist"`)) {
+			t.Fatal("v6 fixture lost its dist blocks")
+		}
+	})
+
+	t.Run("v6-delta.json", func(t *testing.T) {
+		fixture := readGolden(t, "v6-delta.json")
+		// A delta envelope is not a snapshot: Load must refuse it …
+		if _, err := Load(bytes.NewReader(fixture), ServiceOptions{}); err == nil {
+			t.Fatal("Load accepted a delta envelope")
+		}
+		// … while ApplyDelta consumes it. Applying to the pre-merge v5
+		// service reproduces the v6 fixture's fleet state.
+		s := load(t, "v5.json")
+		stats, err := s.ApplyDelta(bytes.NewReader(fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Streams != 2 || stats.Arms == 0 || stats.Rounds == 0 || len(stats.SkippedUnknown) != 0 {
+			t.Fatalf("delta fixture stats = %+v", stats)
+		}
+		if !bytes.Equal(resave(t, s), readGolden(t, "v6.json")) {
+			t.Fatal("v5 fixture + delta fixture does not reproduce the v6 fixture")
 		}
 	})
 
 	for _, tc := range []struct {
 		name    string
 		version int
-	}{{"v4.json", 4}, {"v3.json", 3}, {"v2.json", 2}} {
+	}{{"v5.json", 5}, {"v4.json", 4}, {"v3.json", 3}, {"v2.json", 2}} {
 		t.Run(tc.name, func(t *testing.T) {
 			fixture := readGolden(t, tc.name)
 			s := load(t, tc.name)
-			if got, want := resave(t, s), reversion(t, fixture, tc.version, 5); !bytes.Equal(got, want) {
-				t.Fatalf("%s → v5 upgrade is not byte-stable modulo the version marker", tc.name)
+			if got, want := resave(t, s), reversion(t, fixture, tc.version, 6); !bytes.Equal(got, want) {
+				t.Fatalf("%s → v6 upgrade is not byte-stable modulo the version marker", tc.name)
 			}
 			name := "typed"
 			if tc.version == 2 {
@@ -245,8 +329,8 @@ func TestSnapshotGoldenFixtures(t *testing.T) {
 		if err := s.Observe("legacy-v1#28", 42); err != nil {
 			t.Fatalf("v1 pending ticket lost: %v", err)
 		}
-		if !bytes.Contains(resave(t, s), []byte(`"version": 5`)) {
-			t.Fatal("v1 re-save is not a v5 envelope")
+		if !bytes.Contains(resave(t, s), []byte(`"version": 6`)) {
+			t.Fatal("v1 re-save is not a v6 envelope")
 		}
 	})
 }
