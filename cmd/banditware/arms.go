@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// cmdArms drives a running serve instance's arm-lifecycle API — the
+// operational side of a hardware rollout (docs/OPERATIONS.md has the
+// full runbook):
+//
+//	banditware arms list    -addr URL -stream NAME
+//	banditware arms add     -addr URL -stream NAME -hardware "H3=8x64" [-warm pooled|nearest|cold] [-weight W] [-trial]
+//	banditware arms drain   -addr URL -stream NAME -arm K
+//	banditware arms promote -addr URL -stream NAME -arm K
+//	banditware arms retire  -addr URL -stream NAME -arm K
+//
+// Against a router the lifecycle verbs broadcast to every replica, so
+// the fleet's arm sets stay index-aligned.
+func cmdArms(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("arms: want a verb: list, add, drain, promote, retire")
+	}
+	verb, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("arms "+verb, flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the serve instance or router")
+	stream := fs.String("stream", "", "stream name (required)")
+	hw := fs.String("hardware", "", "add: new arm's hardware config, \"Name=CPUSxMEM\" form (required)")
+	warm := fs.String("warm", "", "add: warm-start mode: cold (default), pooled, or nearest")
+	weight := fs.Float64("weight", 0, "add: warm-start donor weight in (0, 1] (0 = server default)")
+	trial := fs.Bool("trial", false, "add: add in the trial state (learns but serves no live traffic until promoted)")
+	arm := fs.Int("arm", -1, "drain/promote/retire: arm index (required)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *stream == "" {
+		return fmt.Errorf("arms %s: -stream is required", verb)
+	}
+	base := strings.TrimRight(*addr, "/") + "/v1/streams/" + *stream + "/arms"
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var (
+		listing armsListing
+		err     error
+	)
+	switch verb {
+	case "list":
+		err = armsCall(client, http.MethodGet, base, nil, &listing)
+	case "add":
+		if *hw == "" {
+			return fmt.Errorf("arms add: -hardware is required")
+		}
+		body := map[string]any{"hardware_spec": *hw}
+		if *warm != "" {
+			body["warm"] = *warm
+		}
+		if *weight != 0 {
+			body["warm_weight"] = *weight
+		}
+		if *trial {
+			body["trial"] = true
+		}
+		if err = armsCall(client, http.MethodPost, base, body, &listing); err == nil {
+			fmt.Printf("added arm %d to %s\n", listing.Arm, *stream)
+		}
+	case "drain", "promote":
+		if *arm < 0 {
+			return fmt.Errorf("arms %s: -arm is required", verb)
+		}
+		err = armsCall(client, http.MethodPost, fmt.Sprintf("%s/%d/%s", base, *arm, verb), nil, &listing)
+	case "retire":
+		if *arm < 0 {
+			return fmt.Errorf("arms retire: -arm is required")
+		}
+		err = armsCall(client, http.MethodDelete, fmt.Sprintf("%s/%d", base, *arm), nil, &listing)
+	default:
+		return fmt.Errorf("arms: unknown verb %q (want list, add, drain, promote, retire)", verb)
+	}
+	if err != nil {
+		return fmt.Errorf("arms %s: %w", verb, err)
+	}
+	for _, a := range listing.Arms {
+		fmt.Printf("  %d  %-16s %s\n", a.Arm, a.Hardware, a.Status)
+	}
+	return nil
+}
+
+// armsListing mirrors the wire shape of every arm-lifecycle response.
+type armsListing struct {
+	Stream string `json:"stream"`
+	Arm    int    `json:"arm"`
+	Arms   []struct {
+		Arm      int    `json:"arm"`
+		Hardware string `json:"hardware"`
+		Status   string `json:"status"`
+	} `json:"arms"`
+}
+
+// armsCall issues one JSON request; a non-2xx status is an error
+// carrying the server's error body.
+func armsCall(client *http.Client, method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

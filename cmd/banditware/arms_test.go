@@ -1,0 +1,68 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"banditware"
+)
+
+// TestCmdArmsLifecycle drives every arms verb against a live handler:
+// list → add (trial, warm pooled) → promote → drain → retire, plus the
+// error paths (missing flags, unknown verb, server rejection).
+func TestCmdArmsLifecycle(t *testing.T) {
+	svc := banditware.NewService(banditware.ServiceOptions{})
+	if err := svc.CreateStream("jobs", banditware.StreamConfig{
+		Hardware: mustHardware(t, "H0=2x16;H1=3x24"),
+		Dim:      1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(banditware.ServiceHandler(svc))
+	defer srv.Close()
+
+	steps := [][]string{
+		{"list", "-addr", srv.URL, "-stream", "jobs"},
+		{"add", "-addr", srv.URL, "-stream", "jobs", "-hardware", "H2=8x64", "-warm", "pooled", "-weight", "0.5", "-trial"},
+		{"promote", "-addr", srv.URL, "-stream", "jobs", "-arm", "2"},
+		{"drain", "-addr", srv.URL, "-stream", "jobs", "-arm", "2"},
+		{"retire", "-addr", srv.URL, "-stream", "jobs", "-arm", "2"},
+	}
+	for _, args := range steps {
+		if err := cmdArms(args); err != nil {
+			t.Fatalf("arms %v: %v", args, err)
+		}
+	}
+	arms, err := svc.Arms("jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 2 {
+		t.Fatalf("after the rollout cycle: %d arms, want the original 2", len(arms))
+	}
+
+	failures := [][]string{
+		{},
+		{"sideways", "-addr", srv.URL, "-stream", "jobs"},
+		{"list", "-addr", srv.URL},                                  // missing -stream
+		{"add", "-addr", srv.URL, "-stream", "jobs"},                // missing -hardware
+		{"drain", "-addr", srv.URL, "-stream", "jobs"},              // missing -arm
+		{"drain", "-addr", srv.URL, "-stream", "jobs", "-arm", "7"}, // 404
+		{"retire", "-addr", srv.URL, "-stream", "jobs", "-arm", "0"},
+		{"list", "-addr", srv.URL, "-stream", "ghost"},
+	}
+	for _, args := range failures {
+		if err := cmdArms(args); err == nil {
+			t.Errorf("arms %v succeeded, want an error", args)
+		}
+	}
+}
+
+func mustHardware(t *testing.T, spec string) banditware.HardwareSet {
+	t.Helper()
+	set, err := banditware.ParseHardwareSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}

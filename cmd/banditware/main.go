@@ -8,6 +8,7 @@
 //	banditware observe   -state state.json -arm K -features 1,2,... -runtime S
 //	banditware serve     [-port P] [-state svc.json] [-snapshot 30s] [-ttl 1h] [-pending N] [-create name:dim:hwspec] [-peers URL,URL] [-sync 1s] [-bootstrap]
 //	banditware router    -replicas URL,URL,... [-port P] [-poll 2s] [-vnodes N]
+//	banditware arms      list|add|drain|promote|retire -addr URL -stream NAME [...]
 //	banditware kernel    -size N [-workers W] [-sparsity F]
 //
 // generate synthesises one of the paper's workload traces; simulate runs
@@ -20,6 +21,9 @@
 // state snapshots, and with -peers it joins a replicated fleet that
 // exchanges learning deltas; router fronts such a fleet, consistent-
 // hashing streams across the replicas with health-checked membership;
+// arms manages a live stream's hardware arm set over that API — the
+// add → drain → promote/retire rollout cycle, against a single serve
+// instance or a router (which broadcasts the transitions fleet-wide);
 // kernel executes the real tiled parallel matrix-squaring workload and
 // reports the measured runtime.
 package main
@@ -61,6 +65,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "router":
 		err = cmdRouter(os.Args[2:])
+	case "arms":
+		err = cmdArms(os.Args[2:])
 	case "kernel":
 		err = cmdKernel(os.Args[2:])
 	case "describe":
@@ -97,6 +103,10 @@ commands:
   router     front a replica fleet with the consistent-hash stream
              router (-replicas URL,URL required; -poll readiness
              interval, -vnodes ring granularity)
+  arms       manage a live stream's hardware arm set over the API
+             (list, add -hardware "H3=8x64" [-warm pooled] [-trial],
+              drain/promote/retire -arm K; -addr picks the serve
+              instance or router, -stream the stream)
   kernel     run the real parallel matrix-squaring workload
   describe   summarise a trace CSV (per-column statistics)`)
 }

@@ -86,3 +86,37 @@ func TestRunRejectsUnknownScenario(t *testing.T) {
 		t.Fatal("unknown -scenario accepted")
 	}
 }
+
+// TestRunChurnQuick exercises -churn end to end against the in-process
+// target: the arm-churn drill completes inside the measured run and the
+// report validates with the churn marker and transition count set.
+func TestRunChurnQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load replay; run without -short")
+	}
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := run([]string{
+		"-churn",
+		"-quick",
+		"-target", "inproc",
+		"-out", out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport(out); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || !rep.Results[0].Churn || rep.Results[0].ChurnEvents == 0 {
+		t.Fatalf("churn replay results: %+v", rep.Results)
+	}
+}
+
+func TestRunRejectsChaosWithChurn(t *testing.T) {
+	if err := run([]string{"-target", "fleet", "-chaos", "-churn"}); err == nil {
+		t.Fatal("-chaos with -churn accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package armset
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"banditware/internal/hardware"
+)
+
+func TestLifecycleTransitions(t *testing.T) {
+	l := NewLifecycle(2)
+	if !l.AllActive() || l.Len() != 2 {
+		t.Fatalf("fresh lifecycle: AllActive=%v Len=%d", l.AllActive(), l.Len())
+	}
+
+	idx := l.Add(true)
+	if idx != 2 || l.Status(2) != Trial {
+		t.Fatalf("Add(trial) = %d status %s", idx, l.Status(2))
+	}
+	if l.Servable(2) {
+		t.Fatal("trial arm must not be servable")
+	}
+
+	// Trial → Active via promote.
+	if err := l.Promote(2); err != nil {
+		t.Fatalf("Promote(trial): %v", err)
+	}
+	if !l.Servable(2) {
+		t.Fatal("promoted arm must be servable")
+	}
+	// Promote of an active arm is an invalid transition.
+	if err := l.Promote(2); !errors.Is(err, ErrState) {
+		t.Fatalf("Promote(active) = %v, want ErrState", err)
+	}
+
+	// Active → Draining, then retire.
+	if err := l.Drain(0); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if l.Servable(0) {
+		t.Fatal("draining arm must not be servable")
+	}
+	if err := l.Drain(0); !errors.Is(err, ErrState) {
+		t.Fatalf("Drain(draining) = %v, want ErrState", err)
+	}
+	if err := l.Retire(1); !errors.Is(err, ErrState) {
+		t.Fatalf("Retire(active) = %v, want ErrState", err)
+	}
+	if err := l.Retire(0); err != nil {
+		t.Fatalf("Retire(draining): %v", err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len after retire = %d, want 2", l.Len())
+	}
+
+	// Out-of-range everywhere.
+	if err := l.Drain(9); !errors.Is(err, ErrArm) {
+		t.Fatalf("Drain(9) = %v, want ErrArm", err)
+	}
+	if err := l.Promote(-1); !errors.Is(err, ErrArm) {
+		t.Fatalf("Promote(-1) = %v, want ErrArm", err)
+	}
+	if err := l.Retire(9); !errors.Is(err, ErrArm) {
+		t.Fatalf("Retire(9) = %v, want ErrArm", err)
+	}
+}
+
+func TestLifecycleLastActiveGuard(t *testing.T) {
+	l := NewLifecycle(1)
+	if err := l.Drain(0); !errors.Is(err, ErrLastActive) {
+		t.Fatalf("Drain(last active) = %v, want ErrLastActive", err)
+	}
+	l.Add(true) // a trial arm doesn't count as active
+	if err := l.Drain(0); !errors.Is(err, ErrLastActive) {
+		t.Fatalf("Drain(last active with trial present) = %v, want ErrLastActive", err)
+	}
+	if err := l.Drain(1); err != nil { // draining the trial arm is fine
+		t.Fatalf("Drain(trial): %v", err)
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	for _, s := range []Status{Active, Trial, Draining} {
+		got, err := ParseStatus(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseStatus(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStatus("bogus"); err == nil {
+		t.Fatal("ParseStatus(bogus) succeeded")
+	}
+}
+
+func TestParseWarm(t *testing.T) {
+	cases := map[string]Warm{"": WarmCold, "cold": WarmCold, "pooled": WarmPooled, "nearest": WarmNearest}
+	for in, want := range cases {
+		got, err := ParseWarm(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseWarm(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseWarm("tepid"); err == nil {
+		t.Fatal("ParseWarm(tepid) succeeded")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	set := hardware.Set{
+		{Name: "small", CPUs: 2, MemoryGB: 8},
+		{Name: "big", CPUs: 32, MemoryGB: 128},
+		{Name: "gpu", CPUs: 8, MemoryGB: 64, GPUs: 2},
+	}
+	if got := Nearest(set, hardware.Config{Name: "n", CPUs: 4, MemoryGB: 16}, nil); got != 0 {
+		t.Fatalf("Nearest(small-ish) = %d, want 0", got)
+	}
+	if got := Nearest(set, hardware.Config{Name: "n", CPUs: 16, MemoryGB: 96, GPUs: 1}, nil); got != 2 {
+		t.Fatalf("Nearest(gpu-ish) = %d, want 2", got)
+	}
+	// Eligibility filter excludes the natural neighbor.
+	got := Nearest(set, hardware.Config{Name: "n", CPUs: 4, MemoryGB: 16}, func(i int) bool { return i != 0 })
+	if got != 2 && got != 1 {
+		t.Fatalf("Nearest(filtered) = %d, want an eligible arm", got)
+	}
+	if got := Nearest(set, hardware.Config{Name: "n", CPUs: 4}, func(int) bool { return false }); got != -1 {
+		t.Fatalf("Nearest(none eligible) = %d, want -1", got)
+	}
+	if got := Nearest(nil, hardware.Config{Name: "n", CPUs: 4}, nil); got != -1 {
+		t.Fatalf("Nearest(empty set) = %d, want -1", got)
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	c, err := NewCache(CacheConfig{})
+	if err != nil {
+		t.Fatalf("NewCache(defaults): %v", err)
+	}
+	cfg := c.Config()
+	if cfg.Capacity != DefaultCacheCapacity || cfg.Budget != DefaultCacheBudget || cfg.Bits != DefaultCacheBits {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	for _, bad := range []CacheConfig{
+		{Capacity: -1},
+		{Budget: 1.0},
+		{Budget: -0.5},
+		{Budget: math.NaN()},
+		{Bits: 53},
+		{Bits: -1},
+	} {
+		if _, err := NewCache(bad); err == nil {
+			t.Fatalf("NewCache(%+v) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestCacheHitMissFallthrough(t *testing.T) {
+	c, err := NewCache(CacheConfig{Capacity: 16, Budget: 0.25, Bits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := c.Fingerprint([]float64{1.5, 2.5})
+	if _, ok := c.Lookup(fp); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	c.Store(fp, 3)
+	hits, falls := 0, 0
+	for i := 0; i < 1000; i++ {
+		if arm, ok := c.Lookup(fp); ok {
+			if arm != 3 {
+				t.Fatalf("cached arm = %d, want 3", arm)
+			}
+			hits++
+		} else {
+			falls++
+		}
+	}
+	if falls != 250 {
+		t.Fatalf("fall-throughs = %d over 1000 potential hits at budget 0.25, want exactly 250", falls)
+	}
+	h, m, f := c.Counters()
+	if h != uint64(hits) || m != 1 || f != uint64(falls) {
+		t.Fatalf("counters = %d/%d/%d, want %d/1/%d", h, m, f, hits, falls)
+	}
+}
+
+func TestCacheQuantization(t *testing.T) {
+	c, err := NewCache(CacheConfig{Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Fingerprint([]float64{1.0000001, 2.0})
+	b := c.Fingerprint([]float64{1.0000002, 2.0})
+	if a != b {
+		t.Fatal("near-identical contexts should collide at 8 bits")
+	}
+	d := c.Fingerprint([]float64{1.5, 2.0})
+	if a == d {
+		t.Fatal("distinct contexts should not collide")
+	}
+}
+
+func TestCacheEvictionFIFO(t *testing.T) {
+	c, err := NewCache(CacheConfig{Capacity: 2, Budget: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := c.Fingerprint([]float64{1})
+	f2 := c.Fingerprint([]float64{2})
+	f3 := c.Fingerprint([]float64{3})
+	c.Store(f1, 0)
+	c.Store(f2, 1)
+	c.Store(f3, 2) // evicts f1
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup(f1); ok {
+		t.Fatal("f1 should have been evicted")
+	}
+	if arm, ok := c.Lookup(f2); !ok || arm != 1 {
+		t.Fatalf("f2 lookup = %d,%v", arm, ok)
+	}
+	if arm, ok := c.Lookup(f3); !ok || arm != 2 {
+		t.Fatalf("f3 lookup = %d,%v", arm, ok)
+	}
+	c.Store(f1, 5) // evicts f2 (oldest remaining)
+	if _, ok := c.Lookup(f2); ok {
+		t.Fatal("f2 should have been evicted")
+	}
+}
+
+func TestCacheResetKeepsCounters(t *testing.T) {
+	c, err := NewCache(CacheConfig{Capacity: 8, Budget: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := c.Fingerprint([]float64{4, 2})
+	c.Store(fp, 1)
+	if _, ok := c.Lookup(fp); !ok {
+		t.Fatal("expected hit before reset")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after reset = %d", c.Len())
+	}
+	if _, ok := c.Lookup(fp); ok {
+		t.Fatal("hit after reset")
+	}
+	h, m, _ := c.Counters()
+	if h != 1 || m != 1 {
+		t.Fatalf("counters after reset = %d/%d, want 1/1", h, m)
+	}
+	c.SetCounters(10, 20, 30)
+	h, m, f := c.Counters()
+	if h != 10 || m != 20 || f != 30 {
+		t.Fatalf("SetCounters round-trip = %d/%d/%d", h, m, f)
+	}
+}

@@ -1,0 +1,185 @@
+package armset
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheConfig sizes and tunes a recommendation cache.
+type CacheConfig struct {
+	// Capacity bounds the number of cached fingerprints (FIFO
+	// eviction). Zero means DefaultCacheCapacity.
+	Capacity int
+	// Budget is the exploration fall-through rate in [0,1): that
+	// fraction of would-be cache hits is deliberately routed to
+	// the policy so learning never starves. Zero means
+	// DefaultCacheBudget.
+	Budget float64
+	// Bits is the number of float64 mantissa bits retained when
+	// fingerprinting a context (1..52). Fewer bits quantize more
+	// aggressively, raising the hit rate at the cost of serving
+	// slightly stale arms near decision boundaries. Zero means
+	// DefaultCacheBits.
+	Bits int
+}
+
+const (
+	// DefaultCacheCapacity bounds a cache when Capacity is unset.
+	DefaultCacheCapacity = 4096
+	// DefaultCacheBudget is the exploration fall-through rate when
+	// Budget is unset: 5% of potential hits consult the policy.
+	DefaultCacheBudget = 0.05
+	// DefaultCacheBits retains 16 mantissa bits by default —
+	// roughly 4–5 significant decimal digits, far finer than any
+	// schema-normalized feature needs.
+	DefaultCacheBits = 16
+)
+
+// withDefaults fills zero fields and validates the rest.
+func (c CacheConfig) withDefaults() (CacheConfig, error) {
+	if c.Capacity == 0 {
+		c.Capacity = DefaultCacheCapacity
+	}
+	if c.Capacity < 0 {
+		return c, fmt.Errorf("armset: cache capacity %d must be positive", c.Capacity)
+	}
+	if c.Budget == 0 {
+		c.Budget = DefaultCacheBudget
+	}
+	if c.Budget < 0 || c.Budget >= 1 || math.IsNaN(c.Budget) {
+		return c, fmt.Errorf("armset: cache budget %v must be in [0,1)", c.Budget)
+	}
+	if c.Bits == 0 {
+		c.Bits = DefaultCacheBits
+	}
+	if c.Bits < 1 || c.Bits > 52 {
+		return c, fmt.Errorf("armset: cache bits %d must be in 1..52", c.Bits)
+	}
+	return c, nil
+}
+
+// Cache is a bounded context-fingerprint → arm map that serves
+// repeated exploit decisions in O(1) without touching the policy. A
+// deterministic exploration budget routes a fixed fraction of
+// would-be hits back to the policy ("fall-through") so the model
+// keeps learning on hot contexts. Not goroutine-safe; callers hold
+// the stream lock.
+type Cache struct {
+	cfg  CacheConfig
+	mask uint64
+
+	m     map[uint64]int32
+	order []uint64 // FIFO ring of inserted fingerprints
+	head  int
+
+	acc float64 // fall-through accumulator: one fall-through per 1/budget hits
+
+	hits         uint64
+	misses       uint64
+	fallthroughs uint64
+}
+
+// NewCache builds a cache, filling config defaults.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:   cfg,
+		mask:  ^uint64(0) << (52 - uint(cfg.Bits)),
+		m:     make(map[uint64]int32, cfg.Capacity),
+		order: make([]uint64, 0, cfg.Capacity),
+	}, nil
+}
+
+// Config returns the cache's effective (default-filled) config.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int { return len(c.m) }
+
+// Counters returns cumulative hit / miss / fall-through counts.
+// Counters survive Reset: they describe the stream's serving history,
+// not the current entry set, and they are per-replica (never shipped
+// in delta envelopes — they are not additive across a fleet).
+func (c *Cache) Counters() (hits, misses, fallthroughs uint64) {
+	return c.hits, c.misses, c.fallthroughs
+}
+
+// SetCounters restores counters from a snapshot.
+func (c *Cache) SetCounters(hits, misses, fallthroughs uint64) {
+	c.hits, c.misses, c.fallthroughs = hits, misses, fallthroughs
+}
+
+// Fingerprint hashes a context vector after masking each value to the
+// configured number of mantissa bits (FNV-1a over the quantized
+// bits). Vectors differing only below the quantization threshold
+// collide on purpose.
+func (c *Cache) Fingerprint(x []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range x {
+		b := math.Float64bits(v) & c.mask
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= prime64
+			b >>= 8
+		}
+	}
+	return h
+}
+
+// Lookup consults the cache. It returns (arm, true) on a served hit.
+// A miss, or a hit consumed by the exploration budget (fall-through),
+// returns (-1, false) and the caller must ask the policy.
+func (c *Cache) Lookup(fp uint64) (int, bool) {
+	arm, ok := c.m[fp]
+	if !ok {
+		c.misses++
+		return -1, false
+	}
+	c.acc += c.cfg.Budget
+	if c.acc >= 1 {
+		c.acc--
+		c.fallthroughs++
+		return -1, false
+	}
+	c.hits++
+	return int(arm), true
+}
+
+// Store records an exploit decision for a fingerprint. Explored
+// (random) decisions must not be stored — the caller filters them.
+// Existing entries are left in place; at capacity the oldest entry is
+// evicted first.
+func (c *Cache) Store(fp uint64, arm int) {
+	if _, ok := c.m[fp]; ok {
+		c.m[fp] = int32(arm)
+		return
+	}
+	if len(c.m) >= c.cfg.Capacity {
+		old := c.order[c.head]
+		delete(c.m, old)
+		c.order[c.head] = fp
+		c.head = (c.head + 1) % len(c.order)
+	} else {
+		c.order = append(c.order, fp)
+	}
+	c.m[fp] = int32(arm)
+}
+
+// Reset drops every cached entry (counters survive; see Counters).
+// Called on drift resets and on any arm-set change: cached arm
+// indices are positional, so add/retire invalidates them wholesale.
+func (c *Cache) Reset() {
+	if len(c.m) == 0 {
+		return
+	}
+	c.m = make(map[uint64]int32, c.cfg.Capacity)
+	c.order = c.order[:0]
+	c.head = 0
+}

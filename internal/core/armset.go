@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"banditware/internal/hardware"
+	"banditware/internal/regress"
+)
+
+// AddArm grows the bandit with one new hardware configuration at
+// runtime. The new arm starts from the ridge prior (callers that want
+// a warm start merge sufficient statistics afterwards via
+// MergeArmDelta). Returns the new arm's index.
+//
+// The hardware set is copied on append: callers may hold references
+// to the previous Hardware() slice.
+func (b *Bandit) AddArm(cfg hardware.Config) (int, error) {
+	hw := append(append(hardware.Set{}, b.hw...), cfg)
+	if err := hw.Validate(); err != nil {
+		return 0, err
+	}
+	forget := b.opts.ForgettingFactor
+	if forget == 0 {
+		forget = 1
+	}
+	rls, err := regress.NewRLSForgetting(b.dim, b.opts.RidgeLambda, forget)
+	if err != nil {
+		return 0, err
+	}
+	b.hw = hw
+	b.arms = append(b.arms, &arm{rls: rls, model: regress.Zero(b.dim)})
+	return len(b.arms) - 1, nil
+}
+
+// RemoveArm retires arm i, discarding its estimator and shifting the
+// indices of every later arm down by one. The last remaining arm
+// cannot be removed.
+func (b *Bandit) RemoveArm(i int) error {
+	if i < 0 || i >= len(b.arms) {
+		return ErrArm
+	}
+	if len(b.arms) == 1 {
+		return fmt.Errorf("core: cannot remove the last arm")
+	}
+	b.hw = append(append(hardware.Set{}, b.hw[:i]...), b.hw[i+1:]...)
+	b.arms = append(b.arms[:i], b.arms[i+1:]...)
+	return nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"banditware/internal/hardware"
+)
+
+func churnSet() hardware.Set {
+	return hardware.Set{
+		{Name: "small", CPUs: 2, MemoryGB: 8},
+		{Name: "big", CPUs: 8, MemoryGB: 32},
+	}
+}
+
+func TestBanditAddArm(t *testing.T) {
+	b, err := New(churnSet(), 1, Options{Seed: 1, Epsilon0: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.Hardware()
+	for i := 0; i < 40; i++ {
+		x := []float64{float64(i % 5)}
+		if err := b.Observe(0, x, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(1, x, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, err := b.AddArm(hardware.Config{Name: "huge", CPUs: 32, MemoryGB: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 || b.NumArms() != 3 || len(b.Hardware()) != 3 {
+		t.Fatalf("AddArm: idx=%d NumArms=%d hw=%d", idx, b.NumArms(), len(b.Hardware()))
+	}
+	if len(before) != 2 {
+		t.Fatalf("prior Hardware() slice mutated: len=%d", len(before))
+	}
+	// Duplicate names rejected, set untouched.
+	if _, err := b.AddArm(hardware.Config{Name: "big", CPUs: 1, MemoryGB: 1}); err == nil {
+		t.Fatal("duplicate hardware name accepted")
+	}
+	if b.NumArms() != 3 {
+		t.Fatalf("failed AddArm changed arm count to %d", b.NumArms())
+	}
+	// New arm learns and can win.
+	for i := 0; i < 60; i++ {
+		x := []float64{float64(i % 5)}
+		if err := b.Observe(2, x, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arm, err := b.Exploit([]float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arm != 2 {
+		t.Fatalf("Exploit after training new arm = %d, want 2", arm)
+	}
+}
+
+func TestBanditRemoveArm(t *testing.T) {
+	b, err := New(churnSet(), 1, Options{Seed: 1, Epsilon0: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		x := []float64{float64(i % 5)}
+		if err := b.Observe(0, x, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(1, x, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.RemoveArm(5); err != ErrArm {
+		t.Fatalf("RemoveArm(5) = %v, want ErrArm", err)
+	}
+	if err := b.RemoveArm(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumArms() != 1 || b.Hardware()[0].Name != "big" {
+		t.Fatalf("after remove: NumArms=%d hw[0]=%s", b.NumArms(), b.Hardware()[0].Name)
+	}
+	// The surviving arm kept its estimator (trained on runtime 7).
+	preds, err := b.PredictAll([]float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0] < 5 || preds[0] > 9 {
+		t.Fatalf("surviving arm prediction %v, want ~7", preds[0])
+	}
+	if err := b.RemoveArm(0); err == nil {
+		t.Fatal("removed the last arm")
+	}
+}

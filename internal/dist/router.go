@@ -31,8 +31,9 @@ type RouterOptions struct {
 // partitioned by consistent hashing over the ready members: every
 // stream-scoped route proxies to the stream's owner, ticket redemption
 // (POST /v1/observe) routes by the stream name embedded in the ticket
-// ID, and stream creation/deletion broadcasts so every replica serves
-// the same stream set. When a replica stops answering its readiness
+// ID, and stream creation/deletion — like arm-set churn (add, drain,
+// promote, retire) — broadcasts so every replica serves the same stream
+// set with the same arm count. When a replica stops answering its readiness
 // probe the ring is rebuilt without it and its streams rebalance onto
 // the survivors — which already hold the stream's model via delta
 // replication.
@@ -169,6 +170,25 @@ func (rt *Router) buildHandler() http.Handler {
 		rt.broadcast(w, r)
 	})
 	mux.HandleFunc("DELETE /v1/streams/{name}", func(w http.ResponseWriter, r *http.Request) {
+		rt.broadcast(w, r)
+	})
+
+	// Arm-set changes fan out too: replicated delta merges require every
+	// member to hold the same arm count, so the fleet churns in step. A
+	// partial broadcast answers 502 and is safe to re-issue (duplicate
+	// adds answer 422 on the members that already applied them, repeated
+	// drains 422, repeated retires 404 — the operator resolves from the
+	// per-member detail). Listing (GET .../arms) stays owner-routed.
+	mux.HandleFunc("POST /v1/streams/{name}/arms", func(w http.ResponseWriter, r *http.Request) {
+		rt.broadcast(w, r)
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/arms/{arm}/drain", func(w http.ResponseWriter, r *http.Request) {
+		rt.broadcast(w, r)
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/arms/{arm}/promote", func(w http.ResponseWriter, r *http.Request) {
+		rt.broadcast(w, r)
+	})
+	mux.HandleFunc("DELETE /v1/streams/{name}/arms/{arm}", func(w http.ResponseWriter, r *http.Request) {
 		rt.broadcast(w, r)
 	})
 

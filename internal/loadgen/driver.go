@@ -42,6 +42,11 @@ type RunOptions struct {
 	// TimeScale compresses (>1) or stretches (<1) the trace's open-loop
 	// arrival times; 0 means 1 (replay at the recorded QPS).
 	TimeScale float64
+	// Churn runs the arm-churn drill inside the measured window: a
+	// warm-started hardware arm is added to every stream a quarter of
+	// the way through the trace, drained at half, and retired at three
+	// quarters. The target must implement ArmChurner.
+	Churn bool
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -107,7 +112,15 @@ type Result struct {
 	// Chaos marks a run that included the fleet kill/restart drill:
 	// errors up to the failover-window bound are expected, and
 	// validation policies should tolerate them.
-	Chaos          bool    `json:"chaos,omitempty"`
+	Chaos bool `json:"chaos,omitempty"`
+	// Churn marks a run that included the arm-churn drill (add at a
+	// quarter of the trace, drain at half, retire at three quarters, on
+	// every stream); ChurnEvents counts the lifecycle transitions
+	// applied. Requests racing a retire can lose their pending tickets
+	// by design, so validation policies should tolerate a small error
+	// count on churn runs.
+	Churn          bool    `json:"churn,omitempty"`
+	ChurnEvents    uint64  `json:"churn_events,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// ThroughputRPS counts every op (recommend and observe) per second
 	// of wall clock.
@@ -236,6 +249,28 @@ func Run(tgt Target, tr *Trace, opts RunOptions) (*Result, error) {
 		return res, err
 	}
 
+	var churn *churnRun
+	if opts.Churn {
+		c, err := newChurnRun(tgt, tr)
+		if err != nil {
+			// Same contract as a setup failure: a schema-valid partial
+			// result records the configuration, Failed carries the reason.
+			res := &Result{
+				Target:      tgt.Name(),
+				Mode:        string(opts.Mode),
+				Concurrency: opts.Concurrency,
+				Raw:         opts.Raw,
+				Churn:       true,
+				Failed:      err.Error(),
+			}
+			if opts.Mode == ModeOpen {
+				res.TargetQPS = tr.Config.QPS * opts.TimeScale
+			}
+			return res, err
+		}
+		churn = c
+	}
+
 	states := make([]*workerState, opts.Concurrency)
 	for i := range states {
 		st, err := newWorkerState()
@@ -251,9 +286,9 @@ func Run(tgt Target, tr *Trace, opts RunOptions) (*Result, error) {
 	start := time.Now()
 	var behind uint64
 	if opts.Mode == ModeClosed {
-		runClosed(tgt, tr, opts, states, start)
+		runClosed(tgt, tr, opts, states, start, churn)
 	} else {
-		behind = runOpen(tgt, tr, opts, states, start)
+		behind = runOpen(tgt, tr, opts, states, start, churn)
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&memAfter)
@@ -305,12 +340,19 @@ func Run(tgt Target, tr *Trace, opts RunOptions) (*Result, error) {
 		res.BytesPerOp = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(res.Requests)
 	}
 	res.GCCycles = memAfter.NumGC - memBefore.NumGC
+	if churn != nil {
+		res.Churn = true
+		res.ChurnEvents = churn.events
+		if err := churn.finish(); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }
 
 // runClosed feeds ops to a fixed worker pool over a channel; each
 // worker runs its next session as soon as the previous one finishes.
-func runClosed(tgt Target, tr *Trace, opts RunOptions, states []*workerState, start time.Time) {
+func runClosed(tgt Target, tr *Trace, opts RunOptions, states []*workerState, start time.Time, churn *churnRun) {
 	var deadline time.Time
 	if opts.Duration > 0 {
 		deadline = start.Add(opts.Duration)
@@ -330,6 +372,12 @@ func runClosed(tgt Target, tr *Trace, opts RunOptions, states []*workerState, st
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
+		// Lifecycle transitions apply from the feeder at their scheduled
+		// op index; workers already in flight overlap them, exactly like
+		// live traffic overlapping a rollout.
+		if churn != nil {
+			churn.tick()
+		}
 		opCh <- &tr.Ops[i]
 	}
 	close(opCh)
@@ -340,7 +388,7 @@ func runClosed(tgt Target, tr *Trace, opts RunOptions, states []*workerState, st
 // double as request slots: the dispatcher blocks when all Concurrency
 // slots are in flight (bounding memory) and counts those stalls as
 // behind-schedule ops.
-func runOpen(tgt Target, tr *Trace, opts RunOptions, states []*workerState, start time.Time) (behind uint64) {
+func runOpen(tgt Target, tr *Trace, opts RunOptions, states []*workerState, start time.Time, churn *churnRun) (behind uint64) {
 	var deadline time.Time
 	if opts.Duration > 0 {
 		deadline = start.Add(opts.Duration)
@@ -359,6 +407,12 @@ func runOpen(tgt Target, tr *Trace, opts RunOptions, states []*workerState, star
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
+		}
+		// Churn transitions run synchronously on the dispatcher; the
+		// brief stall they cause shows up as behind-schedule ops, the
+		// honest accounting for a rollout performed under offered load.
+		if churn != nil {
+			churn.tick()
 		}
 		var st *workerState
 		select {

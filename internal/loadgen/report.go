@@ -80,6 +80,12 @@ func (res *Result) validate() error {
 	if res.Requests == 0 {
 		return errors.New("zero requests")
 	}
+	if res.Churn && res.ChurnEvents == 0 {
+		return errors.New("churn run applied zero lifecycle transitions")
+	}
+	if !res.Churn && res.ChurnEvents != 0 {
+		return fmt.Errorf("non-churn run records %d churn events", res.ChurnEvents)
+	}
 	if res.Requests != res.Recommends+res.Observes {
 		return fmt.Errorf("requests %d != recommends %d + observes %d", res.Requests, res.Recommends, res.Observes)
 	}

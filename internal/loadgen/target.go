@@ -245,6 +245,26 @@ func (t *HTTP) post(path string, body, out any) error {
 	return nil
 }
 
+// del sends one DELETE request; any non-2xx status is an error
+// carrying the server's error body.
+func (t *HTTP) del(path string) error {
+	req, err := http.NewRequest(http.MethodDelete, t.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("loadgen: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
 func (t *HTTP) Close() error {
 	t.client.CloseIdleConnections()
 	if t.server != nil {

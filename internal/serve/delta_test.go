@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"banditware/internal/core"
+	"banditware/internal/hardware"
 	"banditware/internal/regress"
 )
 
@@ -141,16 +142,10 @@ func shipDelta(t *testing.T, src *Service, base *SyncState, dst *Service) DeltaS
 	return stats
 }
 
-// TestDeltaMergeReproducesSingleNode is the delta-merge property test:
-// for every shipped policy, splitting a trace across K shard replicas
-// and merging their deltas into a fresh service reproduces the model a
-// single node learns from the whole trace — sufficient statistics
-// within float tolerance, identical exploit decisions, round and
-// counter totals exact, and (for Algorithm 1) the ε-decay schedule
-// float-exact.
-func TestDeltaMergeReproducesSingleNode(t *testing.T) {
-	const T, K = 240, 3
-	specs := map[string]PolicySpec{
+// deltaMergeSpecs is the policy matrix both delta-merge property tests
+// run over — every shipped, mergeable policy engine.
+func deltaMergeSpecs() map[string]PolicySpec {
+	return map[string]PolicySpec{
 		"algorithm1": {},
 		"linucb":     {Type: PolicyLinUCB, Beta: 1.5},
 		"lints":      {Type: PolicyLinTS, Seed: 7},
@@ -159,79 +154,180 @@ func TestDeltaMergeReproducesSingleNode(t *testing.T) {
 		"softmax":    {Type: PolicySoftmax, Temperature: 0.5, Seed: 5},
 		"random":     {Type: PolicyRandom, Seed: 3},
 	}
-	for name, spec := range specs {
-		t.Run(name, func(t *testing.T) {
-			single := NewService(ServiceOptions{})
-			if err := single.CreateStream("s", deltaStreamCfg(spec)); err != nil {
-				t.Fatal(err)
-			}
-			shards := make([]*Service, K)
-			for j := range shards {
-				shards[j] = NewService(ServiceOptions{})
-				if err := shards[j].CreateStream("s", deltaStreamCfg(spec)); err != nil {
-					t.Fatal(err)
-				}
-			}
-			for i := 0; i < T; i++ {
-				arm, x, rt := deltaObservation(i)
-				if err := single.ObserveDirect("s", arm, x, rt); err != nil {
-					t.Fatal(err)
-				}
-				if err := shards[i%K].ObserveDirect("s", arm, x, rt); err != nil {
-					t.Fatal(err)
-				}
-			}
+}
 
-			merged := NewService(ServiceOptions{})
-			if err := merged.CreateStream("s", deltaStreamCfg(spec)); err != nil {
-				t.Fatal(err)
-			}
+// Churned-trace schedule: the arm set is 3-wide, grows to 4 at op 60,
+// arm 0 drains at 120 and retires at 180 (back to 3 arms with shifted
+// indices). deltaChurnWidth reports the arm count in effect at op i.
+const (
+	deltaChurnAdd    = 60
+	deltaChurnDrain  = 120
+	deltaChurnRetire = 180
+)
+
+func deltaChurnWidth(i int) int {
+	if i >= deltaChurnAdd && i < deltaChurnRetire {
+		return 4
+	}
+	return 3
+}
+
+// deltaChurnObservation is deltaObservation over the churned arm space:
+// the arm index cycles over however many arms exist at op i, and the
+// runtime weights are positional (the comparison needs identical inputs
+// across services, not a stable hardware semantics).
+func deltaChurnObservation(i int) (arm int, x []float64, runtime float64) {
+	arm = (i / 3) % deltaChurnWidth(i)
+	x = []float64{float64(i%13 + 1), float64(i%7 + 2)}
+	w := [][2]float64{{3, 1}, {1, 4}, {2, 2}, {1, 1}}[arm]
+	runtime = 5 + w[0]*x[0] + w[1]*x[1]
+	return arm, x, runtime
+}
+
+// deltaChurnOp applies the churn event scheduled at op i, if any. Adds
+// are cold: warm-start masses are replica-local (each shard has seen a
+// different slice of the trace), so a warm add would break the merge
+// equivalence on purpose — elastic fleets add cold or warm identically
+// everywhere.
+func deltaChurnOp(t *testing.T, s *Service, i int) {
+	t.Helper()
+	switch i {
+	case deltaChurnAdd:
+		if _, err := s.AddArm("s", ArmAdd{
+			Hardware: hardware.Config{Name: "H3", CPUs: 8, MemoryGB: 32},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	case deltaChurnDrain:
+		if err := s.DrainArm("s", 0); err != nil {
+			t.Fatal(err)
+		}
+	case deltaChurnRetire:
+		if err := s.RetireArm("s", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runDeltaMerge drives one policy through the K-shard merge property
+// check, optionally with mid-trace arm churn applied identically to the
+// single-node reference, every shard, and (before merging) the receiver.
+func runDeltaMerge(t *testing.T, name string, spec PolicySpec, churn bool) {
+	const T, K = 240, 3
+	single := NewService(ServiceOptions{})
+	if err := single.CreateStream("s", deltaStreamCfg(spec)); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*Service, K)
+	for j := range shards {
+		shards[j] = NewService(ServiceOptions{})
+		if err := shards[j].CreateStream("s", deltaStreamCfg(spec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < T; i++ {
+		arm, x, rt := deltaObservation(i)
+		if churn {
+			// Lifecycle ops land on every replica at the same trace
+			// position, exactly like a fleet-wide rollout step.
+			deltaChurnOp(t, single, i)
 			for _, sh := range shards {
-				shipDelta(t, sh, sh.NewSyncState(), merged)
+				deltaChurnOp(t, sh, i)
 			}
+			arm, x, rt = deltaChurnObservation(i)
+		}
+		if err := single.ObserveDirect("s", arm, x, rt); err != nil {
+			t.Fatal(err)
+		}
+		if err := shards[i%K].ObserveDirect("s", arm, x, rt); err != nil {
+			t.Fatal(err)
+		}
+	}
 
-			if got, want := streamRound(t, merged, "s"), streamRound(t, single, "s"); got != want {
-				t.Fatalf("merged rounds = %d, single-node = %d", got, want)
-			}
-			gi, err := merged.StreamInfo("s")
-			if err != nil {
-				t.Fatal(err)
-			}
-			wi, err := single.StreamInfo("s")
-			if err != nil {
-				t.Fatal(err)
-			}
-			if gi.Observed != wi.Observed || gi.RewardTotal != wi.RewardTotal {
-				t.Fatalf("merged counters = (%d, %v), single-node = (%d, %v)",
-					gi.Observed, gi.RewardTotal, wi.Observed, wi.RewardTotal)
-			}
-			if name == "algorithm1" {
-				if ge, we := streamEpsilon(t, merged, "s"), streamEpsilon(t, single, "s"); ge != we {
-					t.Fatalf("merged ε = %v, single-node ε = %v (decay schedule must be float-exact)", ge, we)
-				}
-			}
-			if spec.Type == PolicyRandom {
-				return // model-free: rounds and counters are the whole state
-			}
-			for a := 0; a < len(testHW()); a++ {
-				suffClose(t, armSuff(t, merged, "s", a), armSuff(t, single, "s", a),
-					fmt.Sprintf("arm %d", a))
-			}
-			for i := 0; i < 50; i++ {
-				x := []float64{float64(i%17 + 1), float64(i%5 + 1)}
-				got, err := merged.Exploit("s", x)
-				if err != nil {
-					t.Fatal(err)
-				}
-				want, err := single.Exploit("s", x)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got != want {
-					t.Fatalf("exploit(%v): merged arm %d, single-node arm %d", x, got, want)
-				}
-			}
-		})
+	merged := NewService(ServiceOptions{})
+	if err := merged.CreateStream("s", deltaStreamCfg(spec)); err != nil {
+		t.Fatal(err)
+	}
+	if churn {
+		// The receiver replays the same rollout before merging, so its
+		// arm set is index-aligned with the shards' final shape.
+		for _, i := range []int{deltaChurnAdd, deltaChurnDrain, deltaChurnRetire} {
+			deltaChurnOp(t, merged, i)
+		}
+	}
+	for _, sh := range shards {
+		shipDelta(t, sh, sh.NewSyncState(), merged)
+	}
+
+	if got, want := streamRound(t, merged, "s"), streamRound(t, single, "s"); got != want {
+		t.Fatalf("merged rounds = %d, single-node = %d", got, want)
+	}
+	gi, err := merged.StreamInfo("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi, err := single.StreamInfo("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Observed != wi.Observed || gi.RewardTotal != wi.RewardTotal {
+		t.Fatalf("merged counters = (%d, %v), single-node = (%d, %v)",
+			gi.Observed, gi.RewardTotal, wi.Observed, wi.RewardTotal)
+	}
+	if name == "algorithm1" {
+		if ge, we := streamEpsilon(t, merged, "s"), streamEpsilon(t, single, "s"); ge != we {
+			t.Fatalf("merged ε = %v, single-node ε = %v (decay schedule must be float-exact)", ge, we)
+		}
+	}
+	if spec.Type == PolicyRandom {
+		return // model-free: rounds and counters are the whole state
+	}
+	hw, err := single.Hardware("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < len(hw); a++ {
+		suffClose(t, armSuff(t, merged, "s", a), armSuff(t, single, "s", a),
+			fmt.Sprintf("arm %d", a))
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i%17 + 1), float64(i%5 + 1)}
+		got, err := merged.Exploit("s", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.Exploit("s", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("exploit(%v): merged arm %d, single-node arm %d", x, got, want)
+		}
+	}
+}
+
+// TestDeltaMergeReproducesSingleNode is the delta-merge property test:
+// for every shipped policy, splitting a trace across K shard replicas
+// and merging their deltas into a fresh service reproduces the model a
+// single node learns from the whole trace — sufficient statistics
+// within float tolerance, identical exploit decisions, round and
+// counter totals exact, and (for Algorithm 1) the ε-decay schedule
+// float-exact.
+func TestDeltaMergeReproducesSingleNode(t *testing.T) {
+	for name, spec := range deltaMergeSpecs() {
+		t.Run(name, func(t *testing.T) { runDeltaMerge(t, name, spec, false) })
+	}
+}
+
+// TestDeltaMergeReproducesSingleNodeUnderChurn re-runs the merge
+// property with mid-trace arm churn — a cold add, a drain, and a retire
+// at fixed trace positions on every replica. The merged model must still
+// be indistinguishable from the single node's for every policy engine,
+// proving the retire-time baseline splicing and generation bookkeeping
+// keep shard deltas index-aligned through arm-set changes.
+func TestDeltaMergeReproducesSingleNodeUnderChurn(t *testing.T) {
+	for name, spec := range deltaMergeSpecs() {
+		t.Run(name, func(t *testing.T) { runDeltaMerge(t, name, spec, true) })
 	}
 }
 

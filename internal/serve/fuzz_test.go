@@ -2,7 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"testing"
+
+	"banditware/internal/core"
 )
 
 // FuzzAdaptSpec drives the adaptation-spec wire decoder and compiler
@@ -46,6 +49,84 @@ func FuzzAdaptSpec(f *testing.F) {
 		}
 		if again != out {
 			t.Fatalf("compileAdapt is not idempotent: %+v then %+v", out, again)
+		}
+	})
+}
+
+// FuzzArmLifecycleRequest drives the arm-addition wire decoder, its
+// resolve() validation, and the full AddArm path with arbitrary
+// documents. Invariants: nothing panics, every resolve rejection wraps
+// ErrBadArmRequest, and a resolved request either grows a live stream by
+// exactly one arm or is rejected with a service-vocabulary error —
+// arbitrary wire input can never leave a stream with a half-applied arm
+// set.
+func FuzzArmLifecycleRequest(f *testing.F) {
+	seeds := []string{
+		`{"hardware_spec":"H3=8x64"}`,
+		`{"hardware_spec":"H3=8x64x1","warm":"nearest","warm_weight":0.5}`,
+		`{"hardware":{"name":"H3","cpus":8,"memory_gb":64}}`,
+		`{"hardware":{"name":"H3","cpus":8,"memory_gb":64,"gpus":2},"trial":true}`,
+		`{"hardware_spec":"H3=8x64","warm":"pooled","trial":true}`,
+		`{"hardware_spec":"H3=8x64","warm":"cold"}`,
+		`{"hardware":{"name":"H3","cpus":8,"memory_gb":64},"hardware_spec":"H3=8x64"}`,
+		`{"warm":"pooled"}`,
+		`{"hardware_spec":"A=1x1;B=2x2"}`,
+		`{"hardware_spec":"H3=8x64","warm":"sideways"}`,
+		`{"hardware_spec":"H3=8x64","warm_weight":2}`,
+		`{"hardware_spec":"H3=8x64","warm_weight":-0.1}`,
+		`{"hardware_spec":"H0=2x16"}`,
+		`{"hardware":{"cpus":-3,"memory_gb":-1}}`,
+		`{"hardware":{"name":"H3","cpus":1e18,"memory_gb":0}}`,
+		`{"hardware_spec":""}`,
+		`{}`,
+		`null`,
+		`7`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req armAddRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		add, err := req.resolve()
+		if err != nil {
+			if !errors.Is(err, ErrBadArmRequest) {
+				t.Fatalf("resolve rejection outside the wire vocabulary: %v", err)
+			}
+			return
+		}
+		s := NewService(ServiceOptions{})
+		if err := s.CreateStream("s", StreamConfig{
+			Hardware: testHW(), Dim: 1, Options: core.Options{Seed: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		idx, err := s.AddArm("s", add)
+		if err != nil {
+			if !errors.Is(err, ErrBadArmRequest) && !errors.Is(err, ErrUnsupported) {
+				t.Fatalf("AddArm(%+v) rejection outside the service vocabulary: %v", add, err)
+			}
+			// Rejected adds leave the stream exactly as it was.
+			if arms, _ := s.Arms("s"); len(arms) != 3 {
+				t.Fatalf("rejected add left %d arms, want 3", len(arms))
+			}
+			return
+		}
+		arms, err := s.Arms("s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 3 || len(arms) != 4 {
+			t.Fatalf("accepted add: index %d over %d arms, want 3 over 4", idx, len(arms))
+		}
+		wantStatus := "active"
+		if add.Trial {
+			wantStatus = "trial"
+		}
+		if arms[idx].Status != wantStatus {
+			t.Fatalf("accepted add: status %q, want %q", arms[idx].Status, wantStatus)
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"banditware/internal/core"
@@ -31,6 +32,11 @@ import (
 //	POST   /v1/streams/{name}/shadows           attach a shadow policy
 //	DELETE /v1/streams/{name}/shadows/{shadow}  detach a shadow policy
 //	GET    /v1/streams/{name}/drift             drift-monitoring state
+//	GET    /v1/streams/{name}/arms              list arms with lifecycle status
+//	POST   /v1/streams/{name}/arms              add an arm (hardware + warm start)
+//	POST   /v1/streams/{name}/arms/{arm}/drain  drain an arm out of live serving
+//	POST   /v1/streams/{name}/arms/{arm}/promote promote a trial/draining arm
+//	DELETE /v1/streams/{name}/arms/{arm}        retire a drained/trial arm
 //
 // Observe routes accept either the scalar {"runtime": ...} form or a
 // structured {"outcome": {"runtime": ..., "success": ..., "metrics":
@@ -41,11 +47,12 @@ import (
 // response.
 //
 // All bodies are JSON. Errors are {"error": "..."} with conventional
-// status codes (404 unknown stream/ticket/shadow, 410 expired ticket,
-// 409 duplicate stream/shadow, 422 for a context rejected by the
-// stream's feature schema — with a per-field "fields" list — or a
-// malformed outcome (negative runtime, unknown metric), and 400 for
-// other bad input).
+// status codes (404 unknown stream/ticket/shadow/arm, 410 expired
+// ticket, 409 duplicate stream/shadow, 422 for a context rejected by
+// the stream's feature schema — with a per-field "fields" list — a
+// malformed outcome (negative runtime, unknown metric), an invalid arm
+// request, or a rejected arm lifecycle transition, and 400 for other
+// bad input).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -115,6 +122,26 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
+	mux.HandleFunc("GET /v1/streams/{name}/arms", func(w http.ResponseWriter, r *http.Request) {
+		arms, err := svc.Arms(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"stream": r.PathValue("name"), "arms": arms})
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/arms", func(w http.ResponseWriter, r *http.Request) {
+		handleAddArm(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/arms/{arm}/drain", func(w http.ResponseWriter, r *http.Request) {
+		handleArmLifecycle(svc, w, r, svc.DrainArm)
+	})
+	mux.HandleFunc("POST /v1/streams/{name}/arms/{arm}/promote", func(w http.ResponseWriter, r *http.Request) {
+		handleArmLifecycle(svc, w, r, svc.PromoteArm)
+	})
+	mux.HandleFunc("DELETE /v1/streams/{name}/arms/{arm}", func(w http.ResponseWriter, r *http.Request) {
+		handleArmLifecycle(svc, w, r, svc.RetireArm)
+	})
 	return mux
 }
 
@@ -148,6 +175,13 @@ func writeError(w http.ResponseWriter, err error) {
 		// A semantically invalid observation (negative runtime, unknown
 		// metric): the request parsed fine, so 422 like schema
 		// violations. The ticket, if any, was not redeemed.
+		code = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrArmNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrArmLifecycle), errors.Is(err, ErrBadArmRequest):
+		// The request parsed fine but is semantically invalid (bad warm
+		// mode, duplicate hardware name) or the arm's lifecycle state
+		// forbids the transition: 422 like other semantic rejections.
 		code = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
@@ -245,6 +279,9 @@ type createStreamRequest struct {
 	Adapt *AdaptSpec `json:"adapt,omitempty"`
 	// Shadows are shadow policies to attach at creation time.
 	Shadows []shadowDTO `json:"shadows,omitempty"`
+	// Cache optionally attaches a recommendation cache ({"capacity":
+	// ..., "budget": ..., "bits": ...}; zero fields take defaults).
+	Cache *CacheSpec `json:"cache,omitempty"`
 
 	// Algorithm 1 options; zero values select the paper's defaults.
 	// Ignored (except seed, which also feeds non-Algorithm 1 policies)
@@ -376,6 +413,7 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 		Adapt:      adaptSpec,
 		MaxPending: req.MaxPending,
 		TicketTTL:  time.Duration(req.TicketTTLSeconds * float64(time.Second)),
+		Cache:      req.Cache,
 	})
 	if err != nil {
 		writeError(w, err)
@@ -687,4 +725,95 @@ func flattenJoined(err error) []error {
 		out = append(out, flattenJoined(e)...)
 	}
 	return out
+}
+
+// armAddRequest is the wire form of one arm addition. Like stream
+// creation, the hardware comes as a structured object or the CLI string
+// form — exactly one of the two.
+type armAddRequest struct {
+	Hardware     *hardwareDTO `json:"hardware,omitempty"`
+	HardwareSpec string       `json:"hardware_spec,omitempty"`
+	// Warm selects the warm-start mode: "", "cold", "pooled", or
+	// "nearest"; WarmWeight scales the donor statistics, in (0, 1]
+	// (0 = default).
+	Warm       string  `json:"warm,omitempty"`
+	WarmWeight float64 `json:"warm_weight,omitempty"`
+	// Trial adds the arm in the trial state: learning but not serving
+	// until promoted.
+	Trial bool `json:"trial,omitempty"`
+}
+
+// resolve validates the request and maps it onto the service's ArmAdd.
+// Shared by the HTTP handler and the request fuzzer, so every path that
+// parses an arm request enforces the same rules.
+func (req armAddRequest) resolve() (ArmAdd, error) {
+	add := ArmAdd{Warm: req.Warm, WarmWeight: req.WarmWeight, Trial: req.Trial}
+	switch {
+	case req.Hardware != nil && req.HardwareSpec != "":
+		return ArmAdd{}, fmt.Errorf("%w: give hardware or hardware_spec, not both", ErrBadArmRequest)
+	case req.Hardware != nil:
+		add.Hardware = hardware.Config{
+			Name:     req.Hardware.Name,
+			CPUs:     req.Hardware.CPUs,
+			MemoryGB: req.Hardware.MemoryGB,
+			GPUs:     req.Hardware.GPUs,
+		}
+	case req.HardwareSpec != "":
+		set, err := hardware.ParseSet(req.HardwareSpec)
+		if err != nil {
+			return ArmAdd{}, fmt.Errorf("%w: %v", ErrBadArmRequest, err)
+		}
+		if len(set) != 1 {
+			return ArmAdd{}, fmt.Errorf("%w: hardware_spec must describe exactly one configuration, got %d", ErrBadArmRequest, len(set))
+		}
+		add.Hardware = set[0]
+	default:
+		return ArmAdd{}, fmt.Errorf("%w: hardware or hardware_spec is required", ErrBadArmRequest)
+	}
+	return add, nil
+}
+
+func handleAddArm(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req armAddRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	add, err := req.resolve()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	name := r.PathValue("name")
+	idx, err := svc.AddArm(name, add)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	arms, err := svc.Arms(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"stream": name, "arm": idx, "arms": arms})
+}
+
+// handleArmLifecycle runs one {name}/arms/{arm} transition (drain,
+// promote, retire) and responds with the post-transition arm listing.
+func handleArmLifecycle(svc *Service, w http.ResponseWriter, r *http.Request, op func(string, int) error) {
+	name := r.PathValue("name")
+	arm, err := strconv.Atoi(r.PathValue("arm"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "arm must be an integer index: " + r.PathValue("arm")})
+		return
+	}
+	if err := op(name, arm); err != nil {
+		writeError(w, err)
+		return
+	}
+	arms, err := svc.Arms(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream": name, "arms": arms})
 }

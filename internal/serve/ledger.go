@@ -119,6 +119,34 @@ func (l *ledger) restore(p *pendingTicket) {
 	l.byID[p.id] = l.fifo.PushBack(p)
 }
 
+// retireArm drops every pending ticket on the retired arm (its runtime
+// can no longer train anything — the estimator is gone) and shifts the
+// arm indices of every later-arm ticket and shadow selection down by
+// one, keeping the ledger aligned with the spliced arm set.
+func (l *ledger) retireArm(arm int) {
+	for e := l.fifo.Front(); e != nil; {
+		next := e.Next()
+		p := e.Value.(*pendingTicket)
+		if p.arm == arm {
+			l.remove(e)
+			l.evicted++
+			e = next
+			continue
+		}
+		if p.arm > arm {
+			p.arm--
+		}
+		for name, a := range p.shadowArms {
+			if a == arm {
+				delete(p.shadowArms, name)
+			} else if a > arm {
+				p.shadowArms[name] = a - 1
+			}
+		}
+		e = next
+	}
+}
+
 // snapshotPending returns the pending tickets oldest-first.
 func (l *ledger) snapshotPending() []*pendingTicket {
 	out := make([]*pendingTicket, 0, l.fifo.Len())

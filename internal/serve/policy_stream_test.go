@@ -475,7 +475,7 @@ func TestSnapshotReadsV1(t *testing.T) {
 	if err := s.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(buf.Bytes(), []byte(`"version": 6`)) {
+	if !bytes.Contains(buf.Bytes(), []byte(`"version": 7`)) {
 		t.Fatalf("re-save did not upgrade version:\n%.200s", buf.String())
 	}
 	if _, err := Load(bytes.NewReader(buf.Bytes()), ServiceOptions{}); err != nil {
@@ -483,10 +483,10 @@ func TestSnapshotReadsV1(t *testing.T) {
 	}
 }
 
-// TestSnapshotRejectsFutureVersion: version 7 is refused rather than
+// TestSnapshotRejectsFutureVersion: version 8 is refused rather than
 // misread.
 func TestSnapshotRejectsFutureVersion(t *testing.T) {
-	blob := []byte(`{"format":"banditware-service","version":7,"streams":[]}`)
+	blob := []byte(`{"format":"banditware-service","version":8,"streams":[]}`)
 	if _, err := Load(bytes.NewReader(blob), ServiceOptions{}); err == nil {
 		t.Fatal("future version accepted")
 	}

@@ -68,6 +68,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"banditware/internal/armset"
 	"banditware/internal/core"
 	"banditware/internal/drift"
 	"banditware/internal/hardware"
@@ -198,6 +199,10 @@ type StreamConfig struct {
 	MaxPending int
 	// TicketTTL overrides the service default ticket lifetime (0 = inherit).
 	TicketTTL time.Duration
+	// Cache optionally attaches a bounded recommendation cache serving
+	// repeated exploit decisions in O(1); nil disables caching (the
+	// pre-cache behaviour). See CacheSpec.
+	Cache *CacheSpec
 }
 
 // Ticket records one issued recommendation. The ID redeems it via
@@ -275,6 +280,13 @@ type StreamInfo struct {
 	// Shadows summarises the stream's shadow policies, in attachment
 	// order; absent when none are attached.
 	Shadows []ShadowInfo `json:"shadows,omitempty"`
+	// ArmStates is the per-arm lifecycle status ("active", "trial",
+	// "draining"), index-aligned with Hardware; absent while every arm
+	// is active (the steady state).
+	ArmStates []string `json:"arm_states,omitempty"`
+	// Cache is the stream's recommendation-cache state; absent when the
+	// stream has no cache.
+	Cache *CacheInfo `json:"cache,omitempty"`
 }
 
 // Stats summarises the whole service.
@@ -290,6 +302,12 @@ type Stats struct {
 	TotalFailures uint64  `json:"total_failures"`
 	// TotalDriftEvents sums the per-stream drift-detection counts.
 	TotalDriftEvents uint64 `json:"total_drift_events"`
+	// TotalCacheHits, TotalCacheMisses and TotalCacheFallthroughs sum
+	// the recommendation-cache counters across cache-enabled streams;
+	// absent while no stream caches.
+	TotalCacheHits         uint64 `json:"total_cache_hits,omitempty"`
+	TotalCacheMisses       uint64 `json:"total_cache_misses,omitempty"`
+	TotalCacheFallthroughs uint64 `json:"total_cache_fallthroughs,omitempty"`
 }
 
 // stream is one registered recommender: a decision engine plus its
@@ -332,6 +350,14 @@ type stream struct {
 	nextSeq  uint64
 	issued   uint64
 	observed uint64
+	// life tracks per-arm lifecycle status (active/trial/draining) for
+	// runtime arm-set elasticity; always sized to the engine's arm set.
+	// cache, when non-nil, serves repeated exploit decisions without
+	// consulting the policy; cacheSpec is its canonical configuration
+	// (persisted in snapshots).
+	life      *armset.Lifecycle
+	cache     *armset.Cache
+	cacheSpec *CacheSpec
 	// rewardTotal sums the scalar rewards fed to the engine;
 	// runtimeTotal the measured runtimes; failures counts outcomes
 	// explicitly marked unsuccessful.
@@ -435,7 +461,7 @@ func (s *Service) CreateStream(name string, cfg StreamConfig) error {
 	if err != nil {
 		return err
 	}
-	return s.adopt(name, eng, sch, rw, adapt, cfg.MaxPending, cfg.TicketTTL)
+	return s.adopt(name, eng, sch, rw, adapt, cfg.MaxPending, cfg.TicketTTL, cfg.Cache)
 }
 
 // AdoptBandit registers an already-constructed Algorithm 1 bandit as a
@@ -443,7 +469,7 @@ func (s *Service) CreateStream(name string, cfg StreamConfig) error {
 // from legacy snapshot restore. The caller must not use the bandit
 // directly afterwards.
 func (s *Service) AdoptBandit(name string, b *core.Bandit, maxPending int, ttl time.Duration) error {
-	return s.adopt(name, banditEngine{b}, nil, defaultReward(), defaultAdapt(), maxPending, ttl)
+	return s.adopt(name, banditEngine{b}, nil, defaultReward(), defaultAdapt(), maxPending, ttl, nil)
 }
 
 // defaultAdapt is the canonical default adaptation every pre-adaptation
@@ -459,8 +485,9 @@ func defaultAdapt() AdaptSpec {
 // adopt registers an engine as a stream. sch is the stream's declared
 // feature schema (already cloned and validated, its encoded dimension
 // equal to the engine's); nil selects the identity schema. rw is the
-// stream's compiled reward and adapt its canonical adaptation spec.
-func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardState, adapt AdaptSpec, maxPending int, ttl time.Duration) error {
+// stream's compiled reward, adapt its canonical adaptation spec, and
+// cacheSpec its optional recommendation-cache configuration.
+func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardState, adapt AdaptSpec, maxPending int, ttl time.Duration, cacheSpec *CacheSpec) error {
 	if !ValidStreamName(name) {
 		return fmt.Errorf("%w: %q", ErrBadStreamName, name)
 	}
@@ -480,6 +507,15 @@ func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardSt
 		adapt:     adapt,
 		detectors: newDetectors(adapt, len(eng.Hardware())),
 		ledger:    newLedger(maxPending, ttl),
+		life:      armset.NewLifecycle(len(eng.Hardware())),
+	}
+	if cacheSpec != nil {
+		c, canonical, err := cacheSpec.compile()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadArmRequest, err)
+		}
+		st.cache = c
+		st.cacheSpec = &canonical
 	}
 	st.armLabels = make([]string, len(eng.Hardware()))
 	for i, hw := range eng.Hardware() {
@@ -585,10 +621,46 @@ func ParseTicketID(id string) (stream string, seq uint64, err error) {
 // untracked decisions (the classic arm+features Observe flow) consume
 // exploration randomness identically but leave no ledger state and no
 // shadow selections. Callers hold st.mu.
+//
+// When the stream has a recommendation cache, a fingerprint hit replays
+// the cached arm without consulting the policy (or the shadows — a
+// cached decision is a replay, not a fresh selection); the cache's
+// exploration budget routes a configured fraction of would-be hits back
+// through the policy so learning never starves.
 func (st *stream) recommendLocked(now time.Time, x []float64, track bool) (Ticket, error) {
+	var fp uint64
+	if st.cache != nil {
+		fp = st.cache.Fingerprint(x)
+		if arm, ok := st.cache.Lookup(fp); ok && arm < len(st.armLabels) {
+			t := Ticket{
+				Stream:   st.name,
+				Arm:      arm,
+				Hardware: st.armLabels[arm],
+				Epsilon:  st.engine.Epsilon(),
+				IssuedAt: now,
+			}
+			if track {
+				seq := st.nextSeq
+				st.nextSeq++
+				t.ID = ticketID(st.name, seq)
+				st.ledger.add(&pendingTicket{
+					id:       t.ID,
+					seq:      seq,
+					arm:      arm,
+					features: append([]float64(nil), x...),
+					issuedAt: now,
+				}, now)
+				st.issued++
+			}
+			return t, nil
+		}
+	}
 	d, err := st.engine.Recommend(x)
 	if err != nil {
 		return Ticket{}, err
+	}
+	if !st.life.AllActive() && !st.life.Servable(d.Arm) {
+		d = st.rerouteLocked(d, x)
 	}
 	t := Ticket{
 		Stream:    st.name,
@@ -612,6 +684,9 @@ func (st *stream) recommendLocked(now time.Time, x []float64, track bool) (Ticke
 			shadowArms: st.shadowRecommendLocked(x),
 		}, now)
 		st.issued++
+	}
+	if st.cache != nil && !d.Explored {
+		st.cache.Store(fp, d.Arm)
 	}
 	return t, nil
 }
@@ -664,7 +739,14 @@ func (s *Service) RecommendUntracked(name string, x []float64) (core.Decision, e
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.engine.Recommend(x)
+	d, err := st.engine.Recommend(x)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	if !st.life.AllActive() && !st.life.Servable(d.Arm) {
+		d = st.rerouteLocked(d, x)
+	}
+	return d, nil
 }
 
 // RecommendBatch issues one ticket per feature vector, atomically: the
@@ -982,7 +1064,15 @@ func (s *Service) Exploit(name string, x []float64) (int, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.engine.Exploit(x)
+	arm, err := st.engine.Exploit(x)
+	if err != nil {
+		return 0, err
+	}
+	if !st.life.AllActive() && !st.life.Servable(arm) {
+		d := st.rerouteLocked(core.Decision{Arm: arm}, x)
+		arm = d.Arm
+	}
+	return arm, nil
 }
 
 // PredictAll returns the per-arm runtime estimates for x on the named
@@ -1127,6 +1217,8 @@ func (st *stream) infoLocked() StreamInfo {
 		DriftEvents:  st.driftEventsLocked(),
 		DriftByArm:   st.driftByArmLocked(),
 		Shadows:      st.shadowsInfoLocked(),
+		ArmStates:    st.armStatesLocked(),
+		Cache:        st.cacheInfoLocked(),
 	}
 }
 
@@ -1158,6 +1250,11 @@ func (s *Service) Stats() Stats {
 		out.TotalRuntime += info.RuntimeTotal
 		out.TotalFailures += info.Failures
 		out.TotalDriftEvents += info.DriftEvents
+		if info.Cache != nil {
+			out.TotalCacheHits += info.Cache.Hits
+			out.TotalCacheMisses += info.Cache.Misses
+			out.TotalCacheFallthroughs += info.Cache.Fallthroughs
+		}
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"banditware/internal/armset"
 	"banditware/internal/core"
 	"banditware/internal/drift"
 	"banditware/internal/schema"
@@ -57,12 +58,21 @@ import (
 //     consumes them); the dist block is omitted until a stream has
 //     merged foreign state — so a single-node v5 stream body re-saves
 //     byte-identically to its v5 form.
+//   - Version 7 adds arm-set elasticity and the recommendation cache:
+//     an optional per-stream "arms" block persisting the per-arm
+//     lifecycle statuses (omitted while every arm is active) and the
+//     delta-sync arm generations (omitted while no arm was ever
+//     reset), and an optional "cache" block persisting the stream's
+//     recommendation-cache spec and its hit/miss/fallthrough counters
+//     (omitted for streams without a cache). Both blocks are omitted
+//     in the steady state, so a static v6 stream body re-saves
+//     byte-identically to its v6 form.
 //
-// Load reads versions 1–6 plus the pre-envelope legacy
+// Load reads versions 1–7 plus the pre-envelope legacy
 // single-recommender format; Save always writes the current version.
 const (
 	snapshotFormat  = "banditware-service"
-	snapshotVersion = 6
+	snapshotVersion = 7
 )
 
 type pendingSnap struct {
@@ -120,7 +130,13 @@ type streamSnap struct {
 	Drift json.RawMessage `json:"drift,omitempty"`
 	// Dist is the stream's accumulated foreign (fleet-replicated) state
 	// (version 6+); omitted until the stream has merged peer deltas.
-	Dist       *distSnap     `json:"dist,omitempty"`
+	Dist *distSnap `json:"dist,omitempty"`
+	// Arms is the stream's arm lifecycle state and Cache its
+	// recommendation-cache spec and counters (version 7+); both are
+	// omitted in the steady state (all arms active, no generation
+	// bumps, no cache).
+	Arms       *armsetSnap   `json:"arms,omitempty"`
+	Cache      *cacheSnap    `json:"cache,omitempty"`
 	Shadows    []shadowSnap  `json:"shadows,omitempty"`
 	MaxPending int           `json:"max_pending"`
 	TicketTTL  time.Duration `json:"ticket_ttl_ns"`
@@ -138,6 +154,25 @@ type streamSnap struct {
 type driftSnap struct {
 	Arms   []*drift.PageHinkley `json:"arms"`
 	Resets uint64               `json:"resets,omitempty"`
+}
+
+// armsetSnap is the version-7 wire form of a stream's arm lifecycle
+// state: per-arm statuses (in arm order; omitted while all active) and
+// the delta-sync arm generations (omitted while all zero).
+type armsetSnap struct {
+	Statuses []string `json:"statuses,omitempty"`
+	Gens     []uint64 `json:"gens,omitempty"`
+}
+
+// cacheSnap is the version-7 wire form of a stream's recommendation
+// cache: its canonical spec plus the lifetime counters. Cached entries
+// themselves are not persisted — a restored replica re-fills its cache
+// from live traffic.
+type cacheSnap struct {
+	Spec         CacheSpec `json:"spec"`
+	Hits         uint64    `json:"hits,omitempty"`
+	Misses       uint64    `json:"misses,omitempty"`
+	Fallthroughs uint64    `json:"fallthroughs,omitempty"`
 }
 
 type serviceSnap struct {
@@ -237,6 +272,8 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 		Adapt:        adaptSpec,
 		Drift:        driftRaw,
 		Dist:         st.distSnapLocked(),
+		Arms:         st.armsetSnapLocked(),
+		Cache:        st.cacheSnapLocked(),
 		MaxPending:   st.ledger.cap,
 		TicketTTL:    st.ledger.ttl,
 		NextSeq:      st.nextSeq,
@@ -285,6 +322,69 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 	return ss, nil
 }
 
+// armsetSnapLocked returns the stream's persisted arm lifecycle state,
+// or nil in the steady state (every arm active, every generation zero)
+// so pre-churn stream bodies stay byte-stable across versions.
+func (st *stream) armsetSnapLocked() *armsetSnap {
+	var as armsetSnap
+	as.Statuses = st.armStatesLocked()
+	for _, g := range st.armGen {
+		if g != 0 {
+			as.Gens = append([]uint64(nil), st.armGen...)
+			break
+		}
+	}
+	if as.Statuses == nil && as.Gens == nil {
+		return nil
+	}
+	return &as
+}
+
+// restoreArmsetLocked rebuilds a stream's arm lifecycle state from its
+// persisted form, validating both blocks against the restored engine's
+// arm count.
+func (st *stream) restoreArmsetLocked(as *armsetSnap) error {
+	arms := len(st.engine.Hardware())
+	if len(as.Statuses) > 0 {
+		if len(as.Statuses) != arms {
+			return fmt.Errorf("%d statuses for %d arms", len(as.Statuses), arms)
+		}
+		statuses := make([]armset.Status, arms)
+		active := 0
+		for i, s := range as.Statuses {
+			parsed, err := armset.ParseStatus(s)
+			if err != nil {
+				return fmt.Errorf("arm %d: %w", i, err)
+			}
+			statuses[i] = parsed
+			if parsed == armset.Active {
+				active++
+			}
+		}
+		if active == 0 {
+			return fmt.Errorf("no active arm")
+		}
+		st.life.Restore(statuses)
+	}
+	if len(as.Gens) > 0 {
+		if len(as.Gens) != arms {
+			return fmt.Errorf("%d arm generations for %d arms", len(as.Gens), arms)
+		}
+		st.armGen = append([]uint64(nil), as.Gens...)
+	}
+	return nil
+}
+
+// cacheSnapLocked returns the stream's persisted cache state, or nil
+// for streams without a cache.
+func (st *stream) cacheSnapLocked() *cacheSnap {
+	if st.cache == nil || st.cacheSpec == nil {
+		return nil
+	}
+	h, m, f := st.cache.Counters()
+	return &cacheSnap{Spec: *st.cacheSpec, Hits: h, Misses: m, Fallthroughs: f}
+}
+
 // SaveStream serialises one stream's engine in its native state format —
 // for Algorithm 1 streams, the legacy single-recommender format
 // (core.SaveState), loadable by both the single-recommender loader and
@@ -301,8 +401,9 @@ func (s *Service) SaveStream(name string, w io.Writer) error {
 }
 
 // Load restores a service from a snapshot written by Save: the current
-// version-5 envelope, the earlier envelope versions (4: rewards, 3:
-// schemas, 2: policy-typed streams, 1: pre-policy), or — for backward
+// version-7 envelope, the earlier envelope versions (6: fleet
+// replication, 5: adaptation, 4: rewards, 3: schemas, 2: policy-typed
+// streams, 1: pre-policy), or — for backward
 // compatibility — the legacy single-recommender state format
 // (core.SaveState / Recommender.Save), which is restored as a single
 // Algorithm 1 stream named "default".
@@ -378,12 +479,25 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 				return nil, fmt.Errorf("serve: restoring adaptation of stream %q: %w", ss.Name, err)
 			}
 		}
-		if err := s.adopt(ss.Name, eng, sch, rw, adapt, ss.MaxPending, ss.TicketTTL); err != nil {
+		var cacheSpec *CacheSpec
+		if ss.Cache != nil {
+			spec := ss.Cache.Spec
+			cacheSpec = &spec
+		}
+		if err := s.adopt(ss.Name, eng, sch, rw, adapt, ss.MaxPending, ss.TicketTTL, cacheSpec); err != nil {
 			return nil, err
 		}
 		st, err := s.stream(ss.Name)
 		if err != nil {
 			return nil, err
+		}
+		if ss.Cache != nil {
+			st.cache.SetCounters(ss.Cache.Hits, ss.Cache.Misses, ss.Cache.Fallthroughs)
+		}
+		if ss.Arms != nil {
+			if err := st.restoreArmsetLocked(ss.Arms); err != nil {
+				return nil, fmt.Errorf("serve: restoring arm state of stream %q: %w", ss.Name, err)
+			}
 		}
 		if ss.Drift != nil {
 			var ds driftSnap

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"banditware/internal/core"
+	"banditware/internal/hardware"
 	"banditware/internal/schema"
 )
 
@@ -172,19 +173,29 @@ func TestRegenerateSnapshotGoldens(t *testing.T) {
 	// v5/v4/v3 share the mixed service before any fleet merge; the
 	// older envelopes are the byte-stable downgrades the version tests
 	// pin. v6 is the same service after absorbing a peer's delta (the
-	// dist blocks appear), and v6-delta.json is that delta envelope
-	// itself.
+	// dist blocks appear; the v6 body is the v7 save re-versioned,
+	// which the byte-stable upgrade promise makes exact for static arm
+	// sets), and v6-delta.json is that delta envelope itself (the delta
+	// wire format is unchanged in v7). v7.json and v7-churn.json pin
+	// the current writer: a cache-enabled service, and one that churned
+	// its arm set mid-traffic.
 	mixed, _ := buildMixedService(t, goldenClock())
 	var single bytes.Buffer
 	if err := mixed.Save(&single); err != nil {
 		t.Fatal(err)
 	}
-	write("v5.json", reversion(t, single.Bytes(), 6, 5))
-	write("v4.json", stripDriftBlocks(t, reversion(t, single.Bytes(), 6, 4)))
-	write("v3.json", stripRewardFields(stripDriftBlocks(t, reversion(t, single.Bytes(), 6, 3))))
+	write("v5.json", reversion(t, single.Bytes(), 7, 5))
+	write("v4.json", stripDriftBlocks(t, reversion(t, single.Bytes(), 7, 4)))
+	write("v3.json", stripRewardFields(stripDriftBlocks(t, reversion(t, single.Bytes(), 7, 3))))
 
 	delta := buildGoldenDelta(t)
-	write("v6-delta.json", delta)
+	// Delta envelopes are compact JSON, so the version marker has no
+	// space (reversion expects the indented form).
+	v6delta := bytes.Replace(delta, []byte(`"version":7`), []byte(`"version":6`), 1)
+	if bytes.Equal(v6delta, delta) {
+		t.Fatal("delta version marker not found")
+	}
+	write("v6-delta.json", v6delta)
 	if _, err := mixed.ApplyDelta(bytes.NewReader(delta)); err != nil {
 		t.Fatal(err)
 	}
@@ -192,15 +203,76 @@ func TestRegenerateSnapshotGoldens(t *testing.T) {
 	if err := mixed.Save(&v6); err != nil {
 		t.Fatal(err)
 	}
-	write("v6.json", v6.Bytes())
+	write("v6.json", reversion(t, v6.Bytes(), 7, 6))
 
 	var v2cur bytes.Buffer
 	if err := buildGoldenV2Service(t, goldenClock()).Save(&v2cur); err != nil {
 		t.Fatal(err)
 	}
-	write("v2.json", stripRewardFields(stripDriftBlocks(t, reversion(t, v2cur.Bytes(), 6, 2))))
+	write("v2.json", stripRewardFields(stripDriftBlocks(t, reversion(t, v2cur.Bytes(), 7, 2))))
 
 	write("v1.json", buildGoldenV1Envelope(t))
+
+	var v7 bytes.Buffer
+	if err := buildGoldenV7Service(t, goldenClock(), false).Save(&v7); err != nil {
+		t.Fatal(err)
+	}
+	write("v7.json", v7.Bytes())
+	var churn bytes.Buffer
+	if err := buildGoldenV7Service(t, goldenClock(), true).Save(&churn); err != nil {
+		t.Fatal(err)
+	}
+	write("v7-churn.json", churn.Bytes())
+}
+
+// buildGoldenV7Service mirrors the PR 9 additions: a cache-enabled
+// stream, and — with churn — a mid-traffic arm add (warm-started),
+// drain, and trial add, so the v7 "arms" and "cache" blocks are
+// exercised with non-steady state.
+func buildGoldenV7Service(t *testing.T, clock *fakeClock, churn bool) *Service {
+	t.Helper()
+	s := NewService(ServiceOptions{Now: clock.now, TicketTTL: time.Hour})
+	if err := s.CreateStream("cached", StreamConfig{
+		Hardware: testHW(), Dim: 1,
+		Options: core.Options{Seed: 11, ZeroEpsilon: true},
+		Cache:   &CacheSpec{Capacity: 64, Budget: 0.25, Bits: 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	serve := func(rounds int) {
+		t.Helper()
+		for i := 0; i < rounds; i++ {
+			tk, err := s.Recommend("cached", []float64{float64(i%6 + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Observe(tk.ID, float64(20+i%9*4+tk.Arm*7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serve(40)
+	if !churn {
+		return s
+	}
+	if _, err := s.AddArm("cached", ArmAdd{
+		Hardware: hardware.Config{Name: "fresh", CPUs: 16, MemoryGB: 64},
+		Warm:     "pooled",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DrainArm("cached", 0); err != nil {
+		t.Fatal(err)
+	}
+	serve(20)
+	if _, err := s.AddArm("cached", ArmAdd{
+		Hardware: hardware.Config{Name: "probe", CPUs: 4, MemoryGB: 16, GPUs: 1},
+		Warm:     "nearest", Trial: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	serve(10)
+	return s
 }
 
 func readGolden(t *testing.T, name string) []byte {
@@ -214,11 +286,12 @@ func readGolden(t *testing.T, name string) []byte {
 
 // TestSnapshotGoldenFixtures loads every checked-in envelope version
 // into the current service and pins per-version facts plus the upgrade
-// promises: v6 round-trips byte-for-byte (dist blocks included); the
-// delta fixture is rejected by Load, applied by ApplyDelta, and
-// reproduces the v6 fixture from the v5 one; v2–v5 re-save as a v6
-// that differs from the fixture only in its version marker; v1
-// upgrades with models, counters, and pending tickets intact.
+// promises: v7 and v7-churn round-trip byte-for-byte (arms/cache
+// blocks included); the delta fixture is rejected by Load, applied by
+// ApplyDelta, and reproduces the v6 fixture from the v5 one; v2–v6
+// re-save as a v7 that differs from the fixture only in its version
+// marker; v1 upgrades with models, counters, and pending tickets
+// intact.
 func TestSnapshotGoldenFixtures(t *testing.T) {
 	load := func(t *testing.T, name string) *Service {
 		t.Helper()
@@ -240,8 +313,8 @@ func TestSnapshotGoldenFixtures(t *testing.T) {
 	t.Run("v6", func(t *testing.T) {
 		fixture := readGolden(t, "v6.json")
 		s := load(t, "v6.json")
-		if !bytes.Equal(resave(t, s), fixture) {
-			t.Fatal("v6 fixture does not round-trip byte-for-byte")
+		if !bytes.Equal(resave(t, s), reversion(t, fixture, 6, 7)) {
+			t.Fatal("v6 → v7 upgrade is not byte-stable modulo the version marker")
 		}
 		info, err := s.StreamInfo("typed")
 		if err != nil {
@@ -277,7 +350,7 @@ func TestSnapshotGoldenFixtures(t *testing.T) {
 		if stats.Streams != 2 || stats.Arms == 0 || stats.Rounds == 0 || len(stats.SkippedUnknown) != 0 {
 			t.Fatalf("delta fixture stats = %+v", stats)
 		}
-		if !bytes.Equal(resave(t, s), readGolden(t, "v6.json")) {
+		if !bytes.Equal(resave(t, s), reversion(t, readGolden(t, "v6.json"), 6, 7)) {
 			t.Fatal("v5 fixture + delta fixture does not reproduce the v6 fixture")
 		}
 	})
@@ -289,8 +362,8 @@ func TestSnapshotGoldenFixtures(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			fixture := readGolden(t, tc.name)
 			s := load(t, tc.name)
-			if got, want := resave(t, s), reversion(t, fixture, tc.version, 6); !bytes.Equal(got, want) {
-				t.Fatalf("%s → v6 upgrade is not byte-stable modulo the version marker", tc.name)
+			if got, want := resave(t, s), reversion(t, fixture, tc.version, 7); !bytes.Equal(got, want) {
+				t.Fatalf("%s → v7 upgrade is not byte-stable modulo the version marker", tc.name)
 			}
 			name := "typed"
 			if tc.version == 2 {
@@ -329,8 +402,64 @@ func TestSnapshotGoldenFixtures(t *testing.T) {
 		if err := s.Observe("legacy-v1#28", 42); err != nil {
 			t.Fatalf("v1 pending ticket lost: %v", err)
 		}
-		if !bytes.Contains(resave(t, s), []byte(`"version": 6`)) {
-			t.Fatal("v1 re-save is not a v6 envelope")
+		if !bytes.Contains(resave(t, s), []byte(`"version": 7`)) {
+			t.Fatal("v1 re-save is not a v7 envelope")
+		}
+	})
+
+	t.Run("v7.json", func(t *testing.T) {
+		fixture := readGolden(t, "v7.json")
+		s := load(t, "v7.json")
+		if !bytes.Equal(resave(t, s), fixture) {
+			t.Fatal("v7 fixture does not round-trip byte-for-byte")
+		}
+		if !bytes.Contains(fixture, []byte(`"cache"`)) {
+			t.Fatal("v7 fixture lost its cache block")
+		}
+		info, err := s.StreamInfo("cached")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Cache == nil || info.Cache.Hits == 0 {
+			t.Fatalf("v7 restore lost cache counters: %+v", info.Cache)
+		}
+		if info.ArmStates != nil {
+			t.Fatalf("static v7 fixture restored arm states %v", info.ArmStates)
+		}
+	})
+
+	t.Run("v7-churn.json", func(t *testing.T) {
+		fixture := readGolden(t, "v7-churn.json")
+		s := load(t, "v7-churn.json")
+		if !bytes.Equal(resave(t, s), fixture) {
+			t.Fatal("v7-churn fixture does not round-trip byte-for-byte")
+		}
+		if !bytes.Contains(fixture, []byte(`"arms"`)) {
+			t.Fatal("v7-churn fixture lost its arms block")
+		}
+		info, err := s.StreamInfo("cached")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"draining", "active", "active", "active", "trial"}
+		if len(info.ArmStates) != len(want) {
+			t.Fatalf("v7-churn restore arm states = %v, want %v", info.ArmStates, want)
+		}
+		for i, st := range want {
+			if info.ArmStates[i] != st {
+				t.Fatalf("v7-churn restore arm states = %v, want %v", info.ArmStates, want)
+			}
+		}
+		// The restored stream keeps serving under its lifecycle: the
+		// draining arm 0 and trial arm 4 never take live traffic.
+		for i := 0; i < 30; i++ {
+			tk, err := s.Recommend("cached", []float64{float64(i%6 + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tk.Arm == 0 || tk.Arm == 4 {
+				t.Fatalf("non-servable arm %d issued on restored stream", tk.Arm)
+			}
 		}
 	})
 }

@@ -1,14 +1,15 @@
 package serve
 
 // Cross-version snapshot coverage: every format the loader claims to
-// read (legacy, v1, v2, v3, v4, v5, v6) loads into the current service,
-// re-saves as v6, and — for the current format — round-trips
+// read (legacy, v1, v2, v3, v4, v5, v6, v7) loads into the current
+// service, re-saves as v7, and — for the current format — round-trips
 // byte-for-byte, with and without declared schemas, rewards, live
 // normalization state, and drift-detector state. TestSnapshotReadsV1
-// (v1 → v6) and TestLoadLegacySingleRecommenderState (legacy → v6)
-// cover the older two writers; TestSnapshotReadsV3, TestSnapshotReadsV4
-// and TestSnapshotReadsV5 pin the byte-stable upgrades for
-// default-reward / default-adaptation / single-node streams.
+// (v1 → v7) and TestLoadLegacySingleRecommenderState (legacy → v7)
+// cover the older two writers; TestSnapshotReadsV3, TestSnapshotReadsV4,
+// TestSnapshotReadsV5 and TestSnapshotReadsV6 pin the byte-stable
+// upgrades for default-reward / default-adaptation / single-node /
+// static-arm-set streams.
 
 import (
 	"bytes"
@@ -68,11 +69,11 @@ func buildMixedService(t *testing.T, clock *fakeClock) (*Service, []Ticket) {
 	return s, pendings
 }
 
-// TestSnapshotV6ByteForByte: the current envelope — schemas, live
+// TestSnapshotV7ByteForByte: the current envelope — schemas, live
 // normalization statistics, outcome aggregates, drift-detector state,
 // shadows, pending tickets — survives a load/save cycle byte-for-byte,
 // and the restored service still serves.
-func TestSnapshotV6ByteForByte(t *testing.T) {
+func TestSnapshotV7ByteForByte(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(9500, 0)}
 	s, pendings := buildMixedService(t, clock)
 
@@ -80,14 +81,14 @@ func TestSnapshotV6ByteForByte(t *testing.T) {
 	if err := s.Save(&first); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(first.Bytes(), []byte(`"version": 6`)) {
-		t.Fatalf("save is not version 6:\n%.120s", first.String())
+	if !bytes.Contains(first.Bytes(), []byte(`"version": 7`)) {
+		t.Fatalf("save is not version 7:\n%.120s", first.String())
 	}
 	if !bytes.Contains(first.Bytes(), []byte(`"schema"`)) {
-		t.Fatal("v6 envelope is missing the schema field")
+		t.Fatal("v7 envelope is missing the schema field")
 	}
 	if !bytes.Contains(first.Bytes(), []byte(`"drift"`)) {
-		t.Fatal("v6 envelope is missing the drift block (detectors saw traffic)")
+		t.Fatal("v7 envelope is missing the drift block (detectors saw traffic)")
 	}
 	if bytes.Contains(first.Bytes(), []byte(`"dist"`)) {
 		t.Fatal("single-node envelope grew a dist block (no deltas were merged)")
@@ -101,7 +102,7 @@ func TestSnapshotV6ByteForByte(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
-		t.Fatal("v6 snapshot not byte-for-byte stable across load/save")
+		t.Fatal("v7 snapshot not byte-for-byte stable across load/save")
 	}
 	// Restored pending tickets (on both the schema and the raw stream)
 	// still redeem.
@@ -159,7 +160,7 @@ func TestSnapshotReadsV2(t *testing.T) {
 	// What the PR 2 writer would have produced: the same schemaless
 	// stream bodies under "version": 2, without the v4 reward fields or
 	// the v5 drift blocks.
-	v2 := stripRewardFields(stripDriftBlocks(t, reversion(t, current.Bytes(), 6, 2)))
+	v2 := stripRewardFields(stripDriftBlocks(t, reversion(t, current.Bytes(), 7, 2)))
 	back, err := Load(bytes.NewReader(v2), ServiceOptions{Now: clock.now})
 	if err != nil {
 		t.Fatalf("loading v2 envelope: %v", err)
@@ -178,15 +179,15 @@ func TestSnapshotReadsV2(t *testing.T) {
 		t.Fatalf("v2 restore policy = %q", p)
 	}
 	// The v2 pending ticket still redeems, and re-saving upgrades the
-	// envelope to a v6 that differs from the v2 file only in its
+	// envelope to a v7 that differs from the v2 file only in its
 	// version number (the reward aggregates and drift detectors restart
 	// pristine, which the writer omits).
 	var resaved bytes.Buffer
 	if err := back.Save(&resaved); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(resaved.Bytes(), reversion(t, v2, 2, 6)) {
-		t.Fatal("v2 → v6 upgrade is not byte-identical modulo the version number")
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v2, 2, 7)) {
+		t.Fatal("v2 → v7 upgrade is not byte-identical modulo the version number")
 	}
 	if err := back.Observe(pending.ID, 44); err != nil {
 		t.Fatalf("v2 pending ticket: %v", err)
@@ -229,7 +230,7 @@ func stripRewardFields(b []byte) []byte {
 // TestSnapshotReadsV3: a version-3 envelope (PR 3 format: schemas, no
 // reward fields) loads into the current service — default runtime
 // reward, zero aggregates, pristine detectors — and upgrades on
-// re-save to a v6 that differs from the v3 file only in its version
+// re-save to a v7 that differs from the v3 file only in its version
 // number: the promised byte-stable upgrade for default-reward streams.
 func TestSnapshotReadsV3(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(9650, 0)}
@@ -239,7 +240,7 @@ func TestSnapshotReadsV3(t *testing.T) {
 		t.Fatal(err)
 	}
 	// What the PR 3 writer would have produced for the same service.
-	v3 := stripRewardFields(stripDriftBlocks(t, reversion(t, current.Bytes(), 6, 3)))
+	v3 := stripRewardFields(stripDriftBlocks(t, reversion(t, current.Bytes(), 7, 3)))
 	back, err := Load(bytes.NewReader(v3), ServiceOptions{Now: clock.now})
 	if err != nil {
 		t.Fatalf("loading v3 envelope: %v", err)
@@ -258,8 +259,8 @@ func TestSnapshotReadsV3(t *testing.T) {
 	if err := back.Save(&resaved); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(resaved.Bytes(), reversion(t, v3, 3, 6)) {
-		t.Fatal("v3 → v6 upgrade is not byte-stable for default-reward streams")
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v3, 3, 7)) {
+		t.Fatal("v3 → v7 upgrade is not byte-stable for default-reward streams")
 	}
 	// The restored service keeps serving: pending v3 tickets redeem and
 	// the reward aggregates resume from zero.
@@ -343,7 +344,7 @@ func stripDriftBlocks(t *testing.T, b []byte) []byte {
 
 // TestSnapshotReadsV4: a version-4 envelope (PR 4 format: rewards, no
 // adapt/drift fields) loads into the current service — default
-// adaptation, pristine detectors — and upgrades on re-save to a v6
+// adaptation, pristine detectors — and upgrades on re-save to a v7
 // that differs from the v4 file only in its version number: the
 // promised byte-stable upgrade for default-adaptation streams.
 func TestSnapshotReadsV4(t *testing.T) {
@@ -354,7 +355,7 @@ func TestSnapshotReadsV4(t *testing.T) {
 		t.Fatal(err)
 	}
 	// What the PR 4 writer would have produced for the same service.
-	v4 := stripDriftBlocks(t, reversion(t, current.Bytes(), 6, 4))
+	v4 := stripDriftBlocks(t, reversion(t, current.Bytes(), 7, 4))
 	back, err := Load(bytes.NewReader(v4), ServiceOptions{Now: clock.now})
 	if err != nil {
 		t.Fatalf("loading v4 envelope: %v", err)
@@ -382,8 +383,8 @@ func TestSnapshotReadsV4(t *testing.T) {
 	if err := back.Save(&resaved); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(resaved.Bytes(), reversion(t, v4, 4, 6)) {
-		t.Fatal("v4 → v6 upgrade is not byte-stable for default-adaptation streams")
+	if !bytes.Equal(resaved.Bytes(), reversion(t, v4, 4, 7)) {
+		t.Fatal("v4 → v7 upgrade is not byte-stable for default-adaptation streams")
 	}
 	// The restored service keeps serving: pending v4 tickets redeem and
 	// the detectors resume monitoring from zero.
@@ -402,9 +403,9 @@ func TestSnapshotReadsV4(t *testing.T) {
 	}
 }
 
-// TestSnapshotReadsV5: the v5 writer differed from v6 only in the
+// TestSnapshotReadsV5: the v5 writer differed from v6/v7 only in the
 // version marker for streams that never merged fleet deltas (the dist
-// block is omitted until ApplyDelta runs), so the v5 → v6 upgrade is
+// block is omitted until ApplyDelta runs), so the v5 → v7 upgrade is
 // byte-stable for every single-node snapshot.
 func TestSnapshotReadsV5(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(9850, 0)}
@@ -414,7 +415,7 @@ func TestSnapshotReadsV5(t *testing.T) {
 		t.Fatal(err)
 	}
 	// What the PR 5 writer would have produced for the same service.
-	v5 := reversion(t, current.Bytes(), 6, 5)
+	v5 := reversion(t, current.Bytes(), 7, 5)
 	back, err := Load(bytes.NewReader(v5), ServiceOptions{Now: clock.now})
 	if err != nil {
 		t.Fatalf("loading v5 envelope: %v", err)
@@ -424,7 +425,38 @@ func TestSnapshotReadsV5(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(resaved.Bytes(), current.Bytes()) {
-		t.Fatal("v5 → v6 upgrade is not byte-stable for single-node streams")
+		t.Fatal("v5 → v7 upgrade is not byte-stable for single-node streams")
+	}
+}
+
+// TestSnapshotReadsV6: the v6 writer differed from v7 only in the
+// version marker for streams with a static arm set and no cache (the
+// "arms" and "cache" blocks are omitted in the steady state), so the
+// v6 → v7 upgrade is byte-stable for every pre-elasticity snapshot.
+func TestSnapshotReadsV6(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9875, 0)}
+	s, _ := buildMixedService(t, clock)
+	var current bytes.Buffer
+	if err := s.Save(&current); err != nil {
+		t.Fatal(err)
+	}
+	// "statuses" marks the v7 arms block ("arms" itself also appears
+	// inside drift/dist blocks, so it can't discriminate).
+	if bytes.Contains(current.Bytes(), []byte(`"statuses"`)) || bytes.Contains(current.Bytes(), []byte(`"cache"`)) {
+		t.Fatal("static-arm-set snapshot grew an arms/cache block")
+	}
+	// What the PR 6 writer would have produced for the same service.
+	v6 := reversion(t, current.Bytes(), 7, 6)
+	back, err := Load(bytes.NewReader(v6), ServiceOptions{Now: clock.now})
+	if err != nil {
+		t.Fatalf("loading v6 envelope: %v", err)
+	}
+	var resaved bytes.Buffer
+	if err := back.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved.Bytes(), current.Bytes()) {
+		t.Fatal("v6 → v7 upgrade is not byte-stable for static streams")
 	}
 }
 

@@ -113,6 +113,27 @@ const (
 	PolicyRandom     = serve.PolicyRandom
 )
 
+// ArmAdd describes one runtime arm addition for Service.AddArm: the
+// new hardware configuration, the warm-start mode ("", "cold",
+// "pooled", or "nearest") with its donor weight, and whether the arm
+// starts in the trial state (learning but serving no live traffic
+// until promoted). See DESIGN.md §Arm-set elasticity.
+type ArmAdd = serve.ArmAdd
+
+// ArmInfo is one arm's listing entry from Service.Arms: index,
+// hardware label, and lifecycle status (active, trial, draining).
+type ArmInfo = serve.ArmInfo
+
+// CacheSpec configures a stream's optional recommendation cache: a
+// bounded context-fingerprint → arm map serving repeated exploit
+// decisions without touching the policy, with an exploration budget
+// that routes a fraction of would-be hits back to it.
+type CacheSpec = serve.CacheSpec
+
+// CacheInfo is the live state of a stream's recommendation cache
+// (configuration, size, and hit/miss/fall-through counters).
+type CacheInfo = serve.CacheInfo
+
 // Ticket records one issued recommendation; its ID redeems it via
 // Service.Observe.
 type Ticket = serve.Ticket
@@ -148,6 +169,14 @@ var (
 	ErrBadOutcome = serve.ErrBadOutcome
 	ErrBadReward  = serve.ErrBadReward
 	ErrBadAdapt   = serve.ErrBadAdapt
+	// Arm-lifecycle errors: ErrArmNotFound reports an arm index outside
+	// the stream's current set; ErrArmLifecycle a transition the arm's
+	// status does not allow (retiring an active arm, draining the last
+	// active arm); ErrBadArmRequest a semantically invalid arm request
+	// (unknown warm mode, duplicate hardware name, out-of-range weight).
+	ErrArmNotFound   = serve.ErrArmNotFound
+	ErrArmLifecycle  = serve.ErrArmLifecycle
+	ErrBadArmRequest = serve.ErrBadArmRequest
 )
 
 // NewService constructs an empty serving layer. Register streams with
@@ -156,12 +185,13 @@ var (
 func NewService(opts ServiceOptions) *Service { return serve.NewService(opts) }
 
 // LoadService restores a service from a snapshot written by
-// Service.Save — the current version-5 envelope (adaptation specs and
-// drift-detector state) or any earlier envelope version (4: reward
-// specs and outcome aggregates, 3: feature schemas, 2: policy-typed
-// streams and shadows, 1: pre-policy). It also accepts the legacy
-// single-recommender format written by Recommender.Save, restoring it
-// as stream "default".
+// Service.Save — the current version-7 envelope (arm lifecycle states
+// and recommendation-cache specs) or any earlier envelope version
+// (6: fleet-merge bookkeeping, 5: adaptation specs and drift-detector
+// state, 4: reward specs and outcome aggregates, 3: feature schemas,
+// 2: policy-typed streams and shadows, 1: pre-policy). It also accepts
+// the legacy single-recommender format written by Recommender.Save,
+// restoring it as stream "default".
 func LoadService(r io.Reader) (*Service, error) {
 	return serve.Load(r, ServiceOptions{})
 }

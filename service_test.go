@@ -388,3 +388,86 @@ func TestServiceSchemaPublicSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestServiceArmLifecycleFacade drives the runtime arm-lifecycle API
+// through the public facade: add (warm pooled), drain, promote, retire,
+// the exported sentinels, and a snapshot round trip of the churned set.
+func TestServiceArmLifecycleFacade(t *testing.T) {
+	svc := NewService(ServiceOptions{})
+	if err := svc.CreateStream("jobs", StreamConfig{
+		Hardware: serviceHW(t), Dim: 1, Options: Options{Seed: 3},
+		Cache: &CacheSpec{Capacity: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		x := float64(i%10 + 1)
+		tk, err := svc.Recommend("jobs", []float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Observe(tk.ID, 5*x+20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg, err := ParseHardware("H3=8x64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := svc.AddArm("jobs", ArmAdd{Hardware: cfg, Warm: "pooled", Trial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 {
+		t.Fatalf("new arm index %d, want 3", idx)
+	}
+	arms, err := svc.Arms("jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 4 || arms[3].Status != "trial" {
+		t.Fatalf("arms after add: %+v", arms)
+	}
+	// Exported sentinels map the rejection classes.
+	if _, err := svc.AddArm("jobs", ArmAdd{Hardware: cfg}); !errors.Is(err, ErrBadArmRequest) {
+		t.Fatalf("duplicate add err = %v, want ErrBadArmRequest", err)
+	}
+	if err := svc.DrainArm("jobs", 9); !errors.Is(err, ErrArmNotFound) {
+		t.Fatalf("drain unknown arm err = %v, want ErrArmNotFound", err)
+	}
+	if err := svc.RetireArm("jobs", 0); !errors.Is(err, ErrArmLifecycle) {
+		t.Fatalf("retire active arm err = %v, want ErrArmLifecycle", err)
+	}
+	if err := svc.PromoteArm("jobs", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DrainArm("jobs", 3); err != nil {
+		t.Fatal(err)
+	}
+	// The lifecycle state survives a snapshot round trip.
+	var buf bytes.Buffer
+	if err := svc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadService(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.RetireArm("jobs", 3); err != nil {
+		t.Fatal(err)
+	}
+	arms, err = back.Arms("jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 3 {
+		t.Fatalf("arms after restored retire: %+v", arms)
+	}
+	info, err := back.StreamInfo("jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cache == nil || info.Cache.Capacity != 64 {
+		t.Fatalf("restored cache info: %+v", info.Cache)
+	}
+}
