@@ -1,0 +1,220 @@
+// Command benchdiff compares two `go test -bench` outputs — a base run
+// and a head run — and fails when the head regresses. It is the CI
+// gate behind .github/bench-regression.sh: the bench job runs the same
+// benchmark set on the merge base and on the PR head, then lets this
+// tool decide whether the difference is noise or a regression.
+//
+// Two checks, tuned to what each metric can support:
+//
+//   - ns/op is noisy on shared runners, so it is tested statistically:
+//     a Welch two-sample t-test (internal/stats) across the -count
+//     repetitions of each benchmark. A benchmark fails only when the
+//     head mean is more than -threshold slower AND the difference is
+//     significant at -alpha. Fewer than two samples on either side
+//     downgrades the check to informational.
+//
+//   - allocs/op is deterministic, so it is compared exactly: any
+//     increase fails, regardless of magnitude. This is the CI twin of
+//     the in-repo allocation pins (internal/serve/alloc_test.go).
+//
+// Benchmarks present on only one side are reported but never fail the
+// run (new or deleted benchmarks are not regressions).
+//
+// Usage:
+//
+//	benchdiff [-alpha 0.05] [-threshold 0.10] base.txt head.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"banditware/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	alpha := fs.Float64("alpha", 0.05, "significance level for the ns/op Welch t-test")
+	threshold := fs.Float64("threshold", 0.10, "fractional ns/op slowdown tolerated before the t-test applies (0.10 = 10%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [flags] base.txt head.txt")
+	}
+	base, err := parseFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	head, err := parseFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rows, failures := compare(base, head, *alpha, *threshold)
+	for _, r := range rows {
+		fmt.Fprintln(out, r)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(out, "ok: %d benchmark(s) compared, no regressions\n", len(rows))
+	return nil
+}
+
+// sample is the per-repetition measurements of one benchmark name.
+type sample struct {
+	nsPerOp     []float64
+	allocsPerOp []float64
+}
+
+// parseFile reads `go test -bench` output: every line starting with
+// "Benchmark" contributes one repetition. Non-benchmark lines (pkg
+// headers, PASS, ok) are ignored.
+func parseFile(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, ns, allocs, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s := out[name]
+		if s == nil {
+			s = &sample{}
+			out[name] = s
+		}
+		s.nsPerOp = append(s.nsPerOp, ns)
+		if allocs >= 0 {
+			s.allocsPerOp = append(s.allocsPerOp, allocs)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// parseLine extracts (name, ns/op, allocs/op) from one benchmark line.
+// allocs is -1 when the line carries no allocs/op column (-benchmem
+// not set). The name keeps its -GOMAXPROCS suffix so runs compare like
+// against like.
+func parseLine(line string) (name string, ns, allocs float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, 0, false
+	}
+	name = fields[0]
+	allocs = -1
+	found := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, 0, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			ns, found = v, true
+		case "allocs/op":
+			allocs = v
+		}
+	}
+	if !found {
+		return "", 0, 0, false
+	}
+	return name, ns, allocs, true
+}
+
+// compare renders one report row per benchmark and collects failures.
+func compare(base, head map[string]*sample, alpha, threshold float64) (rows, failures []string) {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	for n := range head {
+		if _, dup := base[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b, h := base[n], head[n]
+		switch {
+		case b == nil:
+			rows = append(rows, fmt.Sprintf("%-60s only in head (new benchmark)", n))
+			continue
+		case h == nil:
+			rows = append(rows, fmt.Sprintf("%-60s only in base (deleted benchmark)", n))
+			continue
+		}
+		row, fail := compareOne(n, b, h, alpha, threshold)
+		rows = append(rows, row)
+		failures = append(failures, fail...)
+	}
+	return rows, failures
+}
+
+func compareOne(name string, b, h *sample, alpha, threshold float64) (row string, failures []string) {
+	bm, hm := stats.Mean(b.nsPerOp), stats.Mean(h.nsPerOp)
+	delta := (hm - bm) / bm
+	verdict := "~"
+	if len(b.nsPerOp) >= 2 && len(h.nsPerOp) >= 2 {
+		res, err := stats.WelchTTest(b.nsPerOp, h.nsPerOp)
+		if err == nil {
+			switch {
+			case delta > threshold && res.P < alpha:
+				verdict = fmt.Sprintf("SLOWER (p=%.3g)", res.P)
+				failures = append(failures, fmt.Sprintf("%s: ns/op %.1f -> %.1f (%+.1f%%, p=%.3g)", name, bm, hm, 100*delta, res.P))
+			case delta < -threshold && res.P < alpha:
+				verdict = fmt.Sprintf("faster (p=%.3g)", res.P)
+			}
+		}
+	} else {
+		verdict = "~ (single run, no test)"
+	}
+	row = fmt.Sprintf("%-60s ns/op %10.1f -> %10.1f  %+6.1f%%  %s", name, bm, hm, 100*delta, verdict)
+	if len(b.allocsPerOp) > 0 && len(h.allocsPerOp) > 0 {
+		// allocs/op is deterministic per build: repetitions agree, so
+		// comparing the max against the max is exact, and any increase
+		// is a real regression.
+		ba, ha := maxOf(b.allocsPerOp), maxOf(h.allocsPerOp)
+		row += fmt.Sprintf("  allocs %g -> %g", ba, ha)
+		if ha > ba {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %g -> %g (allocation regression)", name, ba, ha))
+		}
+	}
+	return row, failures
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

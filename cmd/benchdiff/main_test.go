@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, ns, allocs, ok := parseLine("BenchmarkParallelRecommendObserve1-8   \t 1000000\t      1056 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok || name != "BenchmarkParallelRecommendObserve1-8" || ns != 1056 || allocs != 0 {
+		t.Fatalf("got %q %g %g %v", name, ns, allocs, ok)
+	}
+	// No -benchmem: allocs column absent.
+	name, ns, allocs, ok = parseLine("BenchmarkFoo-2 500 2500 ns/op")
+	if !ok || name != "BenchmarkFoo-2" || ns != 2500 || allocs != -1 {
+		t.Fatalf("got %q %g %g %v", name, ns, allocs, ok)
+	}
+	for _, line := range []string{
+		"PASS",
+		"ok  \tbanditware/internal/serve\t1.2s",
+		"goos: linux",
+		"Benchmark", // name only, no measurements
+	} {
+		if _, _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) unexpectedly ok", line)
+		}
+	}
+}
+
+func writeBench(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareDetectsSlowdown(t *testing.T) {
+	base, err := parseFile(writeBench(t, "base.txt",
+		"BenchmarkHot-1 100 1000 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkHot-1 100 1010 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkHot-1 100 990 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkHot-1 100 1005 ns/op 0 B/op 0 allocs/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseFile(writeBench(t, "head.txt",
+		"BenchmarkHot-1 100 2000 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkHot-1 100 2020 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkHot-1 100 1980 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkHot-1 100 2010 ns/op 0 B/op 0 allocs/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures := compare(base, head, 0.05, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("failures = %q, want one ns/op regression", failures)
+	}
+	// The mirror image is an improvement, not a failure.
+	_, failures = compare(head, base, 0.05, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("speedup reported as regression: %q", failures)
+	}
+}
+
+func TestCompareNoiseWithinThresholdPasses(t *testing.T) {
+	base, err := parseFile(writeBench(t, "base.txt",
+		"BenchmarkHot-1 100 1000 ns/op",
+		"BenchmarkHot-1 100 1040 ns/op",
+		"BenchmarkHot-1 100 960 ns/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseFile(writeBench(t, "head.txt",
+		"BenchmarkHot-1 100 1050 ns/op",
+		"BenchmarkHot-1 100 1010 ns/op",
+		"BenchmarkHot-1 100 1070 ns/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failures := compare(base, head, 0.05, 0.10); len(failures) != 0 {
+		t.Fatalf("~4%% drift inside the 10%% threshold failed: %q", failures)
+	}
+}
+
+func TestCompareAllocRegressionExact(t *testing.T) {
+	// ns/op identical; one extra alloc/op must still fail.
+	base, err := parseFile(writeBench(t, "base.txt",
+		"BenchmarkHot-1 100 1000 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkHot-1 100 1000 ns/op 0 B/op 0 allocs/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseFile(writeBench(t, "head.txt",
+		"BenchmarkHot-1 100 1000 ns/op 16 B/op 1 allocs/op",
+		"BenchmarkHot-1 100 1000 ns/op 16 B/op 1 allocs/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures := compare(base, head, 0.05, 0.10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocation regression") {
+		t.Fatalf("failures = %q, want one allocation regression", failures)
+	}
+}
+
+func TestCompareDisjointBenchmarksInformational(t *testing.T) {
+	base, err := parseFile(writeBench(t, "base.txt", "BenchmarkOld-1 100 1000 ns/op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseFile(writeBench(t, "head.txt", "BenchmarkNew-1 100 9000 ns/op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, failures := compare(base, head, 0.05, 0.10)
+	if len(failures) != 0 {
+		t.Fatalf("disjoint sets failed: %q", failures)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %q, want 2 informational rows", rows)
+	}
+}

@@ -155,6 +155,8 @@ type Bandit struct {
 	round int
 
 	scaleBuf []float64 // scratch for feature scaling
+	predBuf  []float64 // scratch predictions for Exploit/Observe
+	candBuf  []int     // scratch tolerant-selection candidate set
 }
 
 // scaled returns x divided elementwise by the configured feature scale
@@ -258,13 +260,18 @@ func (b *Bandit) ArmObservations(i int) (int, error) {
 // PredictAll returns the estimated runtime R̂(H_i, x) for every arm
 // (Algorithm 1, line 5).
 func (b *Bandit) PredictAll(x []float64) ([]float64, error) {
+	return b.PredictAllInto(x, make([]float64, 0, len(b.arms)))
+}
+
+// PredictAllInto is PredictAll appending into out (typically a reused
+// buffer sliced to out[:0]) — the allocation-free form for hot paths.
+func (b *Bandit) PredictAllInto(x, out []float64) ([]float64, error) {
 	if len(x) != b.dim {
 		return nil, ErrDim
 	}
 	sx := b.scaled(x)
-	out := make([]float64, len(b.arms))
-	for i, a := range b.arms {
-		out[i] = a.model.Predict(sx)
+	for _, a := range b.arms {
+		out = append(out, a.model.Predict(sx))
 	}
 	return out, nil
 }
@@ -284,18 +291,32 @@ type Decision struct {
 // Recommend runs lines 5–7 of Algorithm 1 for a workflow with features x.
 // It does not change any state except consuming randomness.
 func (b *Bandit) Recommend(x []float64) (Decision, error) {
-	preds, err := b.PredictAll(x)
-	if err != nil {
+	var d Decision
+	if err := b.RecommendInto(x, &d); err != nil {
 		return Decision{}, err
 	}
-	d := Decision{Predicted: preds, Epsilon: b.eps}
+	return d, nil
+}
+
+// RecommendInto is Recommend writing into d, reusing d.Predicted's
+// backing array — the allocation-free form for hot paths. It consumes
+// exactly the randomness Recommend would, so the two are drop-in
+// equivalent on a fixed seed.
+func (b *Bandit) RecommendInto(x []float64, d *Decision) error {
+	preds, err := b.PredictAllInto(x, d.Predicted[:0])
+	if err != nil {
+		return err
+	}
+	d.Predicted = preds
+	d.Epsilon = b.eps
+	d.Explored = false
 	if b.rnd.Float64() < b.eps {
 		d.Arm = b.rnd.Intn(len(b.arms))
 		d.Explored = true
-		return d, nil
+		return nil
 	}
-	d.Arm = TolerantSelect(preds, b.hw, b.opts.ToleranceRatio, b.opts.ToleranceSeconds)
-	return d, nil
+	d.Arm, b.candBuf = tolerantSelectInto(preds, b.hw, b.opts.ToleranceRatio, b.opts.ToleranceSeconds, b.candBuf[:0])
+	return nil
 }
 
 // TolerantSelect implements Algorithm 1's exploitation branch: find the
@@ -309,6 +330,14 @@ func (b *Bandit) Recommend(x []float64) (Decision, error) {
 // fitting a line to superlinear data at small inputs) must not collapse
 // the tolerance window to nothing.
 func TolerantSelect(preds []float64, hw hardware.Set, tr, ts float64) int {
+	arm, _ := tolerantSelectInto(preds, hw, tr, ts, nil)
+	return arm
+}
+
+// tolerantSelectInto is TolerantSelect building its candidate set in
+// buf (typically a reused scratch sliced to buf[:0]); it returns the
+// chosen arm and the possibly-grown buffer for the caller to retain.
+func tolerantSelectInto(preds []float64, hw hardware.Set, tr, ts float64, buf []int) (int, []int) {
 	fastest := -1
 	for i, p := range preds {
 		if math.IsNaN(p) || math.IsInf(p, 0) {
@@ -319,31 +348,30 @@ func TolerantSelect(preds []float64, hw hardware.Set, tr, ts float64) int {
 		}
 	}
 	if fastest == -1 {
-		return 0
+		return 0, buf
 	}
 	base := preds[fastest]
 	if base < 0 {
 		base = 0
 	}
 	limit := (1+tr)*base + ts
-	var candidates []int
 	for i, p := range preds {
 		if math.IsNaN(p) || math.IsInf(p, 0) {
 			continue
 		}
 		if p <= limit {
-			candidates = append(candidates, i)
+			buf = append(buf, i)
 		}
 	}
 	// The fastest arm is within its own envelope except when a negative
 	// prediction shrinks the ratio term below itself; keep it reachable.
-	if len(candidates) == 0 {
-		return fastest
+	if len(buf) == 0 {
+		return fastest, buf
 	}
-	if best := hw.MostEfficient(candidates); best >= 0 {
-		return best
+	if best := hw.MostEfficient(buf); best >= 0 {
+		return best, buf
 	}
-	return fastest
+	return fastest, buf
 }
 
 // Interval is a symmetric prediction interval.
@@ -386,11 +414,14 @@ func (b *Bandit) PredictWithCI(x []float64, z float64) ([]Interval, error) {
 // any exploration randomness — the pure "line 7" decision. Evaluation
 // harnesses use it to measure model quality independent of ε.
 func (b *Bandit) Exploit(x []float64) (int, error) {
-	preds, err := b.PredictAll(x)
+	preds, err := b.PredictAllInto(x, b.predBuf[:0])
 	if err != nil {
 		return 0, err
 	}
-	return TolerantSelect(preds, b.hw, b.opts.ToleranceRatio, b.opts.ToleranceSeconds), nil
+	b.predBuf = preds
+	var arm int
+	arm, b.candBuf = tolerantSelectInto(preds, b.hw, b.opts.ToleranceRatio, b.opts.ToleranceSeconds, b.candBuf[:0])
+	return arm, nil
 }
 
 // Observe runs lines 9–12 of Algorithm 1: record the actual runtime of the
@@ -426,7 +457,7 @@ func (b *Bandit) Observe(armIdx int, x []float64, runtime float64) error {
 			return err
 		}
 		a.rls = fresh
-		a.model = a.rls.Model()
+		a.rls.ModelInto(&a.model)
 		b.decayLocked()
 		return nil
 	}
@@ -444,7 +475,7 @@ func (b *Bandit) Observe(armIdx int, x []float64, runtime float64) error {
 		}
 		a.model = m
 	} else {
-		a.model = a.rls.Model()
+		a.rls.ModelInto(&a.model)
 	}
 	b.decayLocked()
 	return nil

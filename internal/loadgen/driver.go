@@ -210,7 +210,11 @@ func (w *workerState) session(tgt Target, tr *Trace, op *Op, raw bool) {
 		rt = op.Runtimes[dec.Arm]
 	}
 	start = time.Now()
-	err = tgt.Observe(dec.Ticket, rt)
+	if so, ok := tgt.(SeqObserver); ok && dec.Ticket == "" {
+		err = so.ObserveSeq(dec.Stream, dec.Seq, rt)
+	} else {
+		err = tgt.Observe(dec.Ticket, rt)
+	}
 	w.observe.Add(time.Since(start).Seconds())
 	w.observes++
 	if err != nil {
@@ -350,12 +354,23 @@ func Run(tgt Target, tr *Trace, opts RunOptions) (*Result, error) {
 	return res, nil
 }
 
-// runClosed feeds ops to a fixed worker pool over a channel; each
-// worker runs its next session as soon as the previous one finishes.
+// runClosed replays the trace with a fixed worker pool; each worker
+// runs its next session as soon as the previous one finishes.
+//
+// Without churn, ops are statically strided across the workers so the
+// replay loop itself is dispatch-free — no shared channel on the hot
+// path, which matters when the target serves in hundreds of ns. Churn
+// runs keep the feeder goroutine: lifecycle transitions must apply at
+// their scheduled global op index, which only a single dispatcher can
+// order.
 func runClosed(tgt Target, tr *Trace, opts RunOptions, states []*workerState, start time.Time, churn *churnRun) {
 	var deadline time.Time
 	if opts.Duration > 0 {
 		deadline = start.Add(opts.Duration)
+	}
+	if churn == nil {
+		runClosedStatic(tgt, tr, opts, states, deadline)
+		return
 	}
 	opCh := make(chan *Op, 2*len(states))
 	var wg sync.WaitGroup
@@ -375,12 +390,30 @@ func runClosed(tgt Target, tr *Trace, opts RunOptions, states []*workerState, st
 		// Lifecycle transitions apply from the feeder at their scheduled
 		// op index; workers already in flight overlap them, exactly like
 		// live traffic overlapping a rollout.
-		if churn != nil {
-			churn.tick()
-		}
+		churn.tick()
 		opCh <- &tr.Ops[i]
 	}
 	close(opCh)
+	wg.Wait()
+}
+
+// runClosedStatic is the dispatch-free closed loop: worker w replays
+// ops w, w+W, w+2W, ... back to back. The deadline is polled every few
+// ops so the check does not put a clock read on every request.
+func runClosedStatic(tgt Target, tr *Trace, opts RunOptions, states []*workerState, deadline time.Time) {
+	var wg sync.WaitGroup
+	for w, st := range states {
+		wg.Add(1)
+		go func(w int, st *workerState) {
+			defer wg.Done()
+			for i := w; i < len(tr.Ops); i += len(states) {
+				if !deadline.IsZero() && i/len(states)%64 == 0 && time.Now().After(deadline) {
+					return
+				}
+				st.session(tgt, tr, &tr.Ops[i], opts.Raw)
+			}
+		}(w, st)
+	}
 	wg.Wait()
 }
 

@@ -1,0 +1,50 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+func TestRunClosedLoopHotPath(t *testing.T) {
+	tr := smokeTrace(t, 0)
+	tgt := NewHotPath(0)
+	defer tgt.Close()
+	res, err := Run(tgt, tr, RunOptions{Mode: ModeClosed, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "hotpath")
+	stats := tgt.Service.Stats()
+	if stats.TotalIssued != 400 {
+		t.Errorf("service issued tickets = %d, want 400", stats.TotalIssued)
+	}
+}
+
+func TestRunClosedLoopHotPathAsync(t *testing.T) {
+	tr := smokeTrace(t, 0)
+	tgt := NewHotPath(1024)
+	defer tgt.Close()
+	res, err := Run(tgt, tr, RunOptions{Mode: ModeClosed, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "hotpath")
+	tgt.Service.FlushObserves()
+	stats := tgt.Service.Stats()
+	if stats.AsyncPending != 0 {
+		t.Errorf("async pending = %d after flush", stats.AsyncPending)
+	}
+	if stats.AsyncErrors != 0 {
+		t.Errorf("async errors = %d, want 0", stats.AsyncErrors)
+	}
+}
+
+func TestRunRawVectorsHotPath(t *testing.T) {
+	tr := smokeTrace(t, 0)
+	tgt := NewHotPath(0)
+	defer tgt.Close()
+	res, err := Run(tgt, tr, RunOptions{Mode: ModeClosed, Concurrency: 2, Raw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "hotpath")
+}

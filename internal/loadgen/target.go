@@ -15,10 +15,21 @@ import (
 
 // Decision is the part of a recommendation a load-generator worker
 // needs to continue the session: the ticket to redeem and the arm whose
-// pre-sampled runtime to report.
+// pre-sampled runtime to report. Hot-path targets leave Ticket empty
+// and identify the ticket by (Stream, Seq) instead — the driver then
+// redeems through the target's SeqObserver.
 type Decision struct {
 	Ticket string
 	Arm    int
+	Stream string
+	Seq    uint64
+}
+
+// SeqObserver is implemented by targets whose decisions carry a
+// (stream, seq) ticket identity instead of an ID string; the driver
+// prefers it whenever Decision.Ticket is empty.
+type SeqObserver interface {
+	ObserveSeq(stream string, seq uint64, runtime float64) error
 }
 
 // Target abstracts the system under test. Implementations must be safe

@@ -181,6 +181,19 @@ func (r *RLS) Model() Model {
 	return Model{Weights: linalg.CloneVec(r.w[:r.dim]), Bias: r.w[r.dim]}
 }
 
+// ModelInto writes the current model snapshot into m, reusing
+// m.Weights when it has the capacity — the allocation-free form of
+// Model for callers that refresh a retained snapshot every update.
+func (r *RLS) ModelInto(m *Model) {
+	r.solve()
+	if cap(m.Weights) < r.dim {
+		m.Weights = make([]float64, r.dim)
+	}
+	m.Weights = m.Weights[:r.dim]
+	copy(m.Weights, r.w[:r.dim])
+	m.Bias = r.w[r.dim]
+}
+
 // Predict returns the current estimate w·x + b.
 func (r *RLS) Predict(x []float64) float64 {
 	r.solve()

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// asyncObserver is the opt-in background observe queue
+// (ServiceOptions.ObserveQueue > 0): observe calls validate and resolve
+// synchronously, then enqueue the model update to a single drainer
+// goroutine instead of applying it under the stream lock, decoupling
+// learning cost from serve latency.
+//
+// Semantics:
+//
+//   - Bounded + backpressure: the channel holds at most ObserveQueue
+//     tasks; a full queue blocks the enqueueing caller (never drops).
+//   - Order-preserving: one drainer consumes the global FIFO, so
+//     observes apply in exactly the order their calls enqueued them —
+//     which is why a drained service is byte-identical (snapshots,
+//     deltas) to a synchronous one fed the same sequence.
+//   - Lock coalescing: consecutive already-queued tasks for the same
+//     stream apply under one lock acquisition — per-arm batching of
+//     additive RLS updates without reordering anything.
+//   - Drain-on-snapshot: Save, SaveStream, and CaptureDelta flush the
+//     queue first (see FlushObserves), so persisted state never misses
+//     an acknowledged observe.
+//   - Deferred errors: a task that fails at apply time (unknown ticket,
+//     bad arm, bad dimension) had already returned nil to its caller;
+//     the failure is counted in Stats.AsyncErrors instead.
+//
+// After Close the queue is gone and every observe path falls back to
+// the synchronous apply, so a closed service remains fully usable.
+type asyncObserver struct {
+	svc  *Service
+	ch   chan observeTask
+	done chan struct{}
+
+	// mu serialises enqueues against close: enqueuers hold the read
+	// side while sending (possibly blocking on a full queue), stop takes
+	// the write side to flip closed and close the channel safely.
+	mu     sync.RWMutex
+	closed bool
+
+	depth atomic.Int64
+	errs  atomic.Uint64
+	bufs  sync.Pool // *[]float64 feature copies for direct observes
+}
+
+// observeTask is one queued model update: a ticket redemption (ticket
+// true, keyed by seq) or a direct observe (arm + pooled feature copy).
+// A task with flush set is a drain marker: the drainer closes it once
+// every earlier task has applied.
+type observeTask struct {
+	st     *stream
+	flush  chan struct{}
+	ticket bool
+	seq    uint64
+	arm    int
+	x      *[]float64
+	o      Outcome
+}
+
+func newAsyncObserver(svc *Service, queue int) *asyncObserver {
+	a := &asyncObserver{
+		svc:  svc,
+		ch:   make(chan observeTask, queue),
+		done: make(chan struct{}),
+	}
+	a.bufs.New = func() any { return new([]float64) }
+	go a.run()
+	return a
+}
+
+// getBuf copies x into a pooled buffer the queue owns.
+func (a *asyncObserver) getBuf(x []float64) *[]float64 {
+	buf := a.bufs.Get().(*[]float64)
+	*buf = append((*buf)[:0], x...)
+	return buf
+}
+
+func (a *asyncObserver) putBuf(buf *[]float64) { a.bufs.Put(buf) }
+
+// enqueueTicket queues a ticket redemption; false means the queue is
+// closed and the caller must apply synchronously.
+func (a *asyncObserver) enqueueTicket(st *stream, seq uint64, o Outcome) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return false
+	}
+	a.depth.Add(1)
+	a.ch <- observeTask{st: st, ticket: true, seq: seq, o: o}
+	return true
+}
+
+// enqueueDirect queues a direct observe, copying the caller's stable
+// feature slice into a pooled buffer; false means closed.
+func (a *asyncObserver) enqueueDirect(st *stream, arm int, x []float64, o Outcome) bool {
+	return a.enqueueOwned(st, arm, a.getBuf(x), o)
+}
+
+// enqueueOwned queues a direct observe whose features were already
+// copied with getBuf. On false (closed) ownership of buf returns to
+// the caller.
+func (a *asyncObserver) enqueueOwned(st *stream, arm int, buf *[]float64, o Outcome) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return false
+	}
+	a.depth.Add(1)
+	a.ch <- observeTask{st: st, arm: arm, x: buf, o: o}
+	return true
+}
+
+// flush blocks until every task enqueued before it has applied.
+func (a *asyncObserver) flush() {
+	a.mu.RLock()
+	if a.closed {
+		a.mu.RUnlock()
+		return
+	}
+	done := make(chan struct{})
+	a.ch <- observeTask{flush: done}
+	a.mu.RUnlock()
+	<-done
+}
+
+// stop drains the queue and shuts the drainer down; observe paths fall
+// back to synchronous apply afterwards. Idempotent.
+func (a *asyncObserver) stop() {
+	a.flush()
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		close(a.ch)
+	}
+	a.mu.Unlock()
+	<-a.done
+}
+
+func (a *asyncObserver) pending() uint64 {
+	if d := a.depth.Load(); d > 0 {
+		return uint64(d)
+	}
+	return 0
+}
+
+func (a *asyncObserver) errors() uint64 { return a.errs.Load() }
+
+// run is the drainer: apply tasks in FIFO order, coalescing
+// consecutive already-queued tasks for the same stream under one lock
+// acquisition. pending holds the one task pulled off the channel that
+// broke a coalescing run (different stream, or a flush marker); it is
+// always handled before the next receive, preserving FIFO order.
+func (a *asyncObserver) run() {
+	defer close(a.done)
+	var pending observeTask
+	hasPending := false
+	for {
+		var t observeTask
+		if hasPending {
+			t, hasPending = pending, false
+		} else {
+			var ok bool
+			t, ok = <-a.ch
+			if !ok {
+				return
+			}
+		}
+		if t.flush != nil {
+			close(t.flush)
+			continue
+		}
+		st := t.st
+		st.mu.Lock()
+		a.applyLocked(t)
+		for {
+			n, ok := <-peek(a.ch)
+			if !ok {
+				break
+			}
+			if n.flush == nil && n.st == st {
+				a.applyLocked(n)
+				continue
+			}
+			pending, hasPending = n, true
+			break
+		}
+		st.mu.Unlock()
+	}
+}
+
+// peek returns a.ch when a task is immediately available and a closed
+// nil-result channel otherwise, so the coalescing loop never blocks
+// while holding a stream lock.
+func peek(ch chan observeTask) chan observeTask {
+	if len(ch) > 0 {
+		return ch
+	}
+	return closedTaskCh
+}
+
+var closedTaskCh = func() chan observeTask {
+	ch := make(chan observeTask)
+	close(ch)
+	return ch
+}()
+
+// applyLocked applies one task under its stream's lock, recycling the
+// feature buffer and counting deferred failures.
+func (a *asyncObserver) applyLocked(t observeTask) {
+	a.depth.Add(-1)
+	var err error
+	if t.ticket {
+		err = t.st.observeTicketLocked(a.svc.now(), "", t.seq, t.o)
+	} else {
+		err = t.st.observeDirectLocked(t.arm, *t.x, t.o)
+		a.putBuf(t.x)
+	}
+	if err != nil {
+		a.errs.Add(1)
+	}
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"banditware/internal/core"
+	"banditware/internal/hardware"
+)
+
+// newAsyncPair builds two identically-seeded single-stream services:
+// one synchronous, one with the async observe queue. Both share a fixed
+// clock so snapshots are comparable byte-for-byte. TTL stays 0: async
+// expiry is evaluated at drain time, so a TTL'd trace is the one
+// documented case where the two modes may diverge.
+func newAsyncPair(t *testing.T, queue int) (syncSvc, asyncSvc *Service) {
+	t.Helper()
+	fixed := time.Unix(1_700_000_000, 0).UTC()
+	now := func() time.Time { return fixed }
+	mk := func(opts ServiceOptions) *Service {
+		opts.Now = now
+		s := NewService(opts)
+		err := s.CreateStream("jobs", StreamConfig{
+			Hardware: testHW(), Dim: 2, Options: core.Options{Seed: 42},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return mk(ServiceOptions{}), mk(ServiceOptions{ObserveQueue: queue})
+}
+
+// TestAsyncObserveEquivalence drives the same seeded trace through a
+// synchronous service and an async-queue service and requires the
+// drained snapshots to be byte-identical: the single drainer preserves
+// global FIFO order, so routing the model updates through the queue
+// must not lose, reorder, or alter a single observation.
+//
+// The trace is closed-loop (each decision depends on everything learned
+// so far), so the queue is flushed after every observe — otherwise the
+// async model legitimately lags the synchronous one and the decision
+// trajectories diverge by design, not by defect. The open-loop variant
+// below exercises the fully-asynchronous path with no per-op flush.
+func TestAsyncObserveEquivalence(t *testing.T) {
+	syncSvc, asyncSvc := newAsyncPair(t, 64)
+	defer asyncSvc.Close()
+
+	var tkS, tkA Ticket
+	for i := 0; i < 500; i++ {
+		x := []float64{float64(i%17) / 4, float64(i % 5)}
+		if err := syncSvc.RecommendInto("jobs", x, &tkS); err != nil {
+			t.Fatal(err)
+		}
+		if err := asyncSvc.RecommendInto("jobs", x, &tkA); err != nil {
+			t.Fatal(err)
+		}
+		if tkS.Arm != tkA.Arm || tkS.Seq != tkA.Seq {
+			t.Fatalf("op %d: sync chose arm %d seq %d, async arm %d seq %d",
+				i, tkS.Arm, tkS.Seq, tkA.Arm, tkA.Seq)
+		}
+		// Leave every 7th ticket pending so snapshots carry ledger state.
+		if i%7 == 0 {
+			continue
+		}
+		rt := 1.0 + float64((i*13)%9)
+		ok := i%11 != 0
+		o := Outcome{Runtime: rt, Success: &ok}
+		if err := syncSvc.ObserveSeqOutcome("jobs", tkS.Seq, o); err != nil {
+			t.Fatal(err)
+		}
+		if err := asyncSvc.ObserveSeqOutcome("jobs", tkA.Seq, o); err != nil {
+			t.Fatal(err)
+		}
+		asyncSvc.FlushObserves()
+	}
+
+	var bufS, bufA bytes.Buffer
+	if err := syncSvc.Save(&bufS); err != nil {
+		t.Fatal(err)
+	}
+	// Save flushes the async queue itself — no explicit FlushObserves.
+	if err := asyncSvc.Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufS.Bytes(), bufA.Bytes()) {
+		t.Fatalf("drained async snapshot differs from synchronous snapshot:\nsync:  %d bytes\nasync: %d bytes\n%s",
+			bufS.Len(), bufA.Len(), firstDiff(bufS.Bytes(), bufA.Bytes()))
+	}
+	if n := asyncSvc.Stats().AsyncErrors; n != 0 {
+		t.Fatalf("async errors = %d, want 0", n)
+	}
+}
+
+// TestAsyncOpenLoopEquivalence replays the same open-loop direct-
+// observe trace — no decision depends on a pending update — fully
+// asynchronously, with no flush until the final Save. The drained
+// snapshot must still match the synchronous service byte-for-byte:
+// pure apply-path equivalence under real queueing.
+func TestAsyncOpenLoopEquivalence(t *testing.T) {
+	syncSvc, asyncSvc := newAsyncPair(t, 32)
+	defer asyncSvc.Close()
+	for i := 0; i < 800; i++ {
+		arm := i % 3
+		x := []float64{float64(i%13) / 3, float64(i % 6)}
+		rt := 0.5 + float64((i*7)%11)
+		if err := syncSvc.ObserveDirect("jobs", arm, x, rt); err != nil {
+			t.Fatal(err)
+		}
+		if err := asyncSvc.ObserveDirect("jobs", arm, x, rt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var bufS, bufA bytes.Buffer
+	if err := syncSvc.Save(&bufS); err != nil {
+		t.Fatal(err)
+	}
+	if err := asyncSvc.Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufS.Bytes(), bufA.Bytes()) {
+		t.Fatalf("drained async snapshot differs from synchronous snapshot:\n%s",
+			firstDiff(bufS.Bytes(), bufA.Bytes()))
+	}
+	if n := asyncSvc.Stats().AsyncErrors; n != 0 {
+		t.Fatalf("async errors = %d, want 0", n)
+	}
+}
+
+// TestAsyncCaptureDeltaFlushes verifies CaptureDelta sees enqueued
+// observes: a delta captured right after an async observe must carry
+// the observation (the capture flushes first).
+func TestAsyncCaptureDeltaFlushes(t *testing.T) {
+	_, s := newAsyncPair(t, 64)
+	defer s.Close()
+	base := s.NewSyncState()
+	var tk Ticket
+	if err := s.RecommendInto("jobs", []float64{1, 2}, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveSeq("jobs", tk.Seq, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.CaptureDelta(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Empty() {
+		t.Fatal("capture right after an async observe is empty — CaptureDelta did not flush the queue")
+	}
+}
+
+// TestAsyncCloseFallsBackToSync: a closed service keeps serving, with
+// observes applied inline again.
+func TestAsyncCloseFallsBackToSync(t *testing.T) {
+	_, s := newAsyncPair(t, 8)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	var tk Ticket
+	if err := s.RecommendInto("jobs", []float64{1, 2}, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveSeq("jobs", tk.Seq, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	// Inline again: a bad seq reports its error synchronously.
+	if err := s.ObserveSeq("jobs", 999999, 2.0); err == nil {
+		t.Fatal("observe of unknown seq after Close returned nil, want error")
+	}
+	st := s.Stats()
+	if st.AsyncPending != 0 {
+		t.Fatalf("pending = %d after Close", st.AsyncPending)
+	}
+}
+
+// TestAsyncDeferredErrorsCounted: a queue-mode observe of a burned
+// ticket returns nil (accepted) and surfaces later as AsyncErrors.
+func TestAsyncDeferredErrorsCounted(t *testing.T) {
+	_, s := newAsyncPair(t, 8)
+	defer s.Close()
+	var tk Ticket
+	if err := s.RecommendInto("jobs", []float64{1, 2}, &tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveSeq("jobs", tk.Seq, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveSeq("jobs", tk.Seq, 2.0); err != nil {
+		t.Fatalf("double redeem in queue mode returned %v, want nil (deferred)", err)
+	}
+	s.FlushObserves()
+	if n := s.Stats().AsyncErrors; n != 1 {
+		t.Fatalf("async errors = %d, want 1 (double redemption)", n)
+	}
+}
+
+// TestAsyncStress hammers an async-queue service from many goroutines —
+// hot-path traffic, direct observes, arm churn, snapshot saves, delta
+// captures, stats — to let the race detector check the COW registry,
+// the pooled ledger, and the drainer's lock discipline. Functional
+// assertions are deliberately light; the value is the interleaving.
+func TestAsyncStress(t *testing.T) {
+	s := NewService(ServiceOptions{ObserveQueue: 128})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		err := s.CreateStream(fmt.Sprintf("s%d", i), StreamConfig{
+			Hardware: testHW(), Dim: 2, Options: core.Options{Seed: uint64(i + 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const iters = 300
+	var wg sync.WaitGroup
+	// Hot-path traffic on its own stream per goroutine.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", g)
+			var tk Ticket
+			for i := 0; i < iters; i++ {
+				x := []float64{float64(i % 7), float64(g)}
+				if err := s.RecommendInto(name, x, &tk); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.ObserveSeq(name, tk.Seq, 1.0+float64(i%5)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Direct observes (pooled feature copies through the queue).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := s.ObserveDirect("s3", i%3, []float64{1, float64(i % 4)}, 2.0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Arm churn: add, drain, retire on the traffic streams.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			name := fmt.Sprintf("s%d", i%3)
+			arm, err := s.AddArm(name, ArmAdd{
+				Hardware: hardware.Config{Name: fmt.Sprintf("X%d-%d", i%3, i), CPUs: 2 + i%3, MemoryGB: 8},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.DrainArm(name, arm); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.RetireArm(name, arm); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Snapshots, deltas, stats, flushes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := s.NewSyncState()
+		for i := 0; i < 10; i++ {
+			if err := s.Save(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+			if c, err := s.CaptureDelta(base); err != nil {
+				t.Error(err)
+				return
+			} else {
+				c.Commit()
+			}
+			_ = s.Stats()
+			s.FlushObserves()
+		}
+	}()
+	wg.Wait()
+	s.FlushObserves()
+	// Every hot-path observe targeted a live ticket; only churn-evicted
+	// tickets (retired arms) may surface as deferred errors, and traffic
+	// streams redeem immediately, so none should.
+	if st := s.Stats(); st.AsyncPending != 0 {
+		t.Fatalf("pending = %d after flush", st.AsyncPending)
+	}
+}
+
+// firstDiff renders the first divergence between two byte slices for
+// snapshot-equivalence failures.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+60, i+60
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return fmt.Sprintf("first diff at byte %d:\n  sync:  …%s…\n  async: …%s…", i, a[lo:hiA], b[lo:hiB])
+		}
+	}
+	return fmt.Sprintf("common prefix of %d bytes, lengths %d vs %d", n, len(a), len(b))
+}

@@ -277,6 +277,7 @@ func (s *Service) CaptureDelta(base *SyncState) (*DeltaCapture, error) {
 	if base == nil {
 		return nil, errors.New("serve: nil sync state")
 	}
+	s.FlushObserves() // async mode: acknowledged observes land before the cut
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
 	c := &DeltaCapture{
@@ -648,6 +649,7 @@ func (st *stream) applyDeltaLocked(sd *streamDelta, stats *DeltaStats) error {
 func (s *Service) ImportSnapshot(r io.Reader) error {
 	s.beginMaintenance()
 	defer s.endMaintenance()
+	s.FlushObserves() // apply acknowledged observes to the outgoing streams
 	tmp, err := Load(r, s.opts)
 	if err != nil {
 		return err
@@ -657,12 +659,10 @@ func (s *Service) ImportSnapshot(r io.Reader) error {
 		st.rebaselineForeignLocked()
 		st.mu.Unlock()
 	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		sh.streams = tmp.shards[i].streams
-		sh.mu.Unlock()
-	}
+	next := *tmp.streams.Load()
+	s.regMu.Lock()
+	s.streams.Store(&next)
+	s.regMu.Unlock()
 	s.syncMu.Lock()
 	for _, ss := range s.syncStates {
 		ss.epoch++

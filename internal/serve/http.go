@@ -56,16 +56,16 @@ import (
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, statusResponse{Status: "ok"})
 	})
 	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
 		// Distinct from healthz: the process is alive but should not
 		// take traffic while a snapshot import or delta merge runs.
 		if !svc.Ready() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "restoring"})
+			writeJSON(w, http.StatusServiceUnavailable, statusResponse{Status: "restoring"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, http.StatusOK, statusResponse{Status: "ready"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
@@ -84,7 +84,7 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("name")})
+		writeJSON(w, http.StatusOK, removedResponse{Removed: r.PathValue("name")})
 	})
 	mux.HandleFunc("POST /v1/streams/{name}/recommend", func(w http.ResponseWriter, r *http.Request) {
 		handleRecommend(svc, w, r)
@@ -112,7 +112,7 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"removed": r.PathValue("shadow")})
+		writeJSON(w, http.StatusOK, removedResponse{Removed: r.PathValue("shadow")})
 	})
 	mux.HandleFunc("GET /v1/streams/{name}/drift", func(w http.ResponseWriter, r *http.Request) {
 		info, err := svc.Drift(r.PathValue("name"))
@@ -128,7 +128,7 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"stream": r.PathValue("name"), "arms": arms})
+		writeJSON(w, http.StatusOK, armsResponse{Arms: arms, Stream: r.PathValue("name")})
 	})
 	mux.HandleFunc("POST /v1/streams/{name}/arms", func(w http.ResponseWriter, r *http.Request) {
 		handleAddArm(svc, w, r)
@@ -145,6 +145,50 @@ func NewHandler(svc *Service) http.Handler {
 	return mux
 }
 
+// Typed response envelopes. Every response body is a struct (not an
+// ad-hoc map): the shape is greppable, the encoder skips the
+// map-iteration/sort path, and a field rename is a compile-time event.
+// Field order matches the sorted-key order maps used to produce, so
+// response bytes are unchanged.
+type statusResponse struct {
+	Status string `json:"status"`
+}
+
+type removedResponse struct {
+	Removed string `json:"removed"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// schemaErrorResponse is the 422 schema-violation body: the joined
+// message plus the per-field violation list.
+type schemaErrorResponse struct {
+	Error  string               `json:"error"`
+	Fields []*schema.FieldError `json:"fields"`
+}
+
+type armsResponse struct {
+	Arms   []ArmInfo `json:"arms"`
+	Stream string    `json:"stream"`
+}
+
+type armAddedResponse struct {
+	Arm    int       `json:"arm"`
+	Arms   []ArmInfo `json:"arms"`
+	Stream string    `json:"stream"`
+}
+
+type shadowsResponse struct {
+	Shadows []ShadowInfo `json:"shadows"`
+	Stream  string       `json:"stream"`
+}
+
+type ticketsResponse struct {
+	Tickets []Ticket `json:"tickets"`
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -156,9 +200,9 @@ func writeError(w http.ResponseWriter, err error) {
 	if errors.Is(err, schema.ErrSchemaViolation) {
 		// A context the stream's feature schema rejected: 422 with the
 		// per-field violation list so clients can fix each field.
-		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
-			"error":  err.Error(),
-			"fields": schemaFieldErrors(err),
+		writeJSON(w, http.StatusUnprocessableEntity, schemaErrorResponse{
+			Error:  err.Error(),
+			Fields: schemaFieldErrors(err),
 		})
 		return
 	}
@@ -184,7 +228,7 @@ func writeError(w http.ResponseWriter, err error) {
 		// forbids the transition: 422 like other semantic rejections.
 		code = http.StatusUnprocessableEntity
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
 // schemaFieldErrors digs the per-field violations out of a (possibly
@@ -220,7 +264,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 		if errors.As(err, &tooLarge) {
 			code = http.StatusRequestEntityTooLarge
 		}
-		writeJSON(w, code, map[string]string{"error": "malformed request body: " + err.Error()})
+		writeJSON(w, code, errorResponse{Error: "malformed request body: " + err.Error()})
 		return false
 	}
 	return true
@@ -308,7 +352,7 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 	var set hardware.Set
 	switch {
 	case len(req.Hardware) > 0 && req.HardwareSpec != "":
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give hardware or hardware_spec, not both"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give hardware or hardware_spec, not both"})
 		return
 	case len(req.Hardware) > 0:
 		for _, h := range req.Hardware {
@@ -322,7 +366,7 @@ func handleCreateStream(svc *Service, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "hardware or hardware_spec is required"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "hardware or hardware_spec is required"})
 		return
 	}
 	opts := core.Options{
@@ -456,7 +500,7 @@ func handleAttachShadow(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"stream": stream, "shadows": shadows})
+	writeJSON(w, http.StatusCreated, shadowsResponse{Shadows: shadows, Stream: stream})
 }
 
 func handleListShadows(svc *Service, w http.ResponseWriter, r *http.Request) {
@@ -466,7 +510,7 @@ func handleListShadows(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"stream": stream, "shadows": shadows})
+	writeJSON(w, http.StatusOK, shadowsResponse{Shadows: shadows, Stream: stream})
 }
 
 // modelDTO is the wire form of one arm's learned linear model.
@@ -525,7 +569,7 @@ func handleRecommend(svc *Service, w http.ResponseWriter, r *http.Request) {
 	var err error
 	switch {
 	case req.Context != nil && req.Features != nil:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give context or features, not both"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give context or features, not both"})
 		return
 	case req.Context != nil:
 		t, err = svc.RecommendCtx(r.PathValue("name"), *req.Context)
@@ -556,7 +600,7 @@ func handleRecommendBatch(svc *Service, w http.ResponseWriter, r *http.Request) 
 	var err error
 	switch {
 	case req.Batch != nil && req.Contexts != nil:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give contexts or batch, not both"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give contexts or batch, not both"})
 		return
 	case req.Contexts != nil:
 		ts, err = svc.RecommendBatchCtx(r.PathValue("name"), req.Contexts)
@@ -567,7 +611,7 @@ func handleRecommendBatch(svc *Service, w http.ResponseWriter, r *http.Request) 
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string][]Ticket{"tickets": ts})
+	writeJSON(w, http.StatusOK, ticketsResponse{Tickets: ts})
 }
 
 type observeRequest struct {
@@ -616,8 +660,8 @@ func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamN
 				return
 			}
 			if owner != streamName {
-				writeJSON(w, http.StatusBadRequest, map[string]string{
-					"error": fmt.Sprintf("ticket %q belongs to stream %q, not %q", req.Ticket, owner, streamName),
+				writeJSON(w, http.StatusBadRequest, errorResponse{
+					Error: fmt.Sprintf("ticket %q belongs to stream %q, not %q", req.Ticket, owner, streamName),
 				})
 				return
 			}
@@ -628,7 +672,7 @@ func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamN
 		}
 	case req.Arm != nil && streamName != "":
 		if req.Context != nil && req.Features != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "give context or features, not both"})
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give context or features, not both"})
 			return
 		}
 		var err error
@@ -642,10 +686,10 @@ func handleObserve(svc *Service, w http.ResponseWriter, r *http.Request, streamN
 			return
 		}
 	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "observe needs a ticket, or arm plus features/context on a stream URL"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "observe needs a ticket, or arm plus features/context on a stream URL"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "observed"})
+	writeJSON(w, http.StatusOK, statusResponse{Status: "observed"})
 }
 
 type observeBatchRequest struct {
@@ -794,7 +838,7 @@ func handleAddArm(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"stream": name, "arm": idx, "arms": arms})
+	writeJSON(w, http.StatusCreated, armAddedResponse{Arm: idx, Arms: arms, Stream: name})
 }
 
 // handleArmLifecycle runs one {name}/arms/{arm} transition (drain,
@@ -803,7 +847,7 @@ func handleArmLifecycle(svc *Service, w http.ResponseWriter, r *http.Request, op
 	name := r.PathValue("name")
 	arm, err := strconv.Atoi(r.PathValue("arm"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "arm must be an integer index: " + r.PathValue("arm")})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "arm must be an integer index: " + r.PathValue("arm")})
 		return
 	}
 	if err := op(name, arm); err != nil {
@@ -815,5 +859,5 @@ func handleArmLifecycle(svc *Service, w http.ResponseWriter, r *http.Request, op
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"stream": name, "arms": arms})
+	writeJSON(w, http.StatusOK, armsResponse{Arms: arms, Stream: name})
 }

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/list"
 	"time"
 )
 
@@ -11,13 +10,21 @@ import (
 // attached shadow (by name), the arm that shadow chose for the same
 // context, so the eventual observation can score the shadow; nil when
 // the stream had no shadows at issue time.
+//
+// Tickets are intrusively linked into the ledger's FIFO (prev/next) and
+// recycled through a freelist after redemption, so the steady-state
+// issue/observe cycle allocates nothing. The ticket-ID string is not
+// stored: the key is the sequence number, and the ID is re-rendered
+// from (stream, seq) only where a string is needed (snapshots, error
+// messages).
 type pendingTicket struct {
-	id         string
 	seq        uint64
 	arm        int
 	features   []float64
 	issuedAt   time.Time
 	shadowArms map[string]int
+
+	prev, next *pendingTicket // FIFO links; next also chains the freelist
 }
 
 // ledger is the bounded pending-decision ledger of one stream. Issue and
@@ -39,8 +46,10 @@ type pendingTicket struct {
 type ledger struct {
 	cap     int           // max pending tickets; > 0 always
 	ttl     time.Duration // 0 = tickets never expire
-	byID    map[string]*list.Element
-	fifo    *list.List // *pendingTicket values, oldest at front
+	bySeq   map[uint64]*pendingTicket
+	head    *pendingTicket // oldest pending ticket
+	tail    *pendingTicket // newest pending ticket
+	free    *pendingTicket // freelist of recycled tickets, chained via next
 	evicted uint64
 	expired uint64
 }
@@ -50,20 +59,66 @@ func newLedger(capacity int, ttl time.Duration) *ledger {
 		capacity = defaultMaxPending
 	}
 	return &ledger{
-		cap:  capacity,
-		ttl:  ttl,
-		byID: make(map[string]*list.Element),
-		fifo: list.New(),
+		cap:   capacity,
+		ttl:   ttl,
+		bySeq: make(map[uint64]*pendingTicket),
 	}
 }
 
-func (l *ledger) len() int { return len(l.byID) }
+func (l *ledger) len() int { return len(l.bySeq) }
 
-func (l *ledger) remove(e *list.Element) *pendingTicket {
-	p := e.Value.(*pendingTicket)
-	l.fifo.Remove(e)
-	delete(l.byID, p.id)
-	return p
+// newPending hands out a ticket struct to fill in, recycling one from
+// the freelist when available. The features slice keeps its backing
+// array (append into features[:0]); shadowArms is left as-is for the
+// caller to overwrite.
+func (l *ledger) newPending() *pendingTicket {
+	if p := l.free; p != nil {
+		l.free = p.next
+		p.next = nil
+		p.features = p.features[:0]
+		return p
+	}
+	return &pendingTicket{}
+}
+
+// release returns a redeemed ticket to the freelist once the caller is
+// done with its features. Never release a ticket that is still linked
+// or whose features the engine could retain (no engine does: every
+// window/batch path copies before buffering).
+func (l *ledger) release(p *pendingTicket) {
+	p.shadowArms = nil
+	p.prev = nil
+	p.next = l.free
+	l.free = p
+}
+
+// unlink removes p from the FIFO and the index, leaving p itself intact.
+func (l *ledger) unlink(p *pendingTicket) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		l.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		l.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+	delete(l.bySeq, p.seq)
+}
+
+// pushBack appends p as the newest FIFO entry and indexes it.
+func (l *ledger) pushBack(p *pendingTicket) {
+	p.prev = l.tail
+	p.next = nil
+	if l.tail != nil {
+		l.tail.next = p
+	} else {
+		l.head = p
+	}
+	l.tail = p
+	l.bySeq[p.seq] = p
 }
 
 // sweep drops expired tickets. Tickets are issued in time order, so only
@@ -72,11 +127,12 @@ func (l *ledger) sweep(now time.Time) {
 	if l.ttl <= 0 {
 		return
 	}
-	for e := l.fifo.Front(); e != nil; e = l.fifo.Front() {
-		if now.Sub(e.Value.(*pendingTicket).issuedAt) <= l.ttl {
+	for p := l.head; p != nil; p = l.head {
+		if now.Sub(p.issuedAt) <= l.ttl {
 			return
 		}
-		l.remove(e)
+		l.unlink(p)
+		l.release(p)
 		l.expired++
 	}
 }
@@ -85,28 +141,31 @@ func (l *ledger) sweep(now time.Time) {
 // tickets if the ledger is at capacity.
 func (l *ledger) add(p *pendingTicket, now time.Time) {
 	l.sweep(now)
-	for len(l.byID) >= l.cap {
-		l.remove(l.fifo.Front())
+	for len(l.bySeq) >= l.cap {
+		old := l.head
+		l.unlink(old)
+		l.release(old)
 		l.evicted++
 	}
-	l.byID[p.id] = l.fifo.PushBack(p)
+	l.pushBack(p)
 }
 
 // take redeems a ticket: removes and returns it. A ticket can be taken
 // exactly once; a second take (or a take after eviction) reports
 // ErrTicketNotFound, and a take past the ttl reports ErrTicketExpired.
-func (l *ledger) take(id string, now time.Time) (*pendingTicket, error) {
+// The caller must release the returned ticket when done with it.
+func (l *ledger) take(seq uint64, now time.Time) (*pendingTicket, error) {
 	// Look up before sweeping so redeeming an expired ticket reports
 	// ErrTicketExpired rather than being swept into ErrTicketNotFound.
-	e, ok := l.byID[id]
+	p, ok := l.bySeq[seq]
 	if !ok {
 		l.sweep(now)
 		return nil, ErrTicketNotFound
 	}
-	p := e.Value.(*pendingTicket)
-	l.remove(e)
+	l.unlink(p)
 	l.sweep(now)
 	if l.ttl > 0 && now.Sub(p.issuedAt) > l.ttl {
+		l.release(p)
 		l.expired++
 		return nil, ErrTicketExpired
 	}
@@ -116,7 +175,7 @@ func (l *ledger) take(id string, now time.Time) (*pendingTicket, error) {
 // restore re-inserts a ticket during snapshot load, bypassing eviction
 // and expiry (the snapshot already reflects both).
 func (l *ledger) restore(p *pendingTicket) {
-	l.byID[p.id] = l.fifo.PushBack(p)
+	l.pushBack(p)
 }
 
 // retireArm drops every pending ticket on the retired arm (its runtime
@@ -124,13 +183,13 @@ func (l *ledger) restore(p *pendingTicket) {
 // arm indices of every later-arm ticket and shadow selection down by
 // one, keeping the ledger aligned with the spliced arm set.
 func (l *ledger) retireArm(arm int) {
-	for e := l.fifo.Front(); e != nil; {
-		next := e.Next()
-		p := e.Value.(*pendingTicket)
+	for p := l.head; p != nil; {
+		next := p.next
 		if p.arm == arm {
-			l.remove(e)
+			l.unlink(p)
+			l.release(p)
 			l.evicted++
-			e = next
+			p = next
 			continue
 		}
 		if p.arm > arm {
@@ -143,15 +202,17 @@ func (l *ledger) retireArm(arm int) {
 				p.shadowArms[name] = a - 1
 			}
 		}
-		e = next
+		p = next
 	}
 }
 
-// snapshotPending returns the pending tickets oldest-first.
+// snapshotPending returns the pending tickets oldest-first. The
+// returned tickets stay owned by the ledger (and may be recycled after
+// redemption); callers must copy what they keep past the stream lock.
 func (l *ledger) snapshotPending() []*pendingTicket {
-	out := make([]*pendingTicket, 0, l.fifo.Len())
-	for e := l.fifo.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(*pendingTicket))
+	out := make([]*pendingTicket, 0, len(l.bySeq))
+	for p := l.head; p != nil; p = p.next {
+		out = append(out, p)
 	}
 	return out
 }

@@ -6,22 +6,22 @@ import (
 	"time"
 )
 
-func mkPending(id string, seq uint64, at time.Time) *pendingTicket {
-	return &pendingTicket{id: id, seq: seq, arm: 0, features: []float64{1}, issuedAt: at}
+func mkPending(seq uint64, at time.Time) *pendingTicket {
+	return &pendingTicket{seq: seq, arm: 0, features: []float64{1}, issuedAt: at}
 }
 
 func TestLedgerTakeOnce(t *testing.T) {
 	now := time.Unix(1000, 0)
 	l := newLedger(4, 0)
-	l.add(mkPending("s#1", 1, now), now)
-	p, err := l.take("s#1", now)
-	if err != nil || p.id != "s#1" {
+	l.add(mkPending(1, now), now)
+	p, err := l.take(1, now)
+	if err != nil || p.seq != 1 {
 		t.Fatalf("take: %v, %v", p, err)
 	}
-	if _, err := l.take("s#1", now); !errors.Is(err, ErrTicketNotFound) {
+	if _, err := l.take(1, now); !errors.Is(err, ErrTicketNotFound) {
 		t.Fatalf("second take: %v, want ErrTicketNotFound", err)
 	}
-	if _, err := l.take("s#999", now); !errors.Is(err, ErrTicketNotFound) {
+	if _, err := l.take(999, now); !errors.Is(err, ErrTicketNotFound) {
 		t.Fatalf("unknown take: %v, want ErrTicketNotFound", err)
 	}
 }
@@ -29,59 +29,84 @@ func TestLedgerTakeOnce(t *testing.T) {
 func TestLedgerEvictsOldestFirst(t *testing.T) {
 	now := time.Unix(1000, 0)
 	l := newLedger(2, 0)
-	l.add(mkPending("s#1", 1, now), now)
-	l.add(mkPending("s#2", 2, now), now)
-	l.add(mkPending("s#3", 3, now), now) // evicts s#1
+	l.add(mkPending(1, now), now)
+	l.add(mkPending(2, now), now)
+	l.add(mkPending(3, now), now) // evicts seq 1
 	if l.evicted != 1 {
 		t.Fatalf("evicted = %d, want 1", l.evicted)
 	}
-	if _, err := l.take("s#1", now); !errors.Is(err, ErrTicketNotFound) {
+	if _, err := l.take(1, now); !errors.Is(err, ErrTicketNotFound) {
 		t.Fatalf("evicted ticket still takeable: %v", err)
 	}
-	if _, err := l.take("s#2", now); err != nil {
-		t.Fatalf("s#2 should survive: %v", err)
+	if _, err := l.take(2, now); err != nil {
+		t.Fatalf("seq 2 should survive: %v", err)
 	}
-	if _, err := l.take("s#3", now); err != nil {
-		t.Fatalf("s#3 should survive: %v", err)
+	if _, err := l.take(3, now); err != nil {
+		t.Fatalf("seq 3 should survive: %v", err)
 	}
 }
 
 func TestLedgerExpiry(t *testing.T) {
 	start := time.Unix(1000, 0)
 	l := newLedger(10, time.Minute)
-	l.add(mkPending("s#1", 1, start), start)
-	l.add(mkPending("s#2", 2, start.Add(30*time.Second)), start.Add(30*time.Second))
+	l.add(mkPending(1, start), start)
+	l.add(mkPending(2, start.Add(30*time.Second)), start.Add(30*time.Second))
 
 	// Within TTL: both takeable.
-	if _, err := l.take("s#1", start.Add(time.Minute)); err != nil {
+	if _, err := l.take(1, start.Add(time.Minute)); err != nil {
 		t.Fatalf("fresh ticket expired early: %v", err)
 	}
-	l.add(mkPending("s#1b", 3, start), start) // re-add an old-timestamped one
+	l.add(mkPending(3, start), start) // re-add an old-timestamped one
 
-	// Past s#1b's TTL but within s#2's: take reports expiry explicitly.
+	// Past seq 3's TTL but within seq 2's: take reports expiry explicitly.
 	late := start.Add(2 * time.Minute)
-	if _, err := l.take("s#1b", late); !errors.Is(err, ErrTicketExpired) {
+	if _, err := l.take(3, late); !errors.Is(err, ErrTicketExpired) {
 		t.Fatalf("take on expired = %v, want ErrTicketExpired", err)
 	}
-	// s#2 expired too (issued at +30s, TTL 1m, now +2m) — the sweep on
+	// Seq 2 expired too (issued at +30s, TTL 1m, now +2m) — the sweep on
 	// the next add drops it.
-	l.add(mkPending("s#4", 4, late), late)
-	if _, err := l.take("s#2", late); !errors.Is(err, ErrTicketNotFound) {
+	l.add(mkPending(4, late), late)
+	if _, err := l.take(2, late); !errors.Is(err, ErrTicketNotFound) {
 		t.Fatalf("swept ticket = %v, want ErrTicketNotFound", err)
 	}
 	if l.expired != 2 {
 		t.Fatalf("expired = %d, want 2", l.expired)
 	}
 	if l.len() != 1 {
-		t.Fatalf("len = %d, want 1 (only s#4)", l.len())
+		t.Fatalf("len = %d, want 1 (only seq 4)", l.len())
 	}
 }
 
 func TestLedgerZeroTTLNeverExpires(t *testing.T) {
 	start := time.Unix(1000, 0)
 	l := newLedger(10, 0)
-	l.add(mkPending("s#1", 1, start), start)
-	if _, err := l.take("s#1", start.Add(1000*time.Hour)); err != nil {
+	l.add(mkPending(1, start), start)
+	if _, err := l.take(1, start.Add(1000*time.Hour)); err != nil {
 		t.Fatalf("ttl=0 ticket expired: %v", err)
+	}
+}
+
+func TestLedgerFreelistRecycles(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newLedger(4, 0)
+	p1 := l.newPending()
+	p1.seq, p1.features = 1, append(p1.features[:0], 1, 2, 3)
+	p1.issuedAt = now
+	l.add(p1, now)
+	got, err := l.take(1, now)
+	if err != nil {
+		t.Fatalf("take: %v", err)
+	}
+	l.release(got)
+	p2 := l.newPending()
+	if p2 != p1 {
+		t.Fatalf("newPending after release returned a fresh struct, want recycled")
+	}
+	if len(p2.features) != 0 || cap(p2.features) < 3 {
+		t.Fatalf("recycled features = len %d cap %d, want len 0 with kept capacity",
+			len(p2.features), cap(p2.features))
+	}
+	if p2.shadowArms != nil {
+		t.Fatalf("recycled ticket kept shadowArms")
 	}
 }

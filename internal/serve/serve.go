@@ -10,11 +10,12 @@
 //
 // Five design points:
 //
-//   - Sharding. Streams live in a fixed array of registry shards (keyed
-//     by a hash of the stream name), each with its own read-write mutex,
-//     and every stream carries its own lock — so requests to independent
-//     streams never contend, and registry lookups only share a shard-read
-//     lock.
+//   - Copy-on-write registry. The stream registry is an immutable map
+//     behind an atomic pointer: lookups on the serving path
+//     (Recommend/Observe/cache hits) are lock-free loads, and mutations
+//     (create/remove/import) clone the map and swap the pointer under a
+//     registry mutex — so requests never contend on registry state, and
+//     every stream carries its own lock for its own mutable state.
 //
 //   - Decision tickets. Recommend returns a ticket (ID + chosen arm +
 //     predictions) and parks the features in a bounded pending-decision
@@ -59,7 +60,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"strconv"
@@ -150,8 +150,6 @@ const (
 	// defaultMaxPending bounds each stream's pending-decision ledger when
 	// neither the service nor the stream sets a capacity.
 	defaultMaxPending = 4096
-	// numShards is the registry shard count (power of two).
-	numShards = 16
 )
 
 // ServiceOptions configures service-wide defaults.
@@ -161,6 +159,15 @@ type ServiceOptions struct {
 	MaxPending int
 	// TicketTTL is the default pending-ticket lifetime. 0 = no expiry.
 	TicketTTL time.Duration
+	// ObserveQueue, when positive, enables the asynchronous observe
+	// queue: observe calls validate and resolve synchronously, then hand
+	// the model update to a single background drainer through a channel
+	// bounded at ObserveQueue tasks (a full queue blocks the caller —
+	// backpressure, never loss). Snapshots, delta captures, and Close
+	// drain the queue first, so persisted state stays byte-identical to
+	// the synchronous path. 0 (the default) keeps observes fully
+	// synchronous. See async.go for the exact semantics.
+	ObserveQueue int
 	// Now overrides the clock (tests inject a fake). nil = time.Now.
 	Now func() time.Time
 }
@@ -216,6 +223,11 @@ type Ticket struct {
 	Predicted []float64 `json:"predicted"`
 	Epsilon   float64   `json:"epsilon"`
 	IssuedAt  time.Time `json:"issued_at"`
+	// Seq is the ticket's per-stream sequence number — the numeric half
+	// of ID. The zero-allocation path (RecommendInto/ObserveSeq) carries
+	// it instead of rendering or parsing ID strings; it is not part of
+	// the wire form (ID remains the API's ticket handle).
+	Seq uint64 `json:"-"`
 }
 
 // TicketObservation pairs a ticket with its observation for
@@ -308,6 +320,13 @@ type Stats struct {
 	TotalCacheHits         uint64 `json:"total_cache_hits,omitempty"`
 	TotalCacheMisses       uint64 `json:"total_cache_misses,omitempty"`
 	TotalCacheFallthroughs uint64 `json:"total_cache_fallthroughs,omitempty"`
+	// AsyncPending is the async observe queue's live depth and
+	// AsyncErrors its deferred-apply error count (redemptions or updates
+	// that failed after their call already returned nil); both absent on
+	// synchronous services, so the JSON form is unchanged when the
+	// queue is off.
+	AsyncPending uint64 `json:"async_pending,omitempty"`
+	AsyncErrors  uint64 `json:"async_errors,omitempty"`
 }
 
 // stream is one registered recommender: a decision engine plus its
@@ -326,10 +345,26 @@ type stream struct {
 	mu sync.Mutex
 	// sch encodes named contexts into the engine's vector space. Never
 	// nil: raw-dimension streams carry the identity schema. Guarded by mu
-	// because Encode mutates normalization statistics.
+	// because Encode mutates normalization statistics. enc is sch
+	// compiled for the hot path (category index maps resolved once);
+	// rebuilt whenever sch is replaced.
 	sch     *schema.Schema
+	enc     *schema.Encoder
 	engine  Engine
 	shadows []*shadow
+	// fastRec/fastPred are the engine's optional in-place fast paths
+	// (non-nil only when the engine implements them — Algorithm 1 does,
+	// policy engines fall back to the allocating interface); encScratch
+	// and predScratch are per-stream reusable buffers for context
+	// encoding and drift-residual predictions. All guarded by mu.
+	fastRec     inplaceRecommender
+	fastPred    inplacePredictor
+	encScratch  []float64
+	predScratch []float64
+	// decScratch is the Decision handed to fastRec.RecommendInto: going
+	// through a stream-owned struct (instead of &local) keeps the
+	// interface call from forcing a per-request heap escape.
+	decScratch core.Decision
 	// rw scores every observed Outcome into the engine's learning
 	// signal. Always compiled; the default is the runtime reward.
 	rw rewardState
@@ -366,16 +401,34 @@ type stream struct {
 	failures     uint64
 }
 
-type registryShard struct {
-	mu      sync.RWMutex
-	streams map[string]*stream
+// inplaceRecommender and inplacePredictor are the optional engine fast
+// paths the serving hot path uses when available: recommend into a
+// reused Decision and predict into a reused buffer, allocating nothing.
+// Algorithm 1 engines implement both (core.Bandit's methods promote
+// through banditEngine); policy engines fall back to the allocating
+// Engine interface.
+type inplaceRecommender interface {
+	RecommendInto(x []float64, d *core.Decision) error
+}
+
+type inplacePredictor interface {
+	PredictAllInto(x, out []float64) ([]float64, error)
 }
 
 // Service is a concurrent multi-stream recommender registry. The zero
 // value is not usable; construct with NewService or Load.
 type Service struct {
-	opts   ServiceOptions
-	shards [numShards]registryShard
+	opts ServiceOptions
+
+	// streams points at the current immutable registry map (RCU):
+	// readers load it lock-free; mutators clone-and-swap under regMu.
+	// The map value is never mutated in place after Store.
+	streams atomic.Pointer[map[string]*stream]
+	regMu   sync.Mutex
+
+	// async is the opt-in background observe drainer (nil when
+	// ServiceOptions.ObserveQueue is 0 — the synchronous default).
+	async *asyncObserver
 
 	// maintenance counts in-flight snapshot imports and delta merges;
 	// non-zero means not-ready (see Ready and GET /v1/readyz).
@@ -394,19 +447,15 @@ func NewService(opts ServiceOptions) *Service {
 		opts.MaxPending = defaultMaxPending
 	}
 	s := &Service{opts: opts}
-	for i := range s.shards {
-		s.shards[i].streams = make(map[string]*stream)
+	empty := make(map[string]*stream)
+	s.streams.Store(&empty)
+	if opts.ObserveQueue > 0 {
+		s.async = newAsyncObserver(s, opts.ObserveQueue)
 	}
 	return s
 }
 
 func (s *Service) now() time.Time { return s.opts.Now() }
-
-func (s *Service) shardFor(name string) *registryShard {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return &s.shards[h.Sum32()&(numShards-1)]
-}
 
 // ValidStreamName reports whether name can identify a stream: 1–128
 // characters from [A-Za-z0-9._-], excluding "." and "..". The charset
@@ -521,34 +570,45 @@ func (s *Service) adopt(name string, eng Engine, sch *schema.Schema, rw rewardSt
 	for i, hw := range eng.Hardware() {
 		st.armLabels[i] = hw.String()
 	}
-	sh := s.shardFor(name)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.streams[name]; ok {
+	st.enc = st.sch.Compile()
+	st.fastRec, _ = eng.(inplaceRecommender)
+	st.fastPred, _ = eng.(inplacePredictor)
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	cur := *s.streams.Load()
+	if _, ok := cur[name]; ok {
 		return fmt.Errorf("%w: %q", ErrStreamExists, name)
 	}
-	sh.streams[name] = st
+	next := make(map[string]*stream, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = st
+	s.streams.Store(&next)
 	return nil
 }
 
 // RemoveStream unregisters a stream, dropping its model state and any
 // pending tickets.
 func (s *Service) RemoveStream(name string) error {
-	sh := s.shardFor(name)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.streams[name]; !ok {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	cur := *s.streams.Load()
+	if _, ok := cur[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrStreamNotFound, name)
 	}
-	delete(sh.streams, name)
+	next := make(map[string]*stream, len(cur)-1)
+	for k, v := range cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	s.streams.Store(&next)
 	return nil
 }
 
 func (s *Service) stream(name string) (*stream, error) {
-	sh := s.shardFor(name)
-	sh.mu.RLock()
-	st, ok := sh.streams[name]
-	sh.mu.RUnlock()
+	st, ok := (*s.streams.Load())[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrStreamNotFound, name)
 	}
@@ -557,14 +617,10 @@ func (s *Service) stream(name string) (*stream, error) {
 
 // allStreams returns every registered stream sorted by name.
 func (s *Service) allStreams() []*stream {
-	var out []*stream
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, st := range sh.streams {
-			out = append(out, st)
-		}
-		sh.mu.RUnlock()
+	cur := *s.streams.Load()
+	out := make([]*stream, 0, len(cur))
+	for _, st := range cur {
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
@@ -582,14 +638,7 @@ func (s *Service) StreamNames() []string {
 
 // NumStreams returns the number of registered streams.
 func (s *Service) NumStreams() int {
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += len(sh.streams)
-		sh.mu.RUnlock()
-	}
-	return n
+	return len(*s.streams.Load())
 }
 
 // --- ticket ids ------------------------------------------------------
@@ -628,67 +677,96 @@ func ParseTicketID(id string) (stream string, seq uint64, err error) {
 // exploration budget routes a configured fraction of would-be hits back
 // through the policy so learning never starves.
 func (st *stream) recommendLocked(now time.Time, x []float64, track bool) (Ticket, error) {
+	var t Ticket
+	if err := st.recommendIntoLocked(now, x, &t, track, true); err != nil {
+		return Ticket{}, err
+	}
+	return t, nil
+}
+
+// recommendIntoLocked is recommendLocked writing into a caller-reused
+// Ticket: t.Predicted's backing array is reused, the pending-ledger
+// entry comes from the ledger's freelist, and with renderID false the
+// ID string is not built (t.Seq carries the ticket identity — the
+// zero-allocation path). Every Ticket field is (re)set. Callers hold
+// st.mu.
+func (st *stream) recommendIntoLocked(now time.Time, x []float64, t *Ticket, track, renderID bool) error {
 	var fp uint64
 	if st.cache != nil {
 		fp = st.cache.Fingerprint(x)
 		if arm, ok := st.cache.Lookup(fp); ok && arm < len(st.armLabels) {
-			t := Ticket{
-				Stream:   st.name,
-				Arm:      arm,
-				Hardware: st.armLabels[arm],
-				Epsilon:  st.engine.Epsilon(),
-				IssuedAt: now,
-			}
+			t.ID = ""
+			t.Stream = st.name
+			t.Arm = arm
+			t.Hardware = st.armLabels[arm]
+			t.Explored = false
+			t.Predicted = t.Predicted[:0]
+			t.Epsilon = st.engine.Epsilon()
+			t.IssuedAt = now
+			t.Seq = 0
 			if track {
 				seq := st.nextSeq
 				st.nextSeq++
-				t.ID = ticketID(st.name, seq)
-				st.ledger.add(&pendingTicket{
-					id:       t.ID,
-					seq:      seq,
-					arm:      arm,
-					features: append([]float64(nil), x...),
-					issuedAt: now,
-				}, now)
+				t.Seq = seq
+				if renderID {
+					t.ID = ticketID(st.name, seq)
+				}
+				p := st.ledger.newPending()
+				p.seq = seq
+				p.arm = arm
+				p.features = append(p.features[:0], x...)
+				p.issuedAt = now
+				p.shadowArms = nil
+				st.ledger.add(p, now)
 				st.issued++
 			}
-			return t, nil
+			return nil
 		}
 	}
-	d, err := st.engine.Recommend(x)
+	var d core.Decision
+	var err error
+	if st.fastRec != nil {
+		st.decScratch.Predicted = t.Predicted[:0]
+		err = st.fastRec.RecommendInto(x, &st.decScratch)
+		d = st.decScratch
+	} else {
+		d, err = st.engine.Recommend(x)
+	}
 	if err != nil {
-		return Ticket{}, err
+		return err
 	}
 	if !st.life.AllActive() && !st.life.Servable(d.Arm) {
 		d = st.rerouteLocked(d, x)
 	}
-	t := Ticket{
-		Stream:    st.name,
-		Arm:       d.Arm,
-		Hardware:  st.armLabels[d.Arm],
-		Explored:  d.Explored,
-		Predicted: d.Predicted,
-		Epsilon:   d.Epsilon,
-		IssuedAt:  now,
-	}
+	t.ID = ""
+	t.Stream = st.name
+	t.Arm = d.Arm
+	t.Hardware = st.armLabels[d.Arm]
+	t.Explored = d.Explored
+	t.Predicted = d.Predicted
+	t.Epsilon = d.Epsilon
+	t.IssuedAt = now
+	t.Seq = 0
 	if track {
 		seq := st.nextSeq
 		st.nextSeq++
-		t.ID = ticketID(st.name, seq)
-		st.ledger.add(&pendingTicket{
-			id:         t.ID,
-			seq:        seq,
-			arm:        d.Arm,
-			features:   append([]float64(nil), x...),
-			issuedAt:   now,
-			shadowArms: st.shadowRecommendLocked(x),
-		}, now)
+		t.Seq = seq
+		if renderID {
+			t.ID = ticketID(st.name, seq)
+		}
+		p := st.ledger.newPending()
+		p.seq = seq
+		p.arm = d.Arm
+		p.features = append(p.features[:0], x...)
+		p.issuedAt = now
+		p.shadowArms = st.shadowRecommendLocked(x)
+		st.ledger.add(p, now)
 		st.issued++
 	}
 	if st.cache != nil && !d.Explored {
 		st.cache.Store(fp, d.Arm)
 	}
-	return t, nil
+	return nil
 }
 
 // Recommend issues a decision ticket for one workflow on the named
@@ -719,10 +797,11 @@ func (s *Service) RecommendCtx(name string, ctx schema.Context) (Ticket, error) 
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	x, err := st.sch.Encode(ctx)
+	x, err := st.enc.EncodeInto(ctx, st.encScratch[:0])
 	if err != nil {
 		return Ticket{}, err
 	}
+	st.encScratch = x
 	return st.recommendLocked(s.now(), x, true)
 }
 
@@ -842,7 +921,14 @@ func (st *stream) applyOutcomeLocked(arm int, x []float64, o Outcome) error {
 	// out-of-sample error). Model-free policies have no prediction and
 	// are not monitored.
 	pred, havePred := 0.0, false
-	if preds, err := st.engine.PredictAll(x); err == nil && arm < len(preds) {
+	if st.fastPred != nil {
+		if preds, err := st.fastPred.PredictAllInto(x, st.predScratch[:0]); err == nil {
+			st.predScratch = preds
+			if arm < len(preds) {
+				pred, havePred = preds[arm], true
+			}
+		}
+	} else if preds, err := st.engine.PredictAll(x); err == nil && arm < len(preds) {
 		pred, havePred = preds[arm], true
 	}
 	if err := st.engine.Observe(arm, x, score); err != nil {
@@ -860,27 +946,33 @@ func (st *stream) applyOutcomeLocked(arm int, x []float64, o Outcome) error {
 	return nil
 }
 
-// observeTicketLocked redeems a ticket, trains the engine under the
-// stream's reward, and feeds the outcome to every shadow. The outcome
-// is validated *before* the ticket is redeemed, so a malformed
-// observation (negative runtime, unknown metric) never burns the
-// ticket — or, worse, corrupts the chosen arm's model. Callers hold
+// observeTicketLocked redeems a ticket by sequence number, trains the
+// engine under the stream's reward, and feeds the outcome to every
+// shadow. The outcome is validated *before* the ticket is redeemed, so
+// a malformed observation (negative runtime, unknown metric) never
+// burns the ticket — or, worse, corrupts the chosen arm's model. id is
+// the caller's rendered ticket ID for error messages; pass "" to have
+// it rendered from (stream, seq) only if an error occurs. Callers hold
 // st.mu.
-func (st *stream) observeTicketLocked(now time.Time, id string, o Outcome) error {
+func (st *stream) observeTicketLocked(now time.Time, id string, seq uint64, o Outcome) error {
 	if err := validateOutcome(o); err != nil {
 		return err
 	}
-	p, err := st.ledger.take(id, now)
+	p, err := st.ledger.take(seq, now)
 	if err != nil {
+		if id == "" {
+			id = ticketID(st.name, seq)
+		}
 		return fmt.Errorf("%w (ticket %q)", err, id)
 	}
-	if err := st.applyOutcomeLocked(p.arm, p.features, o); err != nil {
-		return err
-	}
-	if len(st.shadows) > 0 {
+	err = st.applyOutcomeLocked(p.arm, p.features, o)
+	if err == nil && len(st.shadows) > 0 {
 		st.shadowObserveLocked(p.shadowArms, p.arm, p.features, o)
 	}
-	return nil
+	// Engines never retain the features slice (window/batch paths copy
+	// before buffering), so the ticket can be recycled either way.
+	st.ledger.release(p)
+	return err
 }
 
 // ObserveOutcome redeems a decision ticket with the workflow's
@@ -893,11 +985,16 @@ func (st *stream) observeTicketLocked(now time.Time, id string, o Outcome) error
 // The outcome is validated before the ticket is resolved, so a
 // malformed observation reports ErrBadOutcome whatever the state of
 // its ticket — the same precedence as every other observe path.
+// With the async observe queue enabled, the redemption and model
+// update are deferred to the background drainer: the call returns nil
+// after validation and stream resolution, and a late redemption
+// failure (unknown/expired ticket) is counted in Stats instead of
+// returned.
 func (s *Service) ObserveOutcome(ticketID string, o Outcome) error {
 	if err := validateOutcome(o); err != nil {
 		return err
 	}
-	name, _, err := ParseTicketID(ticketID)
+	name, seq, err := ParseTicketID(ticketID)
 	if err != nil {
 		return err
 	}
@@ -905,9 +1002,12 @@ func (s *Service) ObserveOutcome(ticketID string, o Outcome) error {
 	if err != nil {
 		return err
 	}
+	if s.async != nil && s.async.enqueueTicket(st, seq, o) {
+		return nil
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.observeTicketLocked(s.now(), ticketID, o)
+	return st.observeTicketLocked(s.now(), ticketID, seq, o)
 }
 
 // Observe redeems a decision ticket with the workflow's measured
@@ -931,6 +1031,7 @@ func (s *Service) Observe(ticketID string, runtime float64) error {
 func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, errs []error) {
 	errs = make([]error, len(obs))
 	outcomes := make([]Outcome, len(obs))
+	seqs := make([]uint64, len(obs))
 	// Group indices by stream, preserving input order within a stream.
 	byStream := make(map[string][]int)
 	for i, o := range obs {
@@ -943,11 +1044,12 @@ func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, err
 			continue
 		}
 		outcomes[i] = out
-		name, _, err := ParseTicketID(o.TicketID)
+		name, seq, err := ParseTicketID(o.TicketID)
 		if err != nil {
 			errs[i] = err
 			continue
 		}
+		seqs[i] = seq
 		byStream[name] = append(byStream[name], i)
 	}
 	for name, idxs := range byStream {
@@ -961,7 +1063,7 @@ func (s *Service) ObserveBatchIndexed(obs []TicketObservation) (applied int, err
 		st.mu.Lock()
 		now := s.now()
 		for _, i := range idxs {
-			if err := st.observeTicketLocked(now, obs[i].TicketID, outcomes[i]); err != nil {
+			if err := st.observeTicketLocked(now, obs[i].TicketID, seqs[i], outcomes[i]); err != nil {
 				errs[i] = err
 				continue
 			}
@@ -992,6 +1094,10 @@ func (s *Service) ObserveBatch(obs []TicketObservation) (int, error) {
 // the stream's reward function. Shadows see the round as one unit:
 // each selects on x, is scored against arm, and learns from its own
 // reward of the same Outcome.
+// With the async observe queue enabled, the model update is deferred
+// to the background drainer (the features are copied into a pooled
+// buffer first); late errors — bad arm, bad dimension — are counted in
+// Stats instead of returned.
 func (s *Service) ObserveDirectOutcome(name string, arm int, x []float64, o Outcome) error {
 	if err := validateOutcome(o); err != nil {
 		return err
@@ -999,6 +1105,9 @@ func (s *Service) ObserveDirectOutcome(name string, arm int, x []float64, o Outc
 	st, err := s.stream(name)
 	if err != nil {
 		return err
+	}
+	if s.async != nil && s.async.enqueueDirect(st, arm, x, o) {
+		return nil
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -1016,6 +1125,10 @@ func (s *Service) ObserveDirect(name string, arm int, x []float64, runtime float
 // (advancing its normalization statistics, exactly as the matching
 // RecommendCtx would have) before training the engine. The outcome is
 // validated first, so a bad outcome advances no statistic.
+// With the async observe queue enabled, the context is still validated
+// and encoded synchronously under the stream lock (normalization
+// statistics must advance in request order); only the model update is
+// deferred.
 func (s *Service) ObserveDirectOutcomeCtx(name string, arm int, ctx schema.Context, o Outcome) error {
 	if err := validateOutcome(o); err != nil {
 		return err
@@ -1025,11 +1138,28 @@ func (s *Service) ObserveDirectOutcomeCtx(name string, arm int, ctx schema.Conte
 		return err
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	x, err := st.sch.Encode(ctx)
+	x, err := st.enc.EncodeInto(ctx, st.encScratch[:0])
 	if err != nil {
+		st.mu.Unlock()
 		return err
 	}
+	st.encScratch = x
+	if s.async != nil {
+		// Copy the encoded vector out of the stream scratch while still
+		// holding the lock — the scratch is overwritten by the next
+		// request — then enqueue without the lock (a full queue blocks,
+		// and the drainer needs this stream's lock to make progress).
+		buf := s.async.getBuf(x)
+		st.mu.Unlock()
+		if s.async.enqueueOwned(st, arm, buf, o) {
+			return nil
+		}
+		defer s.async.putBuf(buf)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.observeDirectLocked(arm, *buf, o)
+	}
+	defer st.mu.Unlock()
 	return st.observeDirectLocked(arm, x, o)
 }
 
@@ -1255,6 +1385,10 @@ func (s *Service) Stats() Stats {
 			out.TotalCacheMisses += info.Cache.Misses
 			out.TotalCacheFallthroughs += info.Cache.Fallthroughs
 		}
+	}
+	if s.async != nil {
+		out.AsyncPending = s.async.pending()
+		out.AsyncErrors = s.async.errors()
 	}
 	return out
 }

@@ -190,6 +190,7 @@ type serviceSnap struct {
 // Streams registered while Save runs may be missed; removal of captured
 // streams is not.
 func (s *Service) Save(w io.Writer) error {
+	s.FlushObserves()         // async mode: acknowledged observes land before the cut
 	streams := s.allStreams() // sorted by name: fixed lock order
 	snap := serviceSnap{
 		Format:  snapshotFormat,
@@ -308,14 +309,15 @@ func (st *stream) snapshotLocked() (streamSnap, error) {
 	}
 	for _, p := range st.ledger.snapshotPending() {
 		ss.Pending = append(ss.Pending, pendingSnap{
-			ID:         p.id,
-			Seq:        p.seq,
-			Arm:        p.arm,
-			Features:   p.features,
-			IssuedAtNS: p.issuedAt.UnixNano(),
+			ID:  ticketID(st.name, p.seq),
+			Seq: p.seq,
+			Arm: p.arm,
 			// Cloned, not aliased: the JSON encode happens after the
-			// stream lock is released, and DetachShadow mutates the live
-			// map under that lock.
+			// stream lock is released — DetachShadow mutates the live
+			// map under that lock, and the ledger recycles redeemed
+			// tickets' feature buffers.
+			Features:   append([]float64(nil), p.features...),
+			IssuedAtNS: p.issuedAt.UnixNano(),
 			ShadowArms: maps.Clone(p.shadowArms),
 		})
 	}
@@ -391,6 +393,7 @@ func (st *stream) cacheSnapLocked() *cacheSnap {
 // Load. Ticket-ledger state, shadows, and counters are not part of that
 // format; use Save for a full snapshot.
 func (s *Service) SaveStream(name string, w io.Writer) error {
+	s.FlushObserves()
 	st, err := s.stream(name)
 	if err != nil {
 		return err
@@ -562,7 +565,6 @@ func Load(r io.Reader, opts ServiceOptions) (*Service, error) {
 		sort.Slice(pend, func(i, j int) bool { return pend[i].Seq < pend[j].Seq })
 		for _, p := range pend {
 			st.ledger.restore(&pendingTicket{
-				id:         p.ID,
 				seq:        p.Seq,
 				arm:        p.Arm,
 				features:   p.Features,
